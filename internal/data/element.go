@@ -1,0 +1,55 @@
+// Package data defines the values that flow through input pipelines
+// (Element), a TFRecord-compatible on-disk framing format, and synthetic
+// dataset catalogs whose shape statistics (file counts, record sizes,
+// decode-amplification factors) match the datasets used in the Plumber paper:
+// ImageNet, COCO, and the WMT16/WMT17 translation corpora.
+package data
+
+// Element is one unit of work flowing between pipeline operators. Before
+// batching an Element is a single training example; after batching it is a
+// minibatch of Count examples.
+//
+// Payload carries real bytes when the pipeline runs on the real engine. The
+// simulator propagates only Size so that terabyte-scale datasets can be
+// modeled without allocating them; code must therefore always consult Size,
+// never len(Payload), for accounting.
+type Element struct {
+	// Payload is the materialized content, possibly nil in simulation.
+	Payload []byte
+	// Size is the logical size in bytes. Invariant: if Payload != nil then
+	// Size == int64(len(Payload)).
+	Size int64
+	// Count is the number of training examples contained (>= 1; batch size
+	// after a Batch operator).
+	Count int
+	// Index is a monotonically increasing sequence number assigned by the
+	// producing source, used by deterministic tests.
+	Index int64
+}
+
+// Clone returns a deep copy of the element.
+func (e Element) Clone() Element {
+	out := e
+	if e.Payload != nil {
+		out.Payload = append([]byte(nil), e.Payload...)
+	}
+	return out
+}
+
+// WithSize returns a copy of e resized to size bytes. If e carries a real
+// payload, the payload is truncated or zero-extended to match, preserving
+// the Payload/Size invariant.
+func (e Element) WithSize(size int64) Element {
+	out := e
+	out.Size = size
+	if out.Payload != nil {
+		if int64(len(out.Payload)) >= size {
+			out.Payload = out.Payload[:size]
+		} else {
+			grown := make([]byte, size)
+			copy(grown, out.Payload)
+			out.Payload = grown
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package data
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// TFRecord framing, compatible with TensorFlow's format:
+//
+//	uint64 length
+//	uint32 masked_crc32c(length)
+//	byte   data[length]
+//	uint32 masked_crc32c(data)
+//
+// where masked_crc(x) = rotr(crc32c(x), 15) + 0xa282ead8. The Plumber tracer
+// instruments reads of these files to derive records-per-byte ratios, so the
+// framing overhead (16 bytes per record) is part of the model.
+
+const (
+	// RecordHeaderBytes is the per-record framing overhead before the data.
+	RecordHeaderBytes = 12
+	// RecordFooterBytes is the per-record framing overhead after the data.
+	RecordFooterBytes = 4
+	// RecordOverheadBytes is the total framing overhead per record.
+	RecordOverheadBytes = RecordHeaderBytes + RecordFooterBytes
+
+	crcMaskDelta = 0xa282ead8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// MaskedCRC returns TensorFlow's masked CRC32C of data.
+func MaskedCRC(data []byte) uint32 {
+	c := crc32.Checksum(data, castagnoli)
+	return ((c >> 15) | (c << 17)) + crcMaskDelta
+}
+
+// unmaskCRC inverts MaskedCRC's masking step.
+func unmaskCRC(masked uint32) uint32 {
+	rot := masked - crcMaskDelta
+	return (rot << 15) | (rot >> 17)
+}
+
+// RecordWriter writes TFRecord-framed records to an io.Writer.
+type RecordWriter struct {
+	w       io.Writer
+	scratch [RecordHeaderBytes]byte
+	written int64
+}
+
+// NewRecordWriter returns a writer framing records onto w.
+func NewRecordWriter(w io.Writer) *RecordWriter {
+	return &RecordWriter{w: w}
+}
+
+// Write frames and writes one record.
+func (rw *RecordWriter) Write(record []byte) error {
+	binary.LittleEndian.PutUint64(rw.scratch[:8], uint64(len(record)))
+	binary.LittleEndian.PutUint32(rw.scratch[8:12], MaskedCRC(rw.scratch[:8]))
+	if _, err := rw.w.Write(rw.scratch[:]); err != nil {
+		return fmt.Errorf("tfrecord: writing header: %w", err)
+	}
+	if _, err := rw.w.Write(record); err != nil {
+		return fmt.Errorf("tfrecord: writing payload: %w", err)
+	}
+	var footer [RecordFooterBytes]byte
+	binary.LittleEndian.PutUint32(footer[:], MaskedCRC(record))
+	if _, err := rw.w.Write(footer[:]); err != nil {
+		return fmt.Errorf("tfrecord: writing footer: %w", err)
+	}
+	rw.written += int64(RecordOverheadBytes + len(record))
+	return nil
+}
+
+// BytesWritten reports the total framed bytes written so far.
+func (rw *RecordWriter) BytesWritten() int64 { return rw.written }
+
+// RecordReader reads TFRecord-framed records from an io.Reader.
+type RecordReader struct {
+	r       io.Reader
+	scratch [RecordHeaderBytes]byte
+}
+
+// NewRecordReader returns a reader consuming framed records from r.
+func NewRecordReader(r io.Reader) *RecordReader {
+	return &RecordReader{r: r}
+}
+
+// Next reads the next record. It returns io.EOF cleanly at end of stream and
+// io.ErrUnexpectedEOF or a checksum error on corruption.
+func (rr *RecordReader) Next() ([]byte, error) {
+	if _, err := io.ReadFull(rr.r, rr.scratch[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("tfrecord: reading header: %w", err)
+	}
+	length := binary.LittleEndian.Uint64(rr.scratch[:8])
+	wantLenCRC := binary.LittleEndian.Uint32(rr.scratch[8:12])
+	if got := MaskedCRC(rr.scratch[:8]); got != wantLenCRC {
+		return nil, fmt.Errorf("tfrecord: length checksum mismatch: got %#x want %#x", got, wantLenCRC)
+	}
+	const maxRecord = 1 << 30
+	if length > maxRecord {
+		return nil, fmt.Errorf("tfrecord: record length %d exceeds limit", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(rr.r, payload); err != nil {
+		return nil, fmt.Errorf("tfrecord: reading payload: %w", err)
+	}
+	var footer [RecordFooterBytes]byte
+	if _, err := io.ReadFull(rr.r, footer[:]); err != nil {
+		return nil, fmt.Errorf("tfrecord: reading footer: %w", err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(footer[:])
+	if got := MaskedCRC(payload); got != wantCRC {
+		return nil, fmt.Errorf("tfrecord: payload checksum mismatch: got %#x want %#x", got, wantCRC)
+	}
+	return payload, nil
+}

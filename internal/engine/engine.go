@@ -1,0 +1,287 @@
+// Package engine executes pipeline graphs for real: it instantiates the
+// serialized program into an Iterator tree (§2.1's Dataset view -> Iterator
+// view) backed by goroutine worker pools, bounded channels for prefetching,
+// and an in-memory cache store. Every iterator is instrumented with the
+// trace package's counters, following the paper's accounting discipline:
+// CPU timers stop when an iterator calls into its child, and statistics
+// about each yielded element are attributed to its producer.
+//
+// The engine is the "real" substrate: unit tests, integration tests, and the
+// runnable examples use it with small synthetic catalogs. The large Setup
+// A/B/C experiments run on the discrete-event simulator (internal/sim),
+// which consumes the same graph spec and emits the same trace.Snapshot.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"plumber/internal/data"
+	"plumber/internal/pipeline"
+	"plumber/internal/simfs"
+	"plumber/internal/stats"
+	"plumber/internal/trace"
+	"plumber/internal/udf"
+)
+
+// Options configures pipeline instantiation.
+type Options struct {
+	// FS serves the source shards. Required.
+	FS *simfs.FS
+	// UDFs resolves Map/Filter function names. Required if the graph uses
+	// UDF nodes.
+	UDFs *udf.Registry
+	// Collector receives counters; nil disables tracing.
+	Collector *trace.Collector
+	// WorkScale converts modeled UDF CPU-seconds into accounted (and, with
+	// Spin, actually burned) CPU time. Zero disables CPU modeling.
+	WorkScale float64
+	// Spin makes workers busy-wait for the modeled CPU time, so wallclock
+	// throughput reflects the cost model. Tests keep this off.
+	Spin bool
+	// Seed drives shuffling and any randomized UDFs.
+	Seed uint64
+	// ChannelSlack is the per-worker output-channel capacity for parallel
+	// stages (default 2).
+	ChannelSlack int
+}
+
+// Pipeline is an instantiated, runnable iterator tree.
+type Pipeline struct {
+	root   iterator
+	opts   Options
+	caches *cacheStore
+	mu     sync.Mutex
+	closed bool
+}
+
+// iterator is the internal Iterator model: Next yields an element or io.EOF;
+// Close releases resources. reset is handled by rebuilding subtrees via
+// factories (Repeat) while cache contents persist in the pipeline-level
+// cacheStore.
+type iterator interface {
+	Next() (data.Element, error)
+	Close() error
+}
+
+// New instantiates the graph. The graph is validated and the iterator tree
+// built lazily: no file is opened until the first Next call.
+func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.FS == nil {
+		return nil, errors.New("engine: Options.FS is required")
+	}
+	if opts.ChannelSlack <= 0 {
+		opts.ChannelSlack = 2
+	}
+	p := &Pipeline{opts: opts, caches: newCacheStore()}
+	chain, err := g.Chain()
+	if err != nil {
+		return nil, err
+	}
+	outer := g.OuterParallelism
+	if outer < 1 {
+		outer = 1
+	}
+	build := func(seedShift uint64) (iterator, error) {
+		return p.buildChain(chain, len(chain)-1, opts.Seed^seedShift)
+	}
+	if outer == 1 {
+		root, err := build(0)
+		if err != nil {
+			return nil, err
+		}
+		p.root = root
+		return p, nil
+	}
+	// Outer parallelism: run `outer` replicas of the whole chain and
+	// round-robin their outputs (§5.1's remedy for NLP pipelines).
+	replicas := make([]iterator, outer)
+	for i := range replicas {
+		it, err := build(uint64(i+1) * 0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, err
+		}
+		replicas[i] = it
+	}
+	p.root = newRoundRobin(replicas)
+	return p, nil
+}
+
+// Next yields the next root element.
+func (p *Pipeline) Next() (data.Element, error) {
+	return p.root.Next()
+}
+
+// Close shuts down all workers and releases resources.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	return p.root.Close()
+}
+
+// Drain pulls up to max elements (all if max <= 0), returning the count
+// pulled and the total example count.
+func (p *Pipeline) Drain(max int64) (elements, examples int64, err error) {
+	for max <= 0 || elements < max {
+		e, err := p.Next()
+		if err == io.EOF {
+			return elements, examples, nil
+		}
+		if err != nil {
+			return elements, examples, err
+		}
+		elements++
+		examples += int64(e.Count)
+	}
+	return elements, examples, nil
+}
+
+// buildChain builds the iterator for chain[idx], recursively building its
+// child. Repeat nodes capture a factory so each epoch re-instantiates the
+// subtree below them (cache contents persist in the store).
+func (p *Pipeline) buildChain(chain []pipeline.Node, idx int, seed uint64) (iterator, error) {
+	n := chain[idx]
+	handle := p.handle(n.Name)
+	childFactory := func() (iterator, error) {
+		if idx == 0 {
+			return nil, fmt.Errorf("engine: node %q has no child", n.Name)
+		}
+		return p.buildChain(chain, idx-1, seed)
+	}
+	switch n.Kind {
+	case pipeline.KindSource, pipeline.KindInterleave:
+		cat, err := data.CatalogByName(n.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		par := 1
+		if n.Kind == pipeline.KindInterleave {
+			par = n.EffectiveParallelism()
+		}
+		return newSource(p, cat, par, handle, seed), nil
+	case pipeline.KindMap:
+		child, err := childFactory()
+		if err != nil {
+			return nil, err
+		}
+		u, err := p.lookupUDF(n.UDF)
+		if err != nil {
+			return nil, err
+		}
+		return newMapIter(p, child, u, n.EffectiveParallelism(), handle, seed), nil
+	case pipeline.KindFilter:
+		child, err := childFactory()
+		if err != nil {
+			return nil, err
+		}
+		u, err := p.lookupUDF(n.UDF)
+		if err != nil {
+			return nil, err
+		}
+		return newFilterIter(p, child, u, handle), nil
+	case pipeline.KindShuffle:
+		child, err := childFactory()
+		if err != nil {
+			return nil, err
+		}
+		return newShuffleIter(child, n.BufferSize, handle, stats.NewRNG(seed^hashName(n.Name))), nil
+	case pipeline.KindRepeat:
+		return newRepeatIter(childFactory, n.Count, handle), nil
+	case pipeline.KindBatch:
+		child, err := childFactory()
+		if err != nil {
+			return nil, err
+		}
+		return newBatchIter(child, n.BatchSize, handle), nil
+	case pipeline.KindPrefetch:
+		child, err := childFactory()
+		if err != nil {
+			return nil, err
+		}
+		return newPrefetchIter(child, n.BufferSize, handle), nil
+	case pipeline.KindCache:
+		return newCacheIter(p.caches.entry(n.Name), childFactory, handle)
+	case pipeline.KindTake:
+		child, err := childFactory()
+		if err != nil {
+			return nil, err
+		}
+		return newTakeIter(child, n.Count, handle), nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported node kind %q", n.Kind)
+	}
+}
+
+func (p *Pipeline) lookupUDF(name string) (udf.UDF, error) {
+	if p.opts.UDFs == nil {
+		return udf.UDF{}, fmt.Errorf("engine: graph uses UDF %q but no registry provided", name)
+	}
+	return p.opts.UDFs.Lookup(name)
+}
+
+func (p *Pipeline) handle(name string) *trace.NodeStats {
+	if p.opts.Collector == nil {
+		return nil
+	}
+	h, err := p.opts.Collector.Node(name)
+	if err != nil {
+		return nil
+	}
+	return h
+}
+
+// accountCPU models and (optionally) burns cpuSeconds of work, attributing
+// it to the node's counters.
+func (p *Pipeline) accountCPU(h *trace.NodeStats, cpuSeconds float64) {
+	if p.opts.WorkScale <= 0 || cpuSeconds <= 0 {
+		return
+	}
+	d := time.Duration(cpuSeconds * p.opts.WorkScale * float64(time.Second))
+	if p.opts.Spin {
+		spin(d)
+	}
+	if h != nil {
+		trace.AddCPU(h, d)
+	}
+}
+
+// spin busy-waits for d, burning CPU like a real decode would.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		// burn
+	}
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// produced records an element completion at h.
+func produced(h *trace.NodeStats, e data.Element) {
+	if h != nil {
+		trace.AddProduced(h, e.Size)
+	}
+}
+
+// consumed records a pull from the child at h.
+func consumed(h *trace.NodeStats) {
+	if h != nil {
+		trace.AddConsumed(h, 1)
+	}
+}

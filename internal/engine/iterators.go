@@ -1,0 +1,729 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plumber/internal/data"
+	"plumber/internal/stats"
+	"plumber/internal/trace"
+	"plumber/internal/udf"
+)
+
+// item carries an element or a terminal error through worker channels.
+type item struct {
+	elem data.Element
+	err  error
+}
+
+// ---------------------------------------------------------------------------
+// Source / Interleave
+
+// sourceIter reads TFRecord shards. With parallelism 1 it reads files
+// sequentially; with parallelism p it interleaves p concurrent file streams
+// (the paper's Interleave-parallelized TFRecordDataset).
+type sourceIter struct {
+	p      *Pipeline
+	cat    data.Catalog
+	par    int
+	handle *trace.NodeStats
+	seed   uint64
+
+	once    sync.Once
+	out     chan item
+	done    chan struct{}
+	wg      sync.WaitGroup
+	nextIdx int64
+	initErr error
+}
+
+func newSource(p *Pipeline, cat data.Catalog, par int, handle *trace.NodeStats, seed uint64) *sourceIter {
+	return &sourceIter{p: p, cat: cat, par: par, handle: handle, seed: seed}
+}
+
+func (s *sourceIter) start() {
+	files := s.cat.FileNames()
+	fileCh := make(chan string, len(files))
+	for _, f := range files {
+		fileCh <- f
+	}
+	close(fileCh)
+	s.out = make(chan item, s.par*s.p.opts.ChannelSlack)
+	s.done = make(chan struct{})
+	s.wg.Add(s.par)
+	for w := 0; w < s.par; w++ {
+		go s.worker(fileCh)
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.out)
+	}()
+}
+
+func (s *sourceIter) worker(fileCh <-chan string) {
+	defer s.wg.Done()
+	// Per-record parse cost: framing checksum work, modeled as a small
+	// fixed CPU cost plus a per-byte term for the CRC pass.
+	const parsePerByte = 0.3e-9  // ~3.3 GB/s checksum throughput
+	const parsePerElem = 1.5e-6 // record framing bookkeeping
+	for path := range fileCh {
+		r, err := s.p.opts.FS.Open(path)
+		if err != nil {
+			s.emit(item{err: fmt.Errorf("source: %w", err)})
+			return
+		}
+		rr := data.NewRecordReader(r)
+		for {
+			start := time.Now()
+			rec, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				s.emit(item{err: err})
+				return
+			}
+			e := data.Element{
+				Payload: rec,
+				Size:    int64(len(rec)),
+				Count:   1,
+				Index:   atomic.AddInt64(&s.nextIdx, 1) - 1,
+			}
+			s.p.accountCPU(s.handle, parsePerByte*float64(len(rec))+parsePerElem)
+			produced(s.handle, e)
+			if s.handle != nil {
+				trace.AddWall(s.handle, time.Since(start))
+			}
+			if !s.emit(item{elem: e}) {
+				r.Close()
+				return
+			}
+		}
+		r.Close()
+	}
+}
+
+func (s *sourceIter) emit(it item) bool {
+	select {
+	case s.out <- it:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+func (s *sourceIter) Next() (data.Element, error) {
+	s.once.Do(s.start)
+	if s.initErr != nil {
+		return data.Element{}, s.initErr
+	}
+	it, ok := <-s.out
+	if !ok {
+		return data.Element{}, io.EOF
+	}
+	return it.elem, it.err
+}
+
+func (s *sourceIter) Close() error {
+	s.once.Do(func() { s.initErr = io.EOF }) // never started: mark terminal
+	if s.done != nil {
+		select {
+		case <-s.done:
+		default:
+			close(s.done)
+		}
+		s.wg.Wait()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Map
+
+// mapIter applies a UDF with a worker pool. Child access is serialized;
+// output order is the workers' completion order (tf.data's non-deterministic
+// parallel map).
+type mapIter struct {
+	p      *Pipeline
+	child  iterator
+	u      udf.UDF
+	par    int
+	handle *trace.NodeStats
+	seed   uint64
+
+	once    sync.Once
+	out     chan item
+	done    chan struct{}
+	wg      sync.WaitGroup
+	childMu sync.Mutex
+	eof     atomic.Bool
+}
+
+func newMapIter(p *Pipeline, child iterator, u udf.UDF, par int, handle *trace.NodeStats, seed uint64) *mapIter {
+	return &mapIter{p: p, child: child, u: u, par: par, handle: handle, seed: seed}
+}
+
+func (m *mapIter) start() {
+	m.out = make(chan item, m.par*m.p.opts.ChannelSlack)
+	m.done = make(chan struct{})
+	m.wg.Add(m.par)
+	for w := 0; w < m.par; w++ {
+		go m.worker()
+	}
+	go func() {
+		m.wg.Wait()
+		close(m.out)
+	}()
+}
+
+func (m *mapIter) worker() {
+	defer m.wg.Done()
+	for {
+		if m.eof.Load() {
+			return
+		}
+		m.childMu.Lock()
+		in, err := m.child.Next()
+		m.childMu.Unlock()
+		if err == io.EOF {
+			m.eof.Store(true)
+			return
+		}
+		if err != nil {
+			m.emit(item{err: err})
+			return
+		}
+		consumed(m.handle)
+		out, keep, err := m.apply(in)
+		if err != nil {
+			m.emit(item{err: err})
+			return
+		}
+		if !keep {
+			continue
+		}
+		produced(m.handle, out)
+		if !m.emit(item{elem: out}) {
+			return
+		}
+	}
+}
+
+// apply runs the UDF body (or the pure cost model when no body is present)
+// with CPU accounting.
+func (m *mapIter) apply(in data.Element) (data.Element, bool, error) {
+	start := time.Now()
+	defer func() {
+		if m.handle != nil {
+			trace.AddWall(m.handle, time.Since(start))
+		}
+	}()
+	m.p.accountCPU(m.handle, m.u.Cost.CPUSeconds(in.Size))
+	if m.u.Body != nil {
+		return m.u.Body(in)
+	}
+	// Pure cost-model UDF: apply size factor and keep fraction.
+	out := in.WithSize(int64(float64(in.Size) * m.u.Cost.SizeFactor))
+	return out, true, nil
+}
+
+func (m *mapIter) emit(it item) bool {
+	select {
+	case m.out <- it:
+		return true
+	case <-m.done:
+		return false
+	}
+}
+
+func (m *mapIter) Next() (data.Element, error) {
+	m.once.Do(m.start)
+	it, ok := <-m.out
+	if !ok {
+		return data.Element{}, io.EOF
+	}
+	return it.elem, it.err
+}
+
+func (m *mapIter) Close() error {
+	if m.done != nil {
+		select {
+		case <-m.done:
+		default:
+			close(m.done)
+		}
+		m.wg.Wait()
+	}
+	return m.child.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+
+type filterIter struct {
+	p      *Pipeline
+	child  iterator
+	u      udf.UDF
+	handle *trace.NodeStats
+	rng    uint64
+}
+
+func newFilterIter(p *Pipeline, child iterator, u udf.UDF, handle *trace.NodeStats) *filterIter {
+	return &filterIter{p: p, child: child, u: u, handle: handle, rng: 0x2545f4914f6cdd1d}
+}
+
+func (f *filterIter) Next() (data.Element, error) {
+	for {
+		in, err := f.child.Next()
+		if err != nil {
+			return data.Element{}, err
+		}
+		consumed(f.handle)
+		start := time.Now()
+		f.p.accountCPU(f.handle, f.u.Cost.CPUSeconds(in.Size))
+		keep := true
+		out := in
+		if f.u.Body != nil {
+			out, keep, err = f.u.Body(in)
+			if err != nil {
+				return data.Element{}, err
+			}
+		} else if kf := f.u.Cost.KeepFraction; kf < 1 {
+			// Cost-model-only predicate: drop deterministically at rate kf.
+			f.rng = f.rng*6364136223846793005 + 1442695040888963407
+			keep = float64(f.rng>>11)/(1<<53) < kf
+		}
+		if f.handle != nil {
+			trace.AddWall(f.handle, time.Since(start))
+		}
+		if keep {
+			produced(f.handle, out)
+			return out, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.child.Close() }
+
+// ---------------------------------------------------------------------------
+// Shuffle
+
+type shuffleIter struct {
+	child  iterator
+	size   int
+	handle *trace.NodeStats
+	rng    *stats.RNG
+
+	buf    []data.Element
+	filled bool
+	eof    bool
+}
+
+func newShuffleIter(child iterator, size int, handle *trace.NodeStats, rng *stats.RNG) *shuffleIter {
+	return &shuffleIter{child: child, size: size, handle: handle, rng: rng}
+}
+
+func (s *shuffleIter) Next() (data.Element, error) {
+	start := time.Now()
+	defer func() {
+		if s.handle != nil {
+			trace.AddWall(s.handle, time.Since(start))
+		}
+	}()
+	if !s.filled {
+		for len(s.buf) < s.size {
+			e, err := s.child.Next()
+			if err == io.EOF {
+				s.eof = true
+				break
+			}
+			if err != nil {
+				return data.Element{}, err
+			}
+			consumed(s.handle)
+			s.buf = append(s.buf, e)
+		}
+		s.filled = true
+	}
+	if len(s.buf) == 0 {
+		return data.Element{}, io.EOF
+	}
+	i := s.rng.Intn(len(s.buf))
+	out := s.buf[i]
+	if s.eof {
+		s.buf[i] = s.buf[len(s.buf)-1]
+		s.buf = s.buf[:len(s.buf)-1]
+	} else {
+		e, err := s.child.Next()
+		if err == io.EOF {
+			s.eof = true
+			s.buf[i] = s.buf[len(s.buf)-1]
+			s.buf = s.buf[:len(s.buf)-1]
+		} else if err != nil {
+			return data.Element{}, err
+		} else {
+			consumed(s.handle)
+			s.buf[i] = e
+		}
+	}
+	produced(s.handle, out)
+	return out, nil
+}
+
+func (s *shuffleIter) Close() error { return s.child.Close() }
+
+// ---------------------------------------------------------------------------
+// Repeat
+
+// repeatIter restarts the child subtree count times (-1 = forever) by
+// rebuilding it from the factory. Cache nodes below keep their contents via
+// the pipeline-level cache store, so epoch 2 of a cached pipeline serves
+// from memory.
+type repeatIter struct {
+	factory func() (iterator, error)
+	count   int64
+	handle  *trace.NodeStats
+
+	child iterator
+	epoch int64
+}
+
+func newRepeatIter(factory func() (iterator, error), count int64, handle *trace.NodeStats) *repeatIter {
+	return &repeatIter{factory: factory, count: count, handle: handle}
+}
+
+func (r *repeatIter) Next() (data.Element, error) {
+	for {
+		if r.child == nil {
+			if r.count >= 0 && r.epoch >= r.count {
+				return data.Element{}, io.EOF
+			}
+			child, err := r.factory()
+			if err != nil {
+				return data.Element{}, err
+			}
+			r.child = child
+			r.epoch++
+		}
+		e, err := r.child.Next()
+		if err == io.EOF {
+			r.child.Close()
+			r.child = nil
+			continue
+		}
+		if err != nil {
+			return data.Element{}, err
+		}
+		consumed(r.handle)
+		produced(r.handle, e)
+		return e, nil
+	}
+}
+
+func (r *repeatIter) Close() error {
+	if r.child != nil {
+		return r.child.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Batch
+
+type batchIter struct {
+	child  iterator
+	size   int
+	handle *trace.NodeStats
+	eof    bool
+}
+
+func newBatchIter(child iterator, size int, handle *trace.NodeStats) *batchIter {
+	return &batchIter{child: child, size: size, handle: handle}
+}
+
+func (b *batchIter) Next() (data.Element, error) {
+	if b.eof {
+		return data.Element{}, io.EOF
+	}
+	start := time.Now()
+	var out data.Element
+	var payload []byte
+	for i := 0; i < b.size; i++ {
+		e, err := b.child.Next()
+		if err == io.EOF {
+			b.eof = true
+			break
+		}
+		if err != nil {
+			return data.Element{}, err
+		}
+		consumed(b.handle)
+		out.Size += e.Size
+		out.Count += e.Count
+		if e.Payload != nil {
+			payload = append(payload, e.Payload...)
+		}
+		if i == 0 {
+			out.Index = e.Index
+		}
+	}
+	if b.handle != nil {
+		trace.AddWall(b.handle, time.Since(start))
+	}
+	if out.Count == 0 {
+		return data.Element{}, io.EOF
+	}
+	out.Payload = payload
+	produced(b.handle, out)
+	return out, nil
+}
+
+func (b *batchIter) Close() error { return b.child.Close() }
+
+// ---------------------------------------------------------------------------
+// Prefetch
+
+// prefetchIter decouples producer and consumer with a bounded buffer filled
+// by a background goroutine — the software-pipelining operator that overlaps
+// input processing with model steps.
+type prefetchIter struct {
+	child  iterator
+	size   int
+	handle *trace.NodeStats
+
+	once sync.Once
+	out  chan item
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newPrefetchIter(child iterator, size int, handle *trace.NodeStats) *prefetchIter {
+	return &prefetchIter{child: child, size: size, handle: handle}
+}
+
+func (p *prefetchIter) start() {
+	p.out = make(chan item, p.size)
+	p.done = make(chan struct{})
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer close(p.out)
+		for {
+			e, err := p.child.Next()
+			if err == io.EOF {
+				return
+			}
+			if err == nil {
+				consumed(p.handle)
+				produced(p.handle, e)
+			}
+			select {
+			case p.out <- item{elem: e, err: err}:
+				if err != nil {
+					return
+				}
+			case <-p.done:
+				return
+			}
+		}
+	}()
+}
+
+func (p *prefetchIter) Next() (data.Element, error) {
+	p.once.Do(p.start)
+	it, ok := <-p.out
+	if !ok {
+		return data.Element{}, io.EOF
+	}
+	return it.elem, it.err
+}
+
+func (p *prefetchIter) Close() error {
+	if p.done != nil {
+		select {
+		case <-p.done:
+		default:
+			close(p.done)
+		}
+		p.wg.Wait()
+	}
+	return p.child.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Cache
+
+// cacheStore holds materialized cache contents across subtree rebuilds
+// (Repeat epochs) keyed by cache node name.
+type cacheStore struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	mu       sync.Mutex
+	elems    []data.Element
+	complete bool
+	bytes    int64
+}
+
+func newCacheStore() *cacheStore {
+	return &cacheStore{entries: make(map[string]*cacheEntry)}
+}
+
+func (cs *cacheStore) entry(name string) *cacheEntry {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	e, ok := cs.entries[name]
+	if !ok {
+		e = &cacheEntry{}
+		cs.entries[name] = e
+	}
+	return e
+}
+
+// cacheIter passes elements through on the first epoch while recording
+// them; once the child reports EOF the entry is complete and subsequent
+// instantiations serve from memory without touching the child (or disk).
+type cacheIter struct {
+	entry   *cacheEntry
+	factory func() (iterator, error)
+	handle  *trace.NodeStats
+
+	child   iterator
+	serving bool
+	pos     int
+}
+
+func newCacheIter(entry *cacheEntry, factory func() (iterator, error), handle *trace.NodeStats) (*cacheIter, error) {
+	c := &cacheIter{entry: entry, factory: factory, handle: handle}
+	entry.mu.Lock()
+	c.serving = entry.complete
+	entry.mu.Unlock()
+	return c, nil
+}
+
+func (c *cacheIter) Next() (data.Element, error) {
+	if c.serving {
+		c.entry.mu.Lock()
+		defer c.entry.mu.Unlock()
+		if c.pos >= len(c.entry.elems) {
+			return data.Element{}, io.EOF
+		}
+		e := c.entry.elems[c.pos]
+		c.pos++
+		produced(c.handle, e)
+		return e, nil
+	}
+	if c.child == nil {
+		child, err := c.factory()
+		if err != nil {
+			return data.Element{}, err
+		}
+		c.child = child
+	}
+	e, err := c.child.Next()
+	if err == io.EOF {
+		c.entry.mu.Lock()
+		c.entry.complete = true
+		c.entry.mu.Unlock()
+		return data.Element{}, io.EOF
+	}
+	if err != nil {
+		return data.Element{}, err
+	}
+	consumed(c.handle)
+	c.entry.mu.Lock()
+	c.entry.elems = append(c.entry.elems, e)
+	c.entry.bytes += e.Size
+	c.entry.mu.Unlock()
+	produced(c.handle, e)
+	return e, nil
+}
+
+func (c *cacheIter) Close() error {
+	if c.child != nil {
+		return c.child.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Take
+
+type takeIter struct {
+	child  iterator
+	count  int64
+	handle *trace.NodeStats
+	served int64
+}
+
+func newTakeIter(child iterator, count int64, handle *trace.NodeStats) *takeIter {
+	return &takeIter{child: child, count: count, handle: handle}
+}
+
+func (t *takeIter) Next() (data.Element, error) {
+	if t.served >= t.count {
+		return data.Element{}, io.EOF
+	}
+	e, err := t.child.Next()
+	if err != nil {
+		return data.Element{}, err
+	}
+	consumed(t.handle)
+	t.served++
+	produced(t.handle, e)
+	return e, nil
+}
+
+func (t *takeIter) Close() error { return t.child.Close() }
+
+// ---------------------------------------------------------------------------
+// Round-robin (outer parallelism)
+
+type roundRobin struct {
+	replicas []iterator
+	next     int
+	live     []bool
+	liveN    int
+}
+
+func newRoundRobin(replicas []iterator) *roundRobin {
+	live := make([]bool, len(replicas))
+	for i := range live {
+		live[i] = true
+	}
+	return &roundRobin{replicas: replicas, live: live, liveN: len(replicas)}
+}
+
+func (r *roundRobin) Next() (data.Element, error) {
+	for r.liveN > 0 {
+		i := r.next
+		r.next = (r.next + 1) % len(r.replicas)
+		if !r.live[i] {
+			continue
+		}
+		e, err := r.replicas[i].Next()
+		if err == io.EOF {
+			r.live[i] = false
+			r.liveN--
+			continue
+		}
+		return e, err
+	}
+	return data.Element{}, io.EOF
+}
+
+func (r *roundRobin) Close() error {
+	var first error
+	for _, it := range r.replicas {
+		if err := it.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

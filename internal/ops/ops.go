@@ -1,0 +1,321 @@
+// Package ops implements Plumber's analysis layer (§4.4 and Appendix A):
+// operational analysis over traced counters. It converts raw per-Dataset
+// statistics into resource-accounted rates —
+//
+//   - visit ratios V_i translating each node's completions into root units
+//     (minibatches),
+//   - CPU rates R_i in minibatches/second/core,
+//   - I/O costs in bytes/minibatch for data sources, and
+//   - materialization costs (cardinality n_i × byte ratio b_i) for cache
+//     placement,
+//
+// plus dataset-size estimation from (possibly subsampled) file observations
+// and cacheability analysis via the transitive random-seed relation (§B.1).
+package ops
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"plumber/internal/pipeline"
+	"plumber/internal/trace"
+	"plumber/internal/udf"
+)
+
+// NodeAnalysis is the operationalized view of one Dataset.
+type NodeAnalysis struct {
+	// Name, Kind and Parallelism echo the traced program.
+	Name        string
+	Kind        pipeline.Kind
+	Parallelism int
+	// Parallelizable mirrors the program's knob legality.
+	Parallelizable bool
+
+	// Completions is C_i, items of work completed at this node.
+	Completions int64
+	// CPUSeconds is active CPU time attributed to the node.
+	CPUSeconds float64
+
+	// VisitRatio is V_i: mean completions here per root completion.
+	VisitRatio float64
+	// LocalRate r_i is completions per CPU-core-second at this node.
+	// +Inf for nodes with no measurable CPU cost.
+	LocalRate float64
+	// Rate R_i is the resource-accounted rate: root minibatches per second
+	// per core attributable to this node (LocalRate / VisitRatio).
+	Rate float64
+	// ScaledCapacity is Parallelism × Rate: the node's current throughput
+	// ceiling in minibatches/second. Plumber's sequential tuner ranks
+	// nodes by this value.
+	ScaledCapacity float64
+
+	// IOBytesPerMinibatch is filesystem bytes needed per root minibatch
+	// (sources only; 0 elsewhere).
+	IOBytesPerMinibatch float64
+
+	// BytesPerElement is b_i, mean bytes of one produced element.
+	BytesPerElement float64
+	// Cardinality is n_i, the projected number of elements this node would
+	// produce over the full (finite) dataset; +Inf past an infinite Repeat.
+	Cardinality float64
+	// MaterializedBytes is n_i × b_i: memory needed to cache this node's
+	// output. +Inf when Cardinality is infinite.
+	MaterializedBytes float64
+	// Cacheable reports whether inserting a cache above this node is legal.
+	Cacheable bool
+	// CacheVeto explains why not, when Cacheable is false.
+	CacheVeto string
+}
+
+// Analysis is the full operationalized pipeline model.
+type Analysis struct {
+	// Snapshot is the trace this analysis was derived from.
+	Snapshot *trace.Snapshot
+	// Nodes are ordered source -> root.
+	Nodes []NodeAnalysis
+	// ObservedRate is X_0 = C_0/T in minibatches/second.
+	ObservedRate float64
+	// DatasetBytes is the estimated stored dataset size, rescaled from the
+	// observed file subsample (§A: (m/n)·E[Σ s]).
+	DatasetBytes float64
+	// ObservedFiles and TotalFiles describe the subsample.
+	ObservedFiles int
+	TotalFiles    int
+}
+
+// Analyze operationalizes a trace snapshot. reg resolves UDF randomness for
+// cache legality; it may be nil, in which case all UDFs are treated as
+// deterministic.
+func Analyze(snap *trace.Snapshot, reg *udf.Registry) (*Analysis, error) {
+	chain, err := snap.Graph.Chain()
+	if err != nil {
+		return nil, err
+	}
+	statsChain, err := snap.ChainStats()
+	if err != nil {
+		return nil, err
+	}
+	root := statsChain[len(statsChain)-1]
+	rootCompletions := float64(root.ElementsProduced)
+	if rootCompletions == 0 {
+		return nil, fmt.Errorf("ops: snapshot has no completed minibatches at root %q", root.Name)
+	}
+	T := snap.Duration.Seconds()
+	if T <= 0 {
+		return nil, fmt.Errorf("ops: snapshot has non-positive duration %v", snap.Duration)
+	}
+
+	a := &Analysis{
+		Snapshot:      snap,
+		ObservedRate:  rootCompletions / T,
+		ObservedFiles: len(snap.Files),
+		TotalFiles:    snap.TotalFiles,
+	}
+
+	// Dataset size: rescale the observed file-byte subsample to the full
+	// catalog (§A "to deal with large datasets ... rescale by m/n").
+	observed := float64(snap.ObservedFileBytes())
+	if a.ObservedFiles > 0 && a.TotalFiles > a.ObservedFiles {
+		a.DatasetBytes = observed * float64(a.TotalFiles) / float64(a.ObservedFiles)
+	} else {
+		a.DatasetBytes = observed
+	}
+
+	// Pass 1 (root -> source direction conceptually, but computable in one
+	// sweep): visit ratios and rates.
+	nodes := make([]NodeAnalysis, len(chain))
+	for i, n := range chain {
+		ns := statsChain[i]
+		na := NodeAnalysis{
+			Name:           n.Name,
+			Kind:           n.Kind,
+			Parallelism:    n.EffectiveParallelism(),
+			Parallelizable: n.Parallelizable(),
+			Completions:    ns.ElementsProduced,
+			CPUSeconds:     ns.CPUSeconds(),
+		}
+		na.VisitRatio = float64(ns.ElementsProduced) / rootCompletions
+		if na.CPUSeconds > 0 {
+			na.LocalRate = float64(ns.ElementsProduced) / na.CPUSeconds
+		} else {
+			na.LocalRate = math.Inf(1)
+		}
+		if na.VisitRatio > 0 {
+			na.Rate = na.LocalRate / na.VisitRatio
+		} else {
+			na.Rate = math.Inf(1)
+		}
+		na.ScaledCapacity = float64(na.Parallelism) * na.Rate
+		if n.IsSource() && rootCompletions > 0 {
+			na.IOBytesPerMinibatch = float64(ns.BytesRead) / rootCompletions
+		}
+		if ns.ElementsProduced > 0 {
+			na.BytesPerElement = float64(ns.BytesProduced) / float64(ns.ElementsProduced)
+		}
+		nodes[i] = na
+	}
+
+	// Pass 2 (source -> root): cardinality and materialization (§A 2).
+	// The source's cardinality is dataset bytes × records-per-byte; each
+	// subsequent node multiplies by its local input/output completion
+	// ratio. Infinite Repeat makes everything above it uncacheable.
+	infinite := false
+	var prevCard float64
+	for i := range nodes {
+		n := chain[i]
+		ns := statsChain[i]
+		switch {
+		case i == 0:
+			recordsPerByte := 0.0
+			if ns.BytesRead > 0 {
+				recordsPerByte = float64(ns.ElementsProduced) / float64(ns.BytesRead)
+			}
+			prevCard = a.DatasetBytes * recordsPerByte
+		case n.Kind == pipeline.KindRepeat && n.Count < 0:
+			infinite = true
+		case n.Kind == pipeline.KindRepeat:
+			prevCard *= float64(n.Count)
+		case n.Kind == pipeline.KindTake:
+			if prevCard > float64(n.Count) {
+				prevCard = float64(n.Count)
+			}
+		default:
+			// Local input/output completion ratio from the trace.
+			if ns.ElementsConsumed > 0 {
+				prevCard *= float64(ns.ElementsProduced) / float64(ns.ElementsConsumed)
+			}
+		}
+		if infinite {
+			nodes[i].Cardinality = math.Inf(1)
+			nodes[i].MaterializedBytes = math.Inf(1)
+		} else {
+			nodes[i].Cardinality = prevCard
+			nodes[i].MaterializedBytes = prevCard * nodes[i].BytesPerElement
+		}
+	}
+
+	// Pass 3 (source -> root): cacheability via the randomness closure.
+	randomBelow := false
+	vetoBelow := ""
+	for i := range nodes {
+		n := chain[i]
+		switch {
+		case randomBelow:
+			// inherited veto
+		case n.Kind == pipeline.KindShuffle:
+			randomBelow = true
+			vetoBelow = fmt.Sprintf("shuffle %q accesses a random seed", n.Name)
+		case (n.Kind == pipeline.KindMap || n.Kind == pipeline.KindFilter) && reg != nil:
+			isRand, err := reg.IsRandom(n.UDF)
+			if err != nil {
+				return nil, err
+			}
+			if isRand {
+				randomBelow = true
+				vetoBelow = fmt.Sprintf("UDF %q transitively touches a random seed", n.UDF)
+			}
+		}
+		switch {
+		case randomBelow:
+			nodes[i].Cacheable = false
+			nodes[i].CacheVeto = vetoBelow
+		case math.IsInf(nodes[i].Cardinality, 1):
+			nodes[i].Cacheable = false
+			nodes[i].CacheVeto = "infinite cardinality (inside an unbounded repeat)"
+		case n.Kind == pipeline.KindPrefetch || n.Kind == pipeline.KindCache:
+			nodes[i].Cacheable = false
+			nodes[i].CacheVeto = fmt.Sprintf("%s nodes are not cache points", n.Kind)
+		default:
+			nodes[i].Cacheable = true
+		}
+	}
+
+	a.Nodes = nodes
+	return a, nil
+}
+
+// Node returns the analysis entry for the named node.
+func (a *Analysis) Node(name string) (NodeAnalysis, error) {
+	for _, n := range a.Nodes {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return NodeAnalysis{}, fmt.Errorf("ops: analysis has no node %q", name)
+}
+
+// Bottleneck returns the node with the lowest current throughput ceiling
+// (ScaledCapacity), i.e. the pipeline's bottleneck under the operational
+// model. Sequential zero-cost plumbing nodes (prefetch, repeat, take, cache)
+// with infinite rates never win.
+func (a *Analysis) Bottleneck() NodeAnalysis {
+	best := a.Nodes[0]
+	for _, n := range a.Nodes[1:] {
+		if n.ScaledCapacity < best.ScaledCapacity {
+			best = n
+		}
+	}
+	return best
+}
+
+// RankedByCapacity returns nodes sorted ascending by ScaledCapacity — the
+// "focus the practitioner's attention on the most underperforming subset"
+// ranking (§1). Ties preserve source-to-root order.
+func (a *Analysis) RankedByCapacity() []NodeAnalysis {
+	out := append([]NodeAnalysis(nil), a.Nodes...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].ScaledCapacity < out[j].ScaledCapacity
+	})
+	return out
+}
+
+// NextParallelizableBottleneck returns the lowest-capacity node whose
+// parallelism knob Plumber may raise, which is what the sequential tuner
+// steps on (§5.1). ok is false when no parallelizable node exists or the
+// bottleneck is fundamentally sequential and dominates everything else by
+// margin (the "gave up upon seeing the non-optimizable Dataset" case is
+// reported via Bottleneck).
+func (a *Analysis) NextParallelizableBottleneck() (NodeAnalysis, bool) {
+	var best NodeAnalysis
+	found := false
+	for _, n := range a.Nodes {
+		if !n.Parallelizable {
+			continue
+		}
+		if !found || n.ScaledCapacity < best.ScaledCapacity {
+			best = n
+			found = true
+		}
+	}
+	return best, found
+}
+
+// DiskBoundMinibatchesPerSec converts available bandwidth (bytes/second)
+// into a root-throughput ceiling using the source's I/O cost: the §5.2
+// arithmetic (e.g. ImageNet: 128×110KB per minibatch → 6.9 minibatches per
+// 100MB/s).
+func (a *Analysis) DiskBoundMinibatchesPerSec(bandwidth float64) float64 {
+	for _, n := range a.Nodes {
+		if n.IOBytesPerMinibatch > 0 {
+			return bandwidth / n.IOBytesPerMinibatch
+		}
+	}
+	return math.Inf(1)
+}
+
+// CPUBoundMinibatchesPerSec is the aggregate work-conservation ceiling:
+// with nc cores and total CPU cost Σ_i (1/R_i) core-seconds per minibatch,
+// throughput cannot exceed nc / Σ(1/R_i).
+func (a *Analysis) CPUBoundMinibatchesPerSec(cores int) float64 {
+	var perMB float64
+	for _, n := range a.Nodes {
+		if !math.IsInf(n.Rate, 1) && n.Rate > 0 {
+			perMB += 1 / n.Rate
+		}
+	}
+	if perMB == 0 {
+		return math.Inf(1)
+	}
+	return float64(cores) / perMB
+}

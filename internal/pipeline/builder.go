@@ -1,0 +1,127 @@
+package pipeline
+
+import "fmt"
+
+// Builder constructs linear pipelines fluently, mirroring the chained style
+// of Figure 1 (dataset_from_files().map(parse).shuffle(1024).batch(128)...).
+// Node names are auto-generated as "<kind>_<n>" unless overridden with Named.
+type Builder struct {
+	nodes    []Node
+	nextName string
+	counter  map[Kind]int
+	err      error
+}
+
+// NewBuilder returns an empty pipeline builder.
+func NewBuilder() *Builder {
+	return &Builder{counter: make(map[Kind]int)}
+}
+
+// Named sets the name of the next node added.
+func (b *Builder) Named(name string) *Builder {
+	b.nextName = name
+	return b
+}
+
+func (b *Builder) add(n Node) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if b.nextName != "" {
+		n.Name = b.nextName
+		b.nextName = ""
+	} else {
+		b.counter[n.Kind]++
+		n.Name = fmt.Sprintf("%s_%d", n.Kind, b.counter[n.Kind])
+	}
+	if len(b.nodes) > 0 {
+		n.Input = b.nodes[len(b.nodes)-1].Name
+	} else if !n.IsSource() {
+		b.err = fmt.Errorf("pipeline: first node must be a source, got %s", n.Kind)
+		return b
+	}
+	b.nodes = append(b.nodes, n)
+	return b
+}
+
+// Source appends a sequential shard reader over the named catalog.
+func (b *Builder) Source(catalog string) *Builder {
+	return b.add(Node{Kind: KindSource, Catalog: catalog})
+}
+
+// Interleave appends a parallel shard reader over the named catalog.
+func (b *Builder) Interleave(catalog string, parallelism int) *Builder {
+	return b.add(Node{Kind: KindInterleave, Catalog: catalog, Parallelism: parallelism})
+}
+
+// Map appends a (parallelizable) Map over the named UDF.
+func (b *Builder) Map(udfName string, parallelism int) *Builder {
+	return b.add(Node{Kind: KindMap, UDF: udfName, Parallelism: parallelism})
+}
+
+// Filter appends a sequential Filter over the named predicate UDF.
+func (b *Builder) Filter(udfName string) *Builder {
+	return b.add(Node{Kind: KindFilter, UDF: udfName})
+}
+
+// Shuffle appends a buffered shuffle.
+func (b *Builder) Shuffle(bufferSize int) *Builder {
+	return b.add(Node{Kind: KindShuffle, BufferSize: bufferSize})
+}
+
+// Repeat appends a repeat (-1 = infinite).
+func (b *Builder) Repeat(count int64) *Builder {
+	return b.add(Node{Kind: KindRepeat, Count: count})
+}
+
+// Batch appends a batch of the given size.
+func (b *Builder) Batch(size int) *Builder {
+	return b.add(Node{Kind: KindBatch, BatchSize: size})
+}
+
+// ParallelBatch appends a batch whose grouping may be parallelized.
+func (b *Builder) ParallelBatch(size, parallelism int) *Builder {
+	return b.add(Node{Kind: KindBatch, BatchSize: size, ParallelizableBatch: true, Parallelism: parallelism})
+}
+
+// Prefetch appends a prefetch buffer.
+func (b *Builder) Prefetch(bufferSize int) *Builder {
+	return b.add(Node{Kind: KindPrefetch, BufferSize: bufferSize})
+}
+
+// Cache appends an in-memory cache.
+func (b *Builder) Cache() *Builder {
+	return b.add(Node{Kind: KindCache})
+}
+
+// Take appends a stream truncation.
+func (b *Builder) Take(count int64) *Builder {
+	return b.add(Node{Kind: KindTake, Count: count})
+}
+
+// Build finalizes and validates the graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.nodes) == 0 {
+		return nil, fmt.Errorf("pipeline: empty builder")
+	}
+	g := &Graph{
+		Nodes:  append([]Node(nil), b.nodes...),
+		Output: b.nodes[len(b.nodes)-1].Name,
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and static workloads.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,278 @@
+// Package pipeline defines the serializable program representation of an
+// input pipeline: a chain of Dataset nodes from a storage source up to the
+// root that feeds the model (§2.1). The representation plays the role of
+// tf.data's serialized GraphDef: Plumber's tracer dumps it next to the
+// runtime counters, the analyzer joins the two, and the rewriter performs
+// graph surgery on it before re-instantiating the pipeline.
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Kind enumerates Dataset operator types.
+type Kind string
+
+// Operator kinds. Source and Interleave are data sources reading TFRecord
+// shards (Interleave reads multiple shards concurrently); the rest transform
+// the element stream.
+const (
+	KindSource     Kind = "source"     // sequential shard reader -> records
+	KindInterleave Kind = "interleave" // parallel shard reader -> records
+	KindMap        Kind = "map"        // UDF application, parallelizable
+	KindFilter     Kind = "filter"     // UDF predicate, sequential
+	KindShuffle    Kind = "shuffle"    // buffered random sampling, sequential
+	KindRepeat     Kind = "repeat"     // restart the stream Count times (-1 = forever)
+	KindBatch      Kind = "batch"      // group BatchSize examples into one element
+	KindPrefetch   Kind = "prefetch"   // decouple producer/consumer with a buffer
+	KindCache      Kind = "cache"      // materialize child output in memory
+	KindTake       Kind = "take"       // truncate stream to Count elements
+)
+
+// Node is one Dataset in the pipeline program.
+type Node struct {
+	// Name uniquely identifies the node; rewrites key on it (§B "Graph
+	// Rewrites": the Dataset name joins the in-memory representation with
+	// the Graph).
+	Name string `json:"name"`
+	// Kind is the operator type.
+	Kind Kind `json:"kind"`
+	// Input names the child node this node pulls from; empty for sources.
+	Input string `json:"input,omitempty"`
+	// UDF names the registered user-defined function (Map and Filter).
+	UDF string `json:"udf,omitempty"`
+	// Parallelism is the degree of intra-operator parallelism. Zero means
+	// the operator default (1). For sources it is read parallelism.
+	Parallelism int `json:"parallelism,omitempty"`
+	// BufferSize is the buffer capacity for Prefetch and Shuffle.
+	BufferSize int `json:"buffer_size,omitempty"`
+	// BatchSize is the group size for Batch.
+	BatchSize int `json:"batch_size,omitempty"`
+	// Count parameterizes Repeat (-1 = infinite) and Take.
+	Count int64 `json:"count,omitempty"`
+	// Catalog names the dataset read by a source node.
+	Catalog string `json:"catalog,omitempty"`
+	// ParallelizableBatch marks a Batch node whose grouping may be
+	// parallelized ("introducing inner-parallelism for Batching", §5.1).
+	ParallelizableBatch bool `json:"parallelizable_batch,omitempty"`
+}
+
+// EffectiveParallelism returns the node's parallelism, defaulting to 1.
+func (n Node) EffectiveParallelism() int {
+	if n.Parallelism < 1 {
+		return 1
+	}
+	return n.Parallelism
+}
+
+// Parallelizable reports whether Plumber may raise the node's parallelism
+// knob. Sequential Datasets are constrained to at most one core in the LP.
+func (n Node) Parallelizable() bool {
+	switch n.Kind {
+	case KindMap, KindInterleave, KindSource:
+		return true
+	case KindBatch:
+		return n.ParallelizableBatch
+	default:
+		return false
+	}
+}
+
+// IsSource reports whether the node reads from storage.
+func (n Node) IsSource() bool {
+	return n.Kind == KindSource || n.Kind == KindInterleave
+}
+
+// Graph is a complete pipeline program: a linear chain of nodes ending at
+// Output, the root Dataset instantiated by the training loop.
+type Graph struct {
+	// Nodes holds the program's Datasets in any order; Validate enforces
+	// that they form a single chain.
+	Nodes []Node `json:"nodes"`
+	// Output names the root node.
+	Output string `json:"output"`
+	// OuterParallelism replicates the whole pipeline this many times and
+	// interleaves the replicas' outputs — the "outer parallelism" remedy
+	// the paper applies to the NLP pipelines (§5.1). Zero means 1.
+	OuterParallelism int `json:"outer_parallelism,omitempty"`
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{Output: g.Output, OuterParallelism: g.OuterParallelism}
+	out.Nodes = append([]Node(nil), g.Nodes...)
+	return out
+}
+
+// Node returns the named node, or an error.
+func (g *Graph) Node(name string) (Node, error) {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("pipeline: no node %q", name)
+}
+
+// NodeIndex returns the index of the named node in Nodes, or -1.
+func (g *Graph) NodeIndex(name string) int {
+	for i, n := range g.Nodes {
+		if n.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetNode replaces the named node in place.
+func (g *Graph) SetNode(n Node) error {
+	i := g.NodeIndex(n.Name)
+	if i < 0 {
+		return fmt.Errorf("pipeline: no node %q", n.Name)
+	}
+	g.Nodes[i] = n
+	return nil
+}
+
+// Chain returns the nodes ordered from source to root. It fails if the
+// graph is not a single linear chain ending at Output.
+func (g *Graph) Chain() ([]Node, error) {
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("pipeline: empty graph")
+	}
+	byName := make(map[string]Node, len(g.Nodes))
+	consumers := make(map[string]int)
+	for _, n := range g.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("pipeline: node with empty name")
+		}
+		if _, dup := byName[n.Name]; dup {
+			return nil, fmt.Errorf("pipeline: duplicate node name %q", n.Name)
+		}
+		byName[n.Name] = n
+		if n.Input != "" {
+			consumers[n.Input]++
+		}
+	}
+	root, ok := byName[g.Output]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: output node %q not found", g.Output)
+	}
+	if consumers[root.Name] != 0 {
+		return nil, fmt.Errorf("pipeline: output node %q has a consumer", root.Name)
+	}
+	// Walk root -> source, then reverse.
+	reversed := make([]Node, 0, len(g.Nodes))
+	cur := root
+	for {
+		reversed = append(reversed, cur)
+		if len(reversed) > len(g.Nodes) {
+			return nil, fmt.Errorf("pipeline: cycle detected at %q", cur.Name)
+		}
+		if cur.Input == "" {
+			break
+		}
+		next, ok := byName[cur.Input]
+		if !ok {
+			return nil, fmt.Errorf("pipeline: node %q references missing input %q", cur.Name, cur.Input)
+		}
+		cur = next
+	}
+	if len(reversed) != len(g.Nodes) {
+		return nil, fmt.Errorf("pipeline: %d of %d nodes unreachable from output", len(g.Nodes)-len(reversed), len(g.Nodes))
+	}
+	chain := make([]Node, len(reversed))
+	for i, n := range reversed {
+		chain[len(reversed)-1-i] = n
+	}
+	return chain, nil
+}
+
+// Validate checks structural invariants: a single linear chain, exactly one
+// source at the head, and per-kind parameter sanity.
+func (g *Graph) Validate() error {
+	chain, err := g.Chain()
+	if err != nil {
+		return err
+	}
+	for i, n := range chain {
+		if n.IsSource() != (i == 0) {
+			if i == 0 {
+				return fmt.Errorf("pipeline: chain head %q (kind %s) is not a source", n.Name, n.Kind)
+			}
+			return fmt.Errorf("pipeline: source node %q must be the chain head", n.Name)
+		}
+		switch n.Kind {
+		case KindSource, KindInterleave:
+			if n.Catalog == "" {
+				return fmt.Errorf("pipeline: source %q missing catalog", n.Name)
+			}
+		case KindMap, KindFilter:
+			if n.UDF == "" {
+				return fmt.Errorf("pipeline: %s node %q missing UDF", n.Kind, n.Name)
+			}
+		case KindBatch:
+			if n.BatchSize < 1 {
+				return fmt.Errorf("pipeline: batch node %q needs batch_size >= 1", n.Name)
+			}
+		case KindShuffle, KindPrefetch:
+			if n.BufferSize < 1 {
+				return fmt.Errorf("pipeline: %s node %q needs buffer_size >= 1", n.Kind, n.Name)
+			}
+		case KindRepeat:
+			if n.Count == 0 {
+				return fmt.Errorf("pipeline: repeat node %q needs count != 0", n.Name)
+			}
+		case KindTake:
+			if n.Count < 1 {
+				return fmt.Errorf("pipeline: take node %q needs count >= 1", n.Name)
+			}
+		case KindCache:
+			// no parameters
+		default:
+			return fmt.Errorf("pipeline: node %q has unknown kind %q", n.Name, n.Kind)
+		}
+		if n.Parallelism < 0 {
+			return fmt.Errorf("pipeline: node %q has negative parallelism", n.Name)
+		}
+		if n.Parallelism > 1 && !n.Parallelizable() {
+			return fmt.Errorf("pipeline: sequential node %q (kind %s) cannot have parallelism %d", n.Name, n.Kind, n.Parallelism)
+		}
+	}
+	return nil
+}
+
+// Marshal serializes the graph as JSON (the "serialized pipeline program"
+// Plumber dumps next to its counters).
+func (g *Graph) Marshal() ([]byte, error) {
+	return json.MarshalIndent(g, "", "  ")
+}
+
+// Unmarshal parses a serialized graph and validates it.
+func Unmarshal(b []byte) (*Graph, error) {
+	var g Graph
+	if err := json.Unmarshal(b, &g); err != nil {
+		return nil, fmt.Errorf("pipeline: unmarshal: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// BatchSizeAtRoot returns the product of batch sizes along the chain (the
+// number of examples per root element), defaulting to 1 with no Batch node.
+func (g *Graph) BatchSizeAtRoot() (int, error) {
+	chain, err := g.Chain()
+	if err != nil {
+		return 0, err
+	}
+	size := 1
+	for _, n := range chain {
+		if n.Kind == KindBatch {
+			size *= n.BatchSize
+		}
+	}
+	return size, nil
+}

@@ -1,0 +1,129 @@
+// Package simfs provides the storage substrate for the Plumber reproduction:
+// an in-memory filesystem holding synthetic TFRecord shards, device models
+// with bandwidth limits (token bucket) and per-stream ceilings, read
+// instrumentation for the tracer, and a fio-like profiler that measures the
+// read-parallelism-versus-bandwidth curve of a directory.
+//
+// The paper's disk microbenchmarks (§5.2) simulate bandwidths with a
+// token-bucket limiter inside TensorFlow's filesystem layer and validate on a
+// real HDD (Seagate, 180MB/s) and NVMe SSD (Intel P3600, 2GB/s); the device
+// profiles here mirror those numbers.
+package simfs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Device models one storage device: a total bandwidth ceiling enforced by a
+// token bucket, a per-stream bandwidth ceiling (sequential streams cannot
+// individually saturate the device), and a fixed per-read latency.
+type Device struct {
+	// Name identifies the device, e.g. "hdd".
+	Name string
+	// TotalBandwidth is the aggregate read bandwidth in bytes/second.
+	TotalBandwidth float64
+	// PerStreamBandwidth is the bandwidth one sequential reader achieves in
+	// bytes/second; parallel readers are needed to saturate TotalBandwidth.
+	PerStreamBandwidth float64
+	// ReadLatency is the fixed latency added to each read call.
+	ReadLatency time.Duration
+}
+
+// SaturatingParallelism returns the minimum number of concurrent streams
+// needed to reach the device's total bandwidth.
+func (d Device) SaturatingParallelism() int {
+	if d.PerStreamBandwidth <= 0 || d.TotalBandwidth <= 0 {
+		return 1
+	}
+	return int(math.Ceil(d.TotalBandwidth / d.PerStreamBandwidth))
+}
+
+// EffectiveBandwidth returns the aggregate bandwidth achieved by p
+// concurrent sequential streams: min(TotalBandwidth, p*PerStreamBandwidth).
+func (d Device) EffectiveBandwidth(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	bw := float64(p) * d.PerStreamBandwidth
+	if bw > d.TotalBandwidth || d.PerStreamBandwidth <= 0 {
+		bw = d.TotalBandwidth
+	}
+	return bw
+}
+
+const mb = 1e6
+
+// Built-in device profiles matching the paper's hardware (§5.2) plus the
+// cloud-storage source implied by the end-to-end ResNet bottleneck of ~11k
+// images/second at ~110KB/image (§5.4).
+var (
+	// HDD matches the Seagate ST4000NM0023: 180MB/s sequential read.
+	HDD = Device{Name: "hdd", TotalBandwidth: 180 * mb, PerStreamBandwidth: 90 * mb, ReadLatency: 4 * time.Millisecond}
+	// NVMe matches the 400GB Intel P3600: 2GB/s read.
+	NVMe = Device{Name: "nvme", TotalBandwidth: 2000 * mb, PerStreamBandwidth: 400 * mb, ReadLatency: 90 * time.Microsecond}
+	// CloudStorage models the distributed-filesystem source in Setup C;
+	// ~1.25GB/s aggregate (11k images/s * ~113KB) reachable only with
+	// high read parallelism.
+	CloudStorage = Device{Name: "cloud", TotalBandwidth: 1250 * mb, PerStreamBandwidth: 85 * mb, ReadLatency: 30 * time.Millisecond}
+	// Unlimited is used by unit tests and CPU-only experiments.
+	Unlimited = Device{Name: "unlimited", TotalBandwidth: math.Inf(1), PerStreamBandwidth: math.Inf(1)}
+)
+
+// TokenBucket enforces a byte-rate limit in virtual time. It is pure
+// arithmetic: Take reports how long the caller must wait, and the caller
+// either sleeps (real engine) or advances its simulated clock (simulator).
+type TokenBucket struct {
+	mu sync.Mutex
+	// rate is tokens (bytes) per second.
+	rate float64
+	// burst is the bucket capacity in bytes.
+	burst float64
+	// tokens available at time last.
+	tokens float64
+	last   time.Duration // virtual timestamp of last refill
+}
+
+// NewTokenBucket returns a bucket producing rate bytes/second with the given
+// burst capacity. A non-positive or infinite rate disables limiting.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if burst <= 0 {
+		burst = rate / 10
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Take requests n bytes at virtual time now and returns the delay the caller
+// must incur before the read may complete. Requests larger than the burst
+// are admitted but accrue proportional delay.
+func (tb *TokenBucket) Take(now time.Duration, n int64) time.Duration {
+	if tb == nil || tb.rate <= 0 || math.IsInf(tb.rate, 1) {
+		return 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if now > tb.last {
+		tb.tokens += tb.rate * (now - tb.last).Seconds()
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+	}
+	tb.tokens -= float64(n)
+	if tb.tokens >= 0 {
+		return 0
+	}
+	// Deficit must be repaid at the token rate.
+	deficit := -tb.tokens
+	return time.Duration(deficit / tb.rate * float64(time.Second))
+}
+
+// Rate returns the configured byte rate.
+func (tb *TokenBucket) Rate() float64 { return tb.rate }
+
+// String implements fmt.Stringer for diagnostics.
+func (d Device) String() string {
+	return fmt.Sprintf("%s(%.0fMB/s total, %.0fMB/s/stream)", d.Name, d.TotalBandwidth/mb, d.PerStreamBandwidth/mb)
+}

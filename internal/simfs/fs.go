@@ -1,0 +1,251 @@
+package simfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"plumber/internal/data"
+	"plumber/internal/stats"
+)
+
+// ReadObserver receives a callback for every filesystem read, mirroring
+// Plumber's instrumentation of all read() calls inside tf.data (§4.1).
+type ReadObserver interface {
+	ObserveRead(path string, n int64)
+}
+
+// ObserverFunc adapts a function to the ReadObserver interface.
+type ObserverFunc func(path string, n int64)
+
+// ObserveRead implements ReadObserver.
+func (f ObserverFunc) ObserveRead(path string, n int64) { f(path, n) }
+
+// FS is an in-memory filesystem of synthetic TFRecord shards backed by a
+// device model. Shard content is generated lazily and deterministically from
+// the file spec, so petabyte catalogs can be registered cheaply and only the
+// files actually read are materialized.
+type FS struct {
+	device   Device
+	bucket   *TokenBucket
+	throttle bool // if true, Open'd readers sleep to honor the bucket
+
+	mu        sync.Mutex
+	files     map[string]*fileEntry
+	observers []ReadObserver
+	bytesRead int64
+	readCalls int64
+}
+
+type fileEntry struct {
+	spec data.FileSpec
+	seed uint64
+
+	once    sync.Once
+	content []byte
+}
+
+// New returns an empty filesystem on the given device. If throttle is true,
+// readers sleep in real time to honor the device's token bucket; experiments
+// on the simulator leave it false and account bandwidth in virtual time.
+func New(device Device, throttle bool) *FS {
+	return &FS{
+		device:   device,
+		bucket:   NewTokenBucket(device.TotalBandwidth, device.TotalBandwidth/4),
+		throttle: throttle,
+		files:    make(map[string]*fileEntry),
+	}
+}
+
+// Device returns the filesystem's device model.
+func (fs *FS) Device() Device { return fs.device }
+
+// AddObserver registers a read observer; used by the tracer.
+func (fs *FS) AddObserver(o ReadObserver) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.observers = append(fs.observers, o)
+}
+
+// AddCatalog registers every shard of a catalog, generated with seed.
+func (fs *FS) AddCatalog(c data.Catalog, seed uint64) {
+	for _, spec := range c.GenerateFileSpecs(seed) {
+		fs.AddFile(spec, seed)
+	}
+}
+
+// AddFile registers a single shard spec.
+func (fs *FS) AddFile(spec data.FileSpec, seed uint64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[spec.Name] = &fileEntry{spec: spec, seed: seed}
+}
+
+// Stat returns the framed size of a file.
+func (fs *FS) Stat(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("simfs: stat %s: no such file", path)
+	}
+	return f.spec.TotalBytes, nil
+}
+
+// List returns all registered paths in sorted order.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Spec returns the generation spec for a path.
+func (fs *FS) Spec(path string) (data.FileSpec, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return data.FileSpec{}, fmt.Errorf("simfs: spec %s: no such file", path)
+	}
+	return f.spec, nil
+}
+
+// TotalBytesRead reports aggregate bytes served since creation.
+func (fs *FS) TotalBytesRead() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.bytesRead
+}
+
+// ReadCalls reports the number of Read invocations served.
+func (fs *FS) ReadCalls() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.readCalls
+}
+
+func (fs *FS) observe(path string, n int64) {
+	fs.mu.Lock()
+	fs.bytesRead += n
+	fs.readCalls++
+	obs := append([]ReadObserver(nil), fs.observers...)
+	fs.mu.Unlock()
+	for _, o := range obs {
+		o.ObserveRead(path, n)
+	}
+}
+
+// materialize generates the shard's framed content on first access.
+func (e *fileEntry) materialize() []byte {
+	e.once.Do(func() {
+		rng := stats.NewRNG(e.seed ^ hash64(e.spec.Name))
+		var buf writeBuffer
+		buf.grow(int(e.spec.TotalBytes))
+		w := data.NewRecordWriter(&buf)
+		payload := make([]byte, 0)
+		for _, sz := range e.spec.RecordSizes {
+			if int64(cap(payload)) < sz {
+				payload = make([]byte, sz)
+			}
+			payload = payload[:sz]
+			fill(payload, rng)
+			if err := w.Write(payload); err != nil {
+				panic(fmt.Sprintf("simfs: materializing %s: %v", e.spec.Name, err))
+			}
+		}
+		e.content = buf.b
+	})
+	return e.content
+}
+
+// fill writes deterministic pseudo-random bytes; only the first words of
+// each 64-byte block are randomized to keep generation cheap.
+func fill(b []byte, rng *stats.RNG) {
+	for i := 0; i < len(b); i += 64 {
+		v := rng.Uint64()
+		for j := 0; j < 8 && i+j < len(b); j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+}
+
+type writeBuffer struct{ b []byte }
+
+func (w *writeBuffer) grow(n int) {
+	if cap(w.b) < n {
+		w.b = make([]byte, 0, n)
+	}
+}
+
+func (w *writeBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func hash64(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Reader streams one file's bytes with instrumentation and (optionally)
+// real-time throttling against the device token bucket.
+type Reader struct {
+	fs     *FS
+	path   string
+	buf    []byte
+	off    int
+	start  time.Time
+	closed bool
+}
+
+// Open returns a reader over the file's framed content.
+func (fs *FS) Open(path string) (*Reader, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[path]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("simfs: open %s: no such file", path)
+	}
+	content := f.materialize()
+	return &Reader{fs: fs, path: path, buf: content, start: time.Now()}, nil
+}
+
+// Read implements io.Reader with read accounting and optional throttling.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, fmt.Errorf("simfs: read %s: closed", r.path)
+	}
+	if r.off >= len(r.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.buf[r.off:])
+	r.off += n
+	r.fs.observe(r.path, int64(n))
+	if r.fs.throttle {
+		now := time.Since(r.start)
+		if wait := r.fs.bucket.Take(now, int64(n)); wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	return n, nil
+}
+
+// Close releases the reader.
+func (r *Reader) Close() error {
+	r.closed = true
+	return nil
+}
+
+// Path returns the file path backing the reader.
+func (r *Reader) Path() string { return r.path }

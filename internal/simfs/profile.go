@@ -1,0 +1,71 @@
+package simfs
+
+import (
+	"fmt"
+
+	"plumber/internal/stats"
+)
+
+// BandwidthProfile is the result of profiling a data source: achieved
+// aggregate bandwidth as a function of read parallelism, plus the fitted
+// piecewise-linear curve Plumber injects into its optimizer (§4.3 "Disk":
+// "Plumber goes a step further by benchmarking the entire empirical
+// parallelism vs. bandwidth curve for a data source").
+type BandwidthProfile struct {
+	// Device is the profiled device's name.
+	Device string
+	// Parallelism lists the probed stream counts (sorted ascending).
+	Parallelism []int
+	// Bandwidth lists achieved bytes/second for each probed count.
+	Bandwidth []float64
+	// Curve is the fitted parallelism -> bandwidth curve.
+	Curve *stats.PiecewiseLinear
+}
+
+// MaxBandwidth returns the peak profiled bandwidth and the minimal
+// parallelism achieving within 2% of it.
+func (p BandwidthProfile) MaxBandwidth() (parallelism int, bw float64) {
+	x, y := p.Curve.Max(0.02)
+	return int(x), y
+}
+
+// ProfileBandwidth is Plumber's fio-equivalent: it sweeps read parallelism
+// over the device model and records achieved aggregate bandwidth. On the
+// simulated device this evaluates the device's contention model directly
+// (with a small deterministic measurement jitter so fitted curves behave like
+// empirical ones); the shape — linear ramp then saturation — matches what fio
+// measures on real devices.
+func ProfileBandwidth(device Device, parallelisms []int, seed uint64) (BandwidthProfile, error) {
+	if len(parallelisms) == 0 {
+		return BandwidthProfile{}, fmt.Errorf("simfs: ProfileBandwidth needs at least one parallelism level")
+	}
+	rng := stats.NewRNG(seed)
+	points := make(map[float64]float64, len(parallelisms))
+	prof := BandwidthProfile{Device: device.Name}
+	for _, p := range parallelisms {
+		if p < 1 {
+			return BandwidthProfile{}, fmt.Errorf("simfs: parallelism %d < 1", p)
+		}
+		bw := device.EffectiveBandwidth(p)
+		bw = rng.Jitter(bw, 0.01)
+		prof.Parallelism = append(prof.Parallelism, p)
+		prof.Bandwidth = append(prof.Bandwidth, bw)
+		points[float64(p)] = bw
+	}
+	curve, err := stats.FitPiecewise(points)
+	if err != nil {
+		return BandwidthProfile{}, err
+	}
+	prof.Curve = curve
+	return prof, nil
+}
+
+// DefaultParallelismSweep returns the stream counts probed by default:
+// powers of two up to limit.
+func DefaultParallelismSweep(limit int) []int {
+	var out []int
+	for p := 1; p <= limit; p *= 2 {
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (n-1 denominator).
+// It returns 0 for fewer than two samples.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// CI95 returns the half-width of a 95% confidence interval on the mean of
+// xs, using the normal approximation (1.96 sigma / sqrt(n)).
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * Stddev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FracAbove returns the fraction of xs strictly greater than threshold.
+func FracAbove(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// CDFPoint is one point of an empirical CDF: the fraction of samples <= X.
+type CDFPoint struct {
+	X    float64
+	Frac float64
+}
+
+// CDF returns the empirical CDF of xs evaluated at the given thresholds.
+func CDF(xs []float64, thresholds []float64) []CDFPoint {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, 0, len(thresholds))
+	for _, t := range thresholds {
+		idx := sort.SearchFloat64s(sorted, math.Nextafter(t, math.Inf(1)))
+		frac := 0.0
+		if len(sorted) > 0 {
+			frac = float64(idx) / float64(len(sorted))
+		}
+		out = append(out, CDFPoint{X: t, Frac: frac})
+	}
+	return out
+}
+
+// RelErr returns |got-want| / |want|. A zero want with nonzero got returns
+// +Inf; zero/zero returns 0.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

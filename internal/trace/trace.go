@@ -1,0 +1,278 @@
+// Package trace implements Plumber's tracing layer (§4.1): per-Dataset
+// counters for elements processed, CPU time spent, and bytes per element; a
+// system-wide filename-to-bytes map for cache sizing; and periodic snapshot
+// dumps that join the counters with the serialized pipeline program so the
+// analyzer can rebuild an in-memory model of the dataflow.
+//
+// The counters a node needs total well under the paper's 144-byte budget.
+// CPU timers follow the paper's discipline: they stop when a Dataset calls
+// into its child and restart when control returns, so blocked time is never
+// attributed (§B "Measuring CPU").
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plumber/internal/pipeline"
+	"plumber/internal/simfs"
+)
+
+// Machine describes the host executing the pipeline: the resource budget
+// the LP allocates against.
+type Machine struct {
+	// Name labels the setup, e.g. "setup-a".
+	Name string `json:"name"`
+	// Cores is the CPU core count.
+	Cores int `json:"cores"`
+	// MemoryBytes is usable RAM for caches.
+	MemoryBytes int64 `json:"memory_bytes"`
+	// Disk is the storage device serving the training data.
+	Disk simfs.Device `json:"-"`
+	// MemoryBandwidth is host memory bandwidth in bytes/second (used by
+	// the fleet analysis utilization axes).
+	MemoryBandwidth float64 `json:"memory_bandwidth,omitempty"`
+}
+
+// NodeStats is the per-Dataset counter block.
+type NodeStats struct {
+	// Name and Kind identify the node within the joined program.
+	Name string        `json:"name"`
+	Kind pipeline.Kind `json:"kind"`
+	// Parallelism is the knob value during tracing.
+	Parallelism int `json:"parallelism"`
+	// ElementsProduced counts completions C_i at this node.
+	ElementsProduced int64 `json:"elements_produced"`
+	// ElementsConsumed counts items pulled from the child.
+	ElementsConsumed int64 `json:"elements_consumed"`
+	// BytesProduced sums the sizes of produced elements.
+	BytesProduced int64 `json:"bytes_produced"`
+	// BytesRead sums filesystem bytes attributed to this node (sources).
+	BytesRead int64 `json:"bytes_read"`
+	// CPUNanos is active (non-blocked) CPU time in nanoseconds.
+	CPUNanos int64 `json:"cpu_nanos"`
+	// WallNanos is wallclock time spent inside Next including blocking;
+	// kept for the wallclock-vs-CPU-timer ablation.
+	WallNanos int64 `json:"wall_nanos"`
+}
+
+// CPUSeconds returns accumulated active CPU time in seconds.
+func (s *NodeStats) CPUSeconds() float64 { return float64(s.CPUNanos) / 1e9 }
+
+// WallSeconds returns accumulated wallclock Next time in seconds.
+func (s *NodeStats) WallSeconds() float64 { return float64(s.WallNanos) / 1e9 }
+
+// Snapshot is one periodic dump: the serialized program joined with every
+// node's counters, the observed file-size map, and the machine description.
+type Snapshot struct {
+	// Graph is the traced pipeline program.
+	Graph *pipeline.Graph `json:"graph"`
+	// Machine is the host resource budget.
+	Machine Machine `json:"machine"`
+	// Duration is the tracing timeframe T.
+	Duration time.Duration `json:"duration"`
+	// Nodes holds per-node counters keyed by node name.
+	Nodes map[string]*NodeStats `json:"nodes"`
+	// Files maps observed filename -> framed bytes consumed to EOF.
+	Files map[string]int64 `json:"files"`
+	// TotalFiles is the catalog's total shard count (known from the
+	// serialized program), used to rescale subsampled size estimates.
+	TotalFiles int `json:"total_files"`
+	// DiskProfile is the fitted parallelism->bandwidth curve, if profiled.
+	DiskProfile *simfs.BandwidthProfile `json:"disk_profile,omitempty"`
+}
+
+// RootStats returns the counters of the root node.
+func (s *Snapshot) RootStats() (*NodeStats, error) {
+	ns, ok := s.Nodes[s.Graph.Output]
+	if !ok {
+		return nil, fmt.Errorf("trace: snapshot missing root node %q", s.Graph.Output)
+	}
+	return ns, nil
+}
+
+// ObservedFileBytes sums the bytes of all observed files.
+func (s *Snapshot) ObservedFileBytes() int64 {
+	var total int64
+	for _, b := range s.Files {
+		total += b
+	}
+	return total
+}
+
+// Marshal serializes the snapshot to JSON.
+func (s *Snapshot) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// UnmarshalSnapshot parses a serialized snapshot.
+func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("trace: unmarshal snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// Collector accumulates counters during one tracing run. Handles returned
+// by Node are safe for concurrent use by the engine's worker goroutines.
+type Collector struct {
+	graph   *pipeline.Graph
+	machine Machine
+
+	mu      sync.Mutex
+	nodes   map[string]*NodeStats
+	files   map[string]int64
+	start   time.Time
+	profile *simfs.BandwidthProfile
+
+	// nodeOfFile attributes filesystem reads to the source node currently
+	// reading; with a single source chain this is just the source's name.
+	sourceName string
+}
+
+// NewCollector returns a collector for one run of graph on machine.
+func NewCollector(graph *pipeline.Graph, machine Machine) (*Collector, error) {
+	chain, err := graph.Chain()
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{
+		graph:   graph.Clone(),
+		machine: machine,
+		nodes:   make(map[string]*NodeStats, len(chain)),
+		files:   make(map[string]int64),
+		start:   time.Now(),
+	}
+	for _, n := range chain {
+		c.nodes[n.Name] = &NodeStats{Name: n.Name, Kind: n.Kind, Parallelism: n.EffectiveParallelism()}
+		if n.IsSource() {
+			c.sourceName = n.Name
+		}
+	}
+	return c, nil
+}
+
+// Node returns the stats handle for the named node.
+func (c *Collector) Node(name string) (*NodeStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns, ok := c.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: collector has no node %q", name)
+	}
+	return ns, nil
+}
+
+// ObserveRead implements simfs.ReadObserver: reads are recorded in the
+// filename map and attributed to the source node.
+func (c *Collector) ObserveRead(path string, n int64) {
+	c.mu.Lock()
+	c.files[path] += n
+	src := c.sourceName
+	c.mu.Unlock()
+	if src != "" {
+		if ns, err := c.Node(src); err == nil {
+			atomic.AddInt64(&ns.BytesRead, n)
+		}
+	}
+}
+
+// SetDiskProfile attaches a fitted bandwidth curve to future snapshots.
+func (c *Collector) SetDiskProfile(p *simfs.BandwidthProfile) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.profile = p
+}
+
+// AddProduced records one produced element of the given size.
+func AddProduced(ns *NodeStats, size int64) {
+	atomic.AddInt64(&ns.ElementsProduced, 1)
+	atomic.AddInt64(&ns.BytesProduced, size)
+}
+
+// AddConsumed records n elements pulled from the child.
+func AddConsumed(ns *NodeStats, n int64) {
+	atomic.AddInt64(&ns.ElementsConsumed, n)
+}
+
+// AddCPU records active CPU time.
+func AddCPU(ns *NodeStats, d time.Duration) {
+	atomic.AddInt64(&ns.CPUNanos, int64(d))
+}
+
+// AddWall records wallclock Next time (including blocking).
+func AddWall(ns *NodeStats, d time.Duration) {
+	atomic.AddInt64(&ns.WallNanos, int64(d))
+}
+
+// Snapshot captures the current counters. duration is the tracing timeframe
+// T; pass 0 to use wallclock since collector creation. totalFiles is the
+// catalog's shard count.
+func (c *Collector) Snapshot(duration time.Duration, totalFiles int) *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if duration <= 0 {
+		duration = time.Since(c.start)
+	}
+	snap := &Snapshot{
+		Graph:      c.graph.Clone(),
+		Machine:    c.machine,
+		Duration:   duration,
+		Nodes:      make(map[string]*NodeStats, len(c.nodes)),
+		Files:      make(map[string]int64, len(c.files)),
+		TotalFiles: totalFiles,
+		DiskProfile: func() *simfs.BandwidthProfile {
+			return c.profile
+		}(),
+	}
+	for name, ns := range c.nodes {
+		cp := NodeStats{
+			Name:             ns.Name,
+			Kind:             ns.Kind,
+			Parallelism:      ns.Parallelism,
+			ElementsProduced: atomic.LoadInt64(&ns.ElementsProduced),
+			ElementsConsumed: atomic.LoadInt64(&ns.ElementsConsumed),
+			BytesProduced:    atomic.LoadInt64(&ns.BytesProduced),
+			BytesRead:        atomic.LoadInt64(&ns.BytesRead),
+			CPUNanos:         atomic.LoadInt64(&ns.CPUNanos),
+			WallNanos:        atomic.LoadInt64(&ns.WallNanos),
+		}
+		snap.Nodes[name] = &cp
+	}
+	for p, b := range c.files {
+		snap.Files[p] = b
+	}
+	return snap
+}
+
+// ChainStats returns snapshot counters ordered source -> root.
+func (s *Snapshot) ChainStats() ([]*NodeStats, error) {
+	chain, err := s.Graph.Chain()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*NodeStats, 0, len(chain))
+	for _, n := range chain {
+		ns, ok := s.Nodes[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("trace: snapshot missing node %q", n.Name)
+		}
+		out = append(out, ns)
+	}
+	return out, nil
+}
+
+// SortedFileNames returns observed file names sorted for deterministic output.
+func (s *Snapshot) SortedFileNames() []string {
+	out := make([]string, 0, len(s.Files))
+	for p := range s.Files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

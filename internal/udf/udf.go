@@ -1,0 +1,183 @@
+// Package udf models user-defined functions (UDFs): the custom data
+// transformations that dominate input-pipeline execution time (§2.1). Each
+// UDF carries
+//
+//   - an executable body used by the real engine,
+//   - a cost model used by the discrete-event simulator and by workload
+//     calibration (CPU seconds per byte and per element, size and count
+//     factors, hidden internal parallelism, thread-scaling efficiency), and
+//   - a call graph over named helper functions, so Plumber can compute the
+//     transitive closure "does this UDF reach a random seed" that gates
+//     caching (§B.1).
+package udf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"plumber/internal/data"
+)
+
+// Func is the executable body of a UDF. It transforms one element and
+// reports whether the element is kept (Filter-style UDFs may drop it).
+type Func func(e data.Element) (out data.Element, keep bool, err error)
+
+// Cost describes the resource consumption and data transformation of a UDF
+// in terms the analytical model and simulator share.
+type Cost struct {
+	// CPUPerByte is CPU-seconds consumed per input byte.
+	CPUPerByte float64
+	// CPUPerElement is fixed CPU-seconds consumed per input element,
+	// independent of size. Text pipelines are dominated by this term.
+	CPUPerElement float64
+	// SizeFactor multiplies element size (e.g. JPEG decode ~6x; tokenize
+	// <1). Zero means 1 (unchanged).
+	SizeFactor float64
+	// KeepFraction is the fraction of elements that survive (Filter UDFs
+	// keep <1). Zero means 1.
+	KeepFraction float64
+	// HiddenParallelism is the mean number of cores the UDF internally
+	// consumes per logical invocation (RCNN's large UDF uses ~3, §5.1).
+	// Zero means 1.
+	HiddenParallelism float64
+	// ScalingEfficiency in (0,1] is per-step multiplicative efficiency as
+	// parallelism grows; models the sub-linear scaling the paper observes.
+	// Zero means 1 (perfect scaling).
+	ScalingEfficiency float64
+}
+
+func (c Cost) normalized() Cost {
+	if c.SizeFactor == 0 {
+		c.SizeFactor = 1
+	}
+	if c.KeepFraction == 0 {
+		c.KeepFraction = 1
+	}
+	if c.HiddenParallelism == 0 {
+		c.HiddenParallelism = 1
+	}
+	if c.ScalingEfficiency == 0 {
+		c.ScalingEfficiency = 1
+	}
+	return c
+}
+
+// CPUSeconds returns modeled CPU time for one input element of size bytes,
+// including hidden internal parallelism.
+func (c Cost) CPUSeconds(size int64) float64 {
+	n := c.normalized()
+	return (n.CPUPerByte*float64(size) + n.CPUPerElement) * n.HiddenParallelism
+}
+
+// UDF is a registered user-defined function.
+type UDF struct {
+	// Name is the registry key.
+	Name string
+	// Body executes the transformation on the real engine. May be nil for
+	// simulation-only UDFs.
+	Body Func
+	// Cost is the analytical cost model.
+	Cost Cost
+	// Calls lists named helper functions invoked by the UDF body; the
+	// randomness closure is computed over this graph.
+	Calls []string
+}
+
+// Registry maps UDF names to definitions plus the helper-function call
+// graph. A Registry is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	udfs    map[string]UDF
+	helpers map[string][]string // helper -> helpers it calls
+	random  map[string]bool     // helper -> touches a random seed directly
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		udfs:    make(map[string]UDF),
+		helpers: make(map[string][]string),
+		random:  make(map[string]bool),
+	}
+}
+
+// Register adds or replaces a UDF definition.
+func (r *Registry) Register(u UDF) error {
+	if u.Name == "" {
+		return fmt.Errorf("udf: register: empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u.Cost = u.Cost.normalized()
+	r.udfs[u.Name] = u
+	return nil
+}
+
+// RegisterHelper declares a helper function, the helpers it calls, and
+// whether it directly accesses a random seed.
+func (r *Registry) RegisterHelper(name string, calls []string, touchesSeed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helpers[name] = append([]string(nil), calls...)
+	r.random[name] = touchesSeed
+}
+
+// Lookup returns the UDF registered under name.
+func (r *Registry) Lookup(name string) (UDF, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.udfs[name]
+	if !ok {
+		return UDF{}, fmt.Errorf("udf: unknown UDF %q", name)
+	}
+	return u, nil
+}
+
+// Names returns registered UDF names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.udfs))
+	for n := range r.udfs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsRandom reports whether the named UDF transitively reaches a function
+// that touches a random seed (the f -+-> s relation of §B.1). Randomized
+// UDFs have infinite effective cardinality and must not be cached, nor may
+// anything downstream of them.
+func (r *Registry) IsRandom(name string) (bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.udfs[name]
+	if !ok {
+		return false, fmt.Errorf("udf: unknown UDF %q", name)
+	}
+	seen := make(map[string]bool)
+	var visit func(fn string) bool
+	visit = func(fn string) bool {
+		if seen[fn] {
+			return false
+		}
+		seen[fn] = true
+		if r.random[fn] {
+			return true
+		}
+		for _, callee := range r.helpers[fn] {
+			if visit(callee) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, callee := range u.Calls {
+		if visit(callee) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
