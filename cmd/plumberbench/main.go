@@ -1,0 +1,56 @@
+// Command plumberbench measures engine hot-path throughput on canonical
+// pipelines and writes BENCH_engine.json, the checked-in perf trajectory.
+//
+// Usage:
+//
+//	plumberbench [-quick] [-out BENCH_engine.json]
+//
+// The suite runs the per-element baseline (ChunkSize=1, no pooling), the
+// chunked+pooled engine untraced and traced, and a parallelism sweep. The
+// report includes two acceptance ratios:
+//
+//   - chunked_pooled_speedup_over_baseline: >= 2.0 is the target
+//   - traced_fraction_of_untraced: >= 0.85 is the target
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"plumber/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced CI smoke suite")
+	out := flag.String("out", "BENCH_engine.json", "output path for the JSON report")
+	flag.Parse()
+
+	rep, err := bench.RunSuite(*quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plumberbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plumberbench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "plumberbench: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-28s %14s %12s %12s %10s\n", "config", "examples/sec", "MB/sec", "ns/example", "allocs/ex")
+	for _, r := range rep.Results {
+		fmt.Printf("%-28s %14.0f %12.1f %12.0f %10.2f\n",
+			r.Spec.Name, r.ExamplesPerSec, r.BytesPerSec/1e6, r.NsPerExample, r.AllocsPerExample)
+	}
+	for k, v := range rep.Comparisons {
+		fmt.Printf("%s = %.3f\n", k, v)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

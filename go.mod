@@ -1,0 +1,3 @@
+module plumber
+
+go 1.22

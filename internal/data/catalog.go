@@ -2,6 +2,7 @@ package data
 
 import (
 	"fmt"
+	"sync"
 
 	"plumber/internal/stats"
 )
@@ -159,8 +160,30 @@ var (
 	}
 )
 
-// Catalogs lists every built-in dataset by name.
-func Catalogs() map[string]Catalog {
+// registered holds catalogs added at runtime (tests, benchmarks, custom
+// workloads) alongside the built-ins.
+var (
+	registeredMu sync.RWMutex
+	registered   = map[string]Catalog{}
+)
+
+// RegisterCatalog makes a custom catalog resolvable by name from pipeline
+// source nodes. Re-registering a name replaces the previous definition;
+// built-in names cannot be shadowed.
+func RegisterCatalog(c Catalog) error {
+	if c.Name == "" {
+		return fmt.Errorf("data: register catalog: empty name")
+	}
+	if _, builtin := builtinCatalogs()[c.Name]; builtin {
+		return fmt.Errorf("data: register catalog: %q is a built-in", c.Name)
+	}
+	registeredMu.Lock()
+	defer registeredMu.Unlock()
+	registered[c.Name] = c
+	return nil
+}
+
+func builtinCatalogs() map[string]Catalog {
 	return map[string]Catalog{
 		ImageNet.Name:           ImageNet,
 		ImageNetValidation.Name: ImageNetValidation,
@@ -170,7 +193,18 @@ func Catalogs() map[string]Catalog {
 	}
 }
 
-// CatalogByName looks up a built-in dataset.
+// Catalogs lists every known dataset (built-in plus registered) by name.
+func Catalogs() map[string]Catalog {
+	out := builtinCatalogs()
+	registeredMu.RLock()
+	defer registeredMu.RUnlock()
+	for n, c := range registered {
+		out[n] = c
+	}
+	return out
+}
+
+// CatalogByName looks up a built-in or registered dataset.
 func CatalogByName(name string) (Catalog, error) {
 	c, ok := Catalogs()[name]
 	if !ok {

@@ -13,6 +13,24 @@ package data
 // simulator propagates only Size so that terabyte-scale datasets can be
 // modeled without allocating them; code must therefore always consult Size,
 // never len(Payload), for accounting.
+//
+// # Payload ownership
+//
+// Ownership of Payload transfers downstream with the Element: the operator
+// that receives an element from its child owns the payload and may mutate,
+// truncate, or recycle it. The rules the engine relies on are:
+//
+//   - An operator that copies the payload out (Batch concatenates child
+//     payloads into a fresh buffer) may return the child's buffer to the
+//     pool with PutBuf once the copy is complete.
+//   - An operator that retains an element beyond the current Next call
+//     while also passing it downstream (Cache) must either Clone it or the
+//     pipeline must disable recycling; the engine disables payload
+//     recycling automatically when the chain contains a Cache node.
+//   - Holding elements and later releasing each exactly once (Shuffle,
+//     Prefetch buffers) is pass-through and needs no copy.
+//   - UDF bodies must not retain the input payload after returning when
+//     buffer pooling is enabled; the returned element may alias the input.
 type Element struct {
 	// Payload is the materialized content, possibly nil in simulation.
 	Payload []byte

@@ -81,12 +81,19 @@ func (rw *RecordWriter) BytesWritten() int64 { return rw.written }
 type RecordReader struct {
 	r       io.Reader
 	scratch [RecordHeaderBytes]byte
+	pooled  bool
 }
 
 // NewRecordReader returns a reader consuming framed records from r.
 func NewRecordReader(r io.Reader) *RecordReader {
 	return &RecordReader{r: r}
 }
+
+// SetPooling makes Next draw payload buffers from the package buffer pool
+// instead of allocating fresh slices. Returned records then follow the
+// Element payload-ownership rules: the consumer owns the buffer and may
+// recycle it with PutBuf once it no longer needs the contents.
+func (rr *RecordReader) SetPooling(on bool) { rr.pooled = on }
 
 // Next reads the next record. It returns io.EOF cleanly at end of stream and
 // io.ErrUnexpectedEOF or a checksum error on corruption.
@@ -106,7 +113,12 @@ func (rr *RecordReader) Next() ([]byte, error) {
 	if length > maxRecord {
 		return nil, fmt.Errorf("tfrecord: record length %d exceeds limit", length)
 	}
-	payload := make([]byte, length)
+	var payload []byte
+	if rr.pooled {
+		payload = GetBuf(int(length))
+	} else {
+		payload = make([]byte, length)
+	}
 	if _, err := io.ReadFull(rr.r, payload); err != nil {
 		return nil, fmt.Errorf("tfrecord: reading payload: %w", err)
 	}

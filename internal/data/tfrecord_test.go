@@ -1,0 +1,136 @@
+package data
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func writeRecords(t *testing.T, records [][]byte) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewRecordWriter(&buf)
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	return &buf
+}
+
+func makeRecords(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		r := make([]byte, 64+i*37)
+		for j := range r {
+			r[j] = byte(i*131 + j)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, pooled := range []bool{false, true} {
+		name := "unpooled"
+		if pooled {
+			name = "pooled"
+		}
+		t.Run(name, func(t *testing.T) {
+			records := makeRecords(16)
+			buf := writeRecords(t, records)
+			rr := NewRecordReader(bytes.NewReader(buf.Bytes()))
+			rr.SetPooling(pooled)
+			for i, want := range records {
+				got, err := rr.Next()
+				if err != nil {
+					t.Fatalf("record %d: %v", i, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("record %d: payload mismatch", i)
+				}
+				if pooled {
+					PutBuf(got)
+				}
+			}
+			if _, err := rr.Next(); err != io.EOF {
+				t.Fatalf("expected EOF, got %v", err)
+			}
+		})
+	}
+}
+
+// TestPooledReuseSafety recycles every record buffer immediately after
+// verifying it, then re-reads the whole stream: recycled buffers must not
+// corrupt later reads, and a consumer that copies before recycling must see
+// intact data even as the pool hands the same backing arrays back out.
+func TestPooledReuseSafety(t *testing.T) {
+	records := makeRecords(32)
+	buf := writeRecords(t, records)
+	for pass := 0; pass < 3; pass++ {
+		rr := NewRecordReader(bytes.NewReader(buf.Bytes()))
+		rr.SetPooling(true)
+		for i, want := range records {
+			got, err := rr.Next()
+			if err != nil {
+				t.Fatalf("pass %d record %d: %v", pass, i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("pass %d record %d: payload mismatch after pool reuse", pass, i)
+			}
+			copied := append([]byte(nil), got...)
+			PutBuf(got)
+			if !bytes.Equal(copied, want) {
+				t.Fatalf("pass %d record %d: copy taken before recycle is wrong", pass, i)
+			}
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	records := makeRecords(4)
+	buf := writeRecords(t, records)
+	b := buf.Bytes()
+	// Flip one payload byte of the third record.
+	off := 0
+	for i := 0; i < 2; i++ {
+		off += RecordOverheadBytes + len(records[i])
+	}
+	b[off+RecordHeaderBytes+5] ^= 0xff
+	rr := NewRecordReader(bytes.NewReader(b))
+	var err error
+	for i := 0; i < len(records); i++ {
+		if _, err = rr.Next(); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("corrupted stream read without error")
+	}
+}
+
+func TestBufPoolClasses(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 1000, 1 << 20} {
+		b := GetBuf(n)
+		if len(b) != n {
+			t.Fatalf("GetBuf(%d): len %d", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("GetBuf(%d): cap %d < len", n, cap(b))
+		}
+		PutBuf(b)
+		// A follow-up request of the same size must be satisfiable.
+		b2 := GetBuf(n)
+		if len(b2) != n {
+			t.Fatalf("GetBuf(%d) after PutBuf: len %d", n, len(b2))
+		}
+		PutBuf(b2)
+	}
+	// Oddly-sized (append-grown) buffers are rejected, not pooled.
+	odd := make([]byte, 100, 100)
+	PutBuf(odd) // must not panic or poison a class
+	b := GetBuf(100)
+	if cap(b) != 128 {
+		t.Fatalf("class capacity for 100 = %d, want 128", cap(b))
+	}
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+
+	"plumber/internal/data"
+	"plumber/internal/pipeline"
+	"plumber/internal/simfs"
+	"plumber/internal/trace"
+	"plumber/internal/udf"
+)
+
+func benchSetup(b *testing.B) (*simfs.FS, *udf.Registry) {
+	b.Helper()
+	registerOnce.Do(func() {
+		if err := data.RegisterCatalog(testCatalog); err != nil {
+			panic(err)
+		}
+	})
+	fs := simfs.New(simfs.Device{Name: "bench-mem"}, false)
+	fs.AddCatalog(testCatalog, 7)
+	reg := udf.NewRegistry()
+	if err := reg.Register(udf.UDF{Name: "noop", Cost: udf.Cost{SizeFactor: 1}}); err != nil {
+		b.Fatal(err)
+	}
+	// Materialize shards outside the timed region.
+	for _, f := range testCatalog.FileNames() {
+		r, err := fs.Open(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 1<<16)
+		for {
+			if _, err := r.Read(buf); err != nil {
+				break
+			}
+		}
+		r.Close()
+	}
+	return fs, reg
+}
+
+func drainOnce(b *testing.B, fs *simfs.FS, reg *udf.Registry, g *pipeline.Graph, opts Options) {
+	b.Helper()
+	opts.FS = fs
+	opts.UDFs = reg
+	p, err := New(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := p.Drain(0); err != nil {
+		b.Fatal(err)
+	}
+	p.Close()
+}
+
+// BenchmarkSourceDrain measures the source stage alone: shard reading,
+// TFRecord framing, and the chunked handoff to the consumer.
+func BenchmarkSourceDrain(b *testing.B) {
+	fs, reg := benchSetup(b)
+	g, err := pipeline.NewBuilder().Interleave(testCatalog.Name, 2).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bytes := int64(testCatalog.NumFiles*testCatalog.RecordsPerFile) * testCatalog.MeanRecordBytes
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainOnce(b, fs, reg, g, Options{})
+	}
+}
+
+// BenchmarkTracedVsUntraced compares the canonical chain with the collector
+// attached (sharded counters, sampled timers) against tracing disabled.
+func BenchmarkTracedVsUntraced(b *testing.B) {
+	fs, reg := benchSetup(b)
+	g, err := pipeline.NewBuilder().
+		Interleave(testCatalog.Name, 2).
+		Map("noop", 2).
+		Batch(8).
+		Prefetch(4).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bytes := int64(testCatalog.NumFiles*testCatalog.RecordsPerFile) * testCatalog.MeanRecordBytes
+	b.Run("untraced", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			drainOnce(b, fs, reg, g, Options{})
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			col, err := trace.NewCollector(g, trace.Machine{Name: "bench", Cores: runtime.NumCPU()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			drainOnce(b, fs, reg, g, Options{Collector: col, SampleEvery: 16})
+		}
+	})
+}
+
+// BenchmarkChunkedVsPerElement compares the chunked/pooled hot path against
+// the per-element, unpooled baseline on the canonical chain.
+func BenchmarkChunkedVsPerElement(b *testing.B) {
+	fs, reg := benchSetup(b)
+	g, err := pipeline.NewBuilder().
+		Interleave(testCatalog.Name, 2).
+		Map("noop", 2).
+		Batch(8).
+		Prefetch(4).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bytes := int64(testCatalog.NumFiles*testCatalog.RecordsPerFile) * testCatalog.MeanRecordBytes
+	b.Run("chunked_pooled", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			drainOnce(b, fs, reg, g, Options{})
+		}
+	})
+	b.Run("per_element", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			drainOnce(b, fs, reg, g, Options{ChunkSize: 1, DisableBufferPool: true})
+		}
+	})
+}

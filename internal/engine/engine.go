@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"plumber/internal/data"
@@ -44,9 +45,25 @@ type Options struct {
 	Spin bool
 	// Seed drives shuffling and any randomized UDFs.
 	Seed uint64
-	// ChannelSlack is the per-worker output-channel capacity for parallel
-	// stages (default 2).
+	// ChannelSlack is the per-worker output-channel capacity, in chunks, for
+	// parallel stages (default 2).
 	ChannelSlack int
+	// ChunkSize is the number of elements a worker hands off per channel
+	// send. Chunking amortizes channel synchronization across many elements;
+	// 1 reproduces the legacy per-element handoff (useful as a benchmark
+	// baseline). Default 64.
+	ChunkSize int
+	// SampleEvery samples per-element wall timers every Nth element (scaling
+	// the recorded duration by N), so traced runs pay the time.Now cost only
+	// 1/N of the time. 0 uses trace.SampleEvery; 1 times every element.
+	// Element and byte counters are never sampled — only wall timers.
+	SampleEvery int
+	// DisableBufferPool turns off pooled record buffers and downstream
+	// payload recycling, making every record a fresh allocation (the
+	// per-element baseline). Pooling is on by default; it is also
+	// automatically restricted (no recycling) when the chain contains a
+	// Cache node, which retains elements across epochs.
+	DisableBufferPool bool
 }
 
 // Pipeline is an instantiated, runnable iterator tree.
@@ -56,6 +73,13 @@ type Pipeline struct {
 	caches *cacheStore
 	mu     sync.Mutex
 	closed bool
+
+	// pool enables pooled record buffers at sources and pooled batch
+	// assembly; recycle additionally allows operators that copy payloads
+	// (Batch) and the root consumer to return buffers to the pool. recycle
+	// implies pool; recycle is off when the chain contains a Cache node.
+	pool    bool
+	recycle bool
 }
 
 // iterator is the internal Iterator model: Next yields an element or io.EOF;
@@ -79,11 +103,28 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 	if opts.ChannelSlack <= 0 {
 		opts.ChannelSlack = 2
 	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = DefaultChunkSize
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = int(trace.SampleEvery)
+		if opts.SampleEvery < 1 {
+			opts.SampleEvery = 1
+		}
+	}
 	p := &Pipeline{opts: opts, caches: newCacheStore()}
 	chain, err := g.Chain()
 	if err != nil {
 		return nil, err
 	}
+	hasCache := false
+	for _, n := range chain {
+		if n.Kind == pipeline.KindCache {
+			hasCache = true
+		}
+	}
+	p.pool = !opts.DisableBufferPool
+	p.recycle = p.pool && !hasCache
 	outer := g.OuterParallelism
 	if outer < 1 {
 		outer = 1
@@ -130,7 +171,8 @@ func (p *Pipeline) Close() error {
 }
 
 // Drain pulls up to max elements (all if max <= 0), returning the count
-// pulled and the total example count.
+// pulled and the total example count. Drained payloads are recycled into
+// the buffer pool when the pipeline allows it.
 func (p *Pipeline) Drain(max int64) (elements, examples int64, err error) {
 	for max <= 0 || elements < max {
 		e, err := p.Next()
@@ -142,8 +184,19 @@ func (p *Pipeline) Drain(max int64) (elements, examples int64, err error) {
 		}
 		elements++
 		examples += int64(e.Count)
+		p.Recycle(e)
 	}
 	return elements, examples, nil
+}
+
+// Recycle returns a root element's payload to the buffer pool, if the
+// pipeline's configuration makes that safe (pooling enabled and no Cache
+// node retaining elements). Callers that consume root elements and do not
+// keep their payloads should call it to close the pooling loop.
+func (p *Pipeline) Recycle(e data.Element) {
+	if p.recycle && e.Payload != nil {
+		data.PutBuf(e.Payload)
+	}
 }
 
 // buildChain builds the iterator for chain[idx], recursively building its
@@ -202,13 +255,13 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx int, seed uint64) (iter
 		if err != nil {
 			return nil, err
 		}
-		return newBatchIter(child, n.BatchSize, handle), nil
+		return newBatchIter(p, child, n.BatchSize, handle), nil
 	case pipeline.KindPrefetch:
 		child, err := childFactory()
 		if err != nil {
 			return nil, err
 		}
-		return newPrefetchIter(child, n.BufferSize, handle), nil
+		return newPrefetchIter(p, child, n.BufferSize, handle), nil
 	case pipeline.KindCache:
 		return newCacheIter(p.caches.entry(n.Name), childFactory, handle)
 	case pipeline.KindTake:
@@ -240,9 +293,18 @@ func (p *Pipeline) handle(name string) *trace.NodeStats {
 	return h
 }
 
+// DefaultChunkSize is the default number of elements per worker handoff.
+const DefaultChunkSize = 64
+
+// chunkSize returns the normalized per-handoff element count.
+func (p *Pipeline) chunkSize() int { return p.opts.ChunkSize }
+
+// sampleEvery returns the normalized wall-timer sampling period.
+func (p *Pipeline) sampleEvery() int64 { return int64(p.opts.SampleEvery) }
+
 // accountCPU models and (optionally) burns cpuSeconds of work, attributing
-// it to the node's counters.
-func (p *Pipeline) accountCPU(h *trace.NodeStats, cpuSeconds float64) {
+// it to the worker's local counter shard.
+func (p *Pipeline) accountCPU(ls *trace.LocalStats, cpuSeconds float64) {
 	if p.opts.WorkScale <= 0 || cpuSeconds <= 0 {
 		return
 	}
@@ -250,17 +312,36 @@ func (p *Pipeline) accountCPU(h *trace.NodeStats, cpuSeconds float64) {
 	if p.opts.Spin {
 		spin(d)
 	}
-	if h != nil {
-		trace.AddCPU(h, d)
+	if ls != nil {
+		ls.AddCPU(d)
 	}
 }
 
-// spin busy-waits for d, burning CPU like a real decode would.
+// spinBatch is how many arithmetic iterations spin runs between deadline
+// checks, so the busy-wait burns modeled CPU instead of clock reads.
+const spinBatch = 1024
+
+// spinSink publishes spin's accumulator so the loop cannot be elided.
+var spinSink uint64
+
+// spin busy-waits for d, burning CPU like a real decode would. The deadline
+// is checked once per spinBatch iterations: calling time.Now every iteration
+// would make the "work" mostly clock reads.
 func spin(d time.Duration) {
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		// burn
+	if d <= 0 {
+		return
 	}
+	deadline := time.Now().Add(d)
+	s := atomic.LoadUint64(&spinSink)
+	for {
+		for i := 0; i < spinBatch; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	atomic.StoreUint64(&spinSink, s)
 }
 
 func hashName(s string) uint64 {
@@ -272,16 +353,54 @@ func hashName(s string) uint64 {
 	return h
 }
 
-// produced records an element completion at h.
-func produced(h *trace.NodeStats, e data.Element) {
-	if h != nil {
-		trace.AddProduced(h, e.Size)
+// flushInterval is how many traced events a single-goroutine tracker
+// accumulates locally before publishing to the shared counters; it bounds
+// snapshot staleness for sequential iterators.
+const flushInterval = 256
+
+// tracker couples a LocalStats shard with periodic flushing for iterators
+// whose Next runs in (at most) one goroutine at a time. It keeps the hot
+// path free of atomics: plain local adds, one atomic flush per
+// flushInterval events plus a final flush on Close.
+type tracker struct {
+	h  *trace.NodeStats
+	ls trace.LocalStats
+	n  int
+}
+
+// traced reports whether the tracker publishes anywhere.
+func (t *tracker) traced() bool { return t.h != nil }
+
+func (t *tracker) produced(e data.Element) {
+	if t.h == nil {
+		return
+	}
+	t.ls.AddProduced(e.Size)
+	t.maybeFlush()
+}
+
+func (t *tracker) consumed() {
+	if t.h == nil {
+		return
+	}
+	t.ls.AddConsumed(1)
+	t.maybeFlush()
+}
+
+func (t *tracker) wall(d time.Duration) {
+	if t.h == nil {
+		return
+	}
+	t.ls.AddWall(d)
+}
+
+func (t *tracker) maybeFlush() {
+	t.n++
+	if t.n >= flushInterval {
+		t.n = 0
+		t.ls.Flush(t.h)
 	}
 }
 
-// consumed records a pull from the child at h.
-func consumed(h *trace.NodeStats) {
-	if h != nil {
-		trace.AddConsumed(h, 1)
-	}
-}
+// flush publishes any buffered counts; call on Close.
+func (t *tracker) flush() { t.ls.Flush(t.h) }

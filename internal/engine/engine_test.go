@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+
+	"plumber/internal/data"
+	"plumber/internal/pipeline"
+	"plumber/internal/simfs"
+	"plumber/internal/trace"
+	"plumber/internal/udf"
+)
+
+var testCatalog = data.Catalog{
+	Name:                  "engine-test",
+	NumFiles:              4,
+	RecordsPerFile:        50,
+	MeanRecordBytes:       256,
+	RecordBytesStddevFrac: 0.3,
+	DecodeAmplification:   1,
+}
+
+var registerOnce sync.Once
+
+func testSetup(t *testing.T) (*simfs.FS, *udf.Registry) {
+	t.Helper()
+	registerOnce.Do(func() {
+		if err := data.RegisterCatalog(testCatalog); err != nil {
+			panic(err)
+		}
+	})
+	fs := simfs.New(simfs.Device{Name: "test-mem"}, false)
+	fs.AddCatalog(testCatalog, 7)
+	reg := udf.NewRegistry()
+	if err := reg.Register(udf.UDF{Name: "noop", Cost: udf.Cost{SizeFactor: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	return fs, reg
+}
+
+func canonicalGraph(t *testing.T, par int) *pipeline.Graph {
+	t.Helper()
+	g, err := pipeline.NewBuilder().
+		Interleave(testCatalog.Name, par).
+		Map("noop", par).
+		Batch(8).
+		Prefetch(4).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestDrainCounts checks element and example accounting on the canonical
+// chain at parallelism 1 and 4, across chunked/pooled and the per-element
+// baseline configurations.
+func TestDrainCounts(t *testing.T) {
+	total := int64(testCatalog.NumFiles * testCatalog.RecordsPerFile) // 200
+	wantBatches := total / 8                                          // exact: 200/8 = 25
+	for _, par := range []int{1, 4} {
+		for _, cfg := range []struct {
+			name   string
+			chunk  int
+			noPool bool
+		}{
+			{"chunked_pooled", 0, false},
+			{"per_element", 1, true},
+			{"chunk3", 3, false}, // chunk size that does not divide counts
+		} {
+			fs, reg := testSetup(t)
+			p, err := New(canonicalGraph(t, par), Options{
+				FS: fs, UDFs: reg, ChunkSize: cfg.chunk, DisableBufferPool: cfg.noPool,
+			})
+			if err != nil {
+				t.Fatalf("par=%d %s: %v", par, cfg.name, err)
+			}
+			elements, examples, err := p.Drain(0)
+			p.Close()
+			if err != nil {
+				t.Fatalf("par=%d %s: drain: %v", par, cfg.name, err)
+			}
+			if elements != wantBatches || examples != total {
+				t.Fatalf("par=%d %s: got %d elements / %d examples, want %d / %d",
+					par, cfg.name, elements, examples, wantBatches, total)
+			}
+		}
+	}
+}
+
+// TestPayloadIntegrity reads the catalog directly and compares against the
+// batched pipeline output at parallelism 1 (deterministic order). Any
+// premature buffer recycle in the pooled hot path corrupts the comparison.
+func TestPayloadIntegrity(t *testing.T) {
+	fs, reg := testSetup(t)
+
+	var want []byte
+	for _, f := range testCatalog.FileNames() {
+		r, err := fs.Open(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := data.NewRecordReader(r)
+		for {
+			rec, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, rec...)
+		}
+		r.Close()
+	}
+
+	p, err := New(canonicalGraph(t, 1), Options{FS: fs, UDFs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var got []byte
+	for {
+		e, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(e.Payload)) != e.Size {
+			t.Fatalf("element size invariant broken: len=%d size=%d", len(e.Payload), e.Size)
+		}
+		got = append(got, e.Payload...)
+		p.Recycle(e)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("pipeline output differs from direct read: %d vs %d bytes", len(got), len(want))
+	}
+}
+
+// TestTracedCounts verifies the sharded counters flush to exact totals.
+func TestTracedCounts(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		fs, reg := testSetup(t)
+		g := canonicalGraph(t, par)
+		col, err := trace.NewCollector(g, trace.Machine{Name: "test", Cores: runtime.NumCPU()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.AddObserver(col)
+		p, err := New(g, Options{FS: fs, UDFs: reg, Collector: col, SampleEvery: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p.Drain(0); err != nil {
+			t.Fatal(err)
+		}
+		p.Close()
+		snap := col.Snapshot(0, testCatalog.NumFiles)
+		chain, err := snap.ChainStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// chain: interleave, map, batch, prefetch
+		total := int64(testCatalog.NumFiles * testCatalog.RecordsPerFile)
+		src, mp, bt, pf := chain[0], chain[1], chain[2], chain[3]
+		if src.ElementsProduced != total {
+			t.Fatalf("par=%d source produced %d, want %d", par, src.ElementsProduced, total)
+		}
+		if mp.ElementsConsumed != total || mp.ElementsProduced != total {
+			t.Fatalf("par=%d map consumed/produced %d/%d, want %d", par, mp.ElementsConsumed, mp.ElementsProduced, total)
+		}
+		if bt.ElementsConsumed != total || bt.ElementsProduced != total/8 {
+			t.Fatalf("par=%d batch consumed/produced %d/%d", par, bt.ElementsConsumed, bt.ElementsProduced)
+		}
+		if pf.ElementsProduced != total/8 {
+			t.Fatalf("par=%d prefetch produced %d, want %d", par, pf.ElementsProduced, total/8)
+		}
+		if src.BytesProduced == 0 || src.BytesProduced != mp.BytesProduced {
+			t.Fatalf("par=%d bytes: source %d map %d", par, src.BytesProduced, mp.BytesProduced)
+		}
+		if snap.ObservedFileBytes() == 0 {
+			t.Fatalf("par=%d no file bytes observed", par)
+		}
+	}
+}
+
+// TestUntracedZeroWall documents satellite #3: with no collector, wall
+// counters simply do not exist, and draining works identically.
+func TestUntracedZeroWall(t *testing.T) {
+	fs, reg := testSetup(t)
+	p, err := New(canonicalGraph(t, 2), Options{FS: fs, UDFs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, _, err := p.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatWithCache exercises the pooling guard: chains containing a
+// Cache node disable payload recycling, so cached elements served on later
+// epochs must still be intact.
+func TestRepeatWithCache(t *testing.T) {
+	fs, reg := testSetup(t)
+	g, err := pipeline.NewBuilder().
+		Interleave(testCatalog.Name, 2).
+		Map("noop", 2).
+		Cache().
+		Batch(8).
+		Repeat(3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(g, Options{FS: fs, UDFs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	total := int64(testCatalog.NumFiles * testCatalog.RecordsPerFile)
+	var elements, examples int64
+	for {
+		e, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(e.Payload)) != e.Size {
+			t.Fatalf("cached epoch element corrupt: len=%d size=%d", len(e.Payload), e.Size)
+		}
+		elements++
+		examples += int64(e.Count)
+	}
+	if examples != 3*total {
+		t.Fatalf("got %d examples over 3 epochs, want %d", examples, 3*total)
+	}
+	if elements != 3*total/8 {
+		t.Fatalf("got %d elements, want %d", elements, 3*total/8)
+	}
+}
+
+// TestAmplifyingMapPooled covers the pooled grow path: a decode-style
+// cost-model UDF (SizeFactor 2) must double every payload through the pool
+// without corrupting survivors.
+func TestAmplifyingMapPooled(t *testing.T) {
+	fs, reg := testSetup(t)
+	if err := reg.Register(udf.UDF{Name: "decode2x", Cost: udf.Cost{SizeFactor: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := pipeline.NewBuilder().
+		Interleave(testCatalog.Name, 2).
+		Map("decode2x", 2).
+		Batch(8).
+		Prefetch(4).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(g, Options{FS: fs, UDFs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var sumSize int64
+	for {
+		e, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(e.Payload)) != e.Size {
+			t.Fatalf("amplified element invariant broken: len=%d size=%d", len(e.Payload), e.Size)
+		}
+		sumSize += e.Size
+		p.Recycle(e)
+	}
+	// Every record doubled: total equals 2x the source payload bytes.
+	var wantBytes int64
+	for _, f := range testCatalog.FileNames() {
+		r, err := fs.Open(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := data.NewRecordReader(r)
+		for {
+			rec, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBytes += int64(len(rec)) * 2
+		}
+		r.Close()
+	}
+	if sumSize != wantBytes {
+		t.Fatalf("amplified bytes = %d, want %d", sumSize, wantBytes)
+	}
+}
+
+// TestFilterDropRecycle covers the pooled drop path: elements discarded by
+// a cost-model filter recycle their buffers, and surviving elements must
+// stay intact through batching.
+func TestFilterDropRecycle(t *testing.T) {
+	fs, reg := testSetup(t)
+	if err := reg.Register(udf.UDF{Name: "half", Cost: udf.Cost{KeepFraction: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := pipeline.NewBuilder().
+		Interleave(testCatalog.Name, 2).
+		Map("noop", 2).
+		Filter("half").
+		Batch(8).
+		Prefetch(4).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(g, Options{FS: fs, UDFs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	total := int64(testCatalog.NumFiles * testCatalog.RecordsPerFile)
+	var examples int64
+	for {
+		e, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(e.Payload)) != e.Size {
+			t.Fatalf("survivor corrupt after drop recycling: len=%d size=%d", len(e.Payload), e.Size)
+		}
+		examples += int64(e.Count)
+		p.Recycle(e)
+	}
+	if examples == 0 || examples >= total {
+		t.Fatalf("filter kept %d of %d examples, expected a strict subset", examples, total)
+	}
+}
+
+// TestChunkedHandoffRace hammers the chunked worker handoff from several
+// concurrently-draining pipelines; run with -race in CI.
+func TestChunkedHandoffRace(t *testing.T) {
+	fs, reg := testSetup(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(chunk int) {
+			defer wg.Done()
+			p, err := New(canonicalGraph(t, 4), Options{FS: fs, UDFs: reg, ChunkSize: chunk})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer p.Close()
+			total := int64(testCatalog.NumFiles * testCatalog.RecordsPerFile)
+			if _, examples, err := p.Drain(0); err != nil || examples != total {
+				t.Errorf("chunk=%d: examples=%d err=%v", chunk, examples, err)
+			}
+		}(1 + i*7)
+	}
+	wg.Wait()
+}
+
+// TestEarlyClose closes a pipeline mid-stream; workers must exit without
+// deadlocking and without sending on closed channels.
+func TestEarlyClose(t *testing.T) {
+	for _, chunk := range []int{1, 64} {
+		fs, reg := testSetup(t)
+		p, err := New(canonicalGraph(t, 4), Options{FS: fs, UDFs: reg, ChunkSize: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p.Drain(3); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

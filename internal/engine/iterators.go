@@ -20,11 +20,102 @@ type item struct {
 }
 
 // ---------------------------------------------------------------------------
+// Chunked handoff plumbing
+//
+// Parallel stages pass []item chunks through their channels instead of
+// single items, amortizing channel synchronization (futex wakeups, memory
+// barriers) over ChunkSize elements. Chunk slices are recycled through a
+// pool: the consumer returns a drained chunk, the next producer reuses it.
+
+var chunkPool sync.Pool
+
+func getChunk(capacity int) []item {
+	if v := chunkPool.Get(); v != nil {
+		return (*v.(*[]item))[:0]
+	}
+	return make([]item, 0, capacity)
+}
+
+func putChunk(c []item) {
+	for i := range c {
+		c[i] = item{} // drop element references so payloads can be collected
+	}
+	c = c[:0]
+	chunkPool.Put(&c)
+}
+
+// chunkEmitter accumulates items on the producer side and flushes full
+// chunks to out, aborting when done closes.
+type chunkEmitter struct {
+	out  chan<- []item
+	done <-chan struct{}
+	size int
+	buf  []item
+}
+
+// add appends one item, flushing when the chunk is full. It returns false
+// when the consumer has gone away.
+func (ce *chunkEmitter) add(it item) bool {
+	if ce.buf == nil {
+		ce.buf = getChunk(ce.size)
+	}
+	ce.buf = append(ce.buf, it)
+	if len(ce.buf) >= ce.size {
+		return ce.flush()
+	}
+	return true
+}
+
+// flush sends any buffered items. Safe to call multiple times.
+func (ce *chunkEmitter) flush() bool {
+	if len(ce.buf) == 0 {
+		return true
+	}
+	select {
+	case ce.out <- ce.buf:
+		ce.buf = nil
+		return true
+	case <-ce.done:
+		return false
+	}
+}
+
+// chunkReceiver drains chunks on the consumer side, yielding one item at a
+// time and recycling emptied chunk slices.
+type chunkReceiver struct {
+	pending []item
+	pos     int
+}
+
+func (cr *chunkReceiver) next(out <-chan []item) (data.Element, error) {
+	for {
+		if cr.pos < len(cr.pending) {
+			it := cr.pending[cr.pos]
+			cr.pos++
+			if cr.pos == len(cr.pending) {
+				putChunk(cr.pending)
+				cr.pending = nil
+				cr.pos = 0
+			}
+			return it.elem, it.err
+		}
+		c, ok := <-out
+		if !ok {
+			return data.Element{}, io.EOF
+		}
+		cr.pending, cr.pos = c, 0
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Source / Interleave
 
 // sourceIter reads TFRecord shards. With parallelism 1 it reads files
 // sequentially; with parallelism p it interleaves p concurrent file streams
-// (the paper's Interleave-parallelized TFRecordDataset).
+// (the paper's Interleave-parallelized TFRecordDataset). Workers hand
+// records downstream in chunks and count into per-worker shards, so the
+// per-record path has no channel operation, no atomic, and (untraced) no
+// clock read.
 type sourceIter struct {
 	p      *Pipeline
 	cat    data.Catalog
@@ -33,11 +124,12 @@ type sourceIter struct {
 	seed   uint64
 
 	once    sync.Once
-	out     chan item
+	out     chan []item
 	done    chan struct{}
 	wg      sync.WaitGroup
 	nextIdx int64
 	initErr error
+	recv    chunkReceiver
 }
 
 func newSource(p *Pipeline, cat data.Catalog, par int, handle *trace.NodeStats, seed uint64) *sourceIter {
@@ -51,7 +143,7 @@ func (s *sourceIter) start() {
 		fileCh <- f
 	}
 	close(fileCh)
-	s.out = make(chan item, s.par*s.p.opts.ChannelSlack)
+	s.out = make(chan []item, s.par*s.p.opts.ChannelSlack)
 	s.done = make(chan struct{})
 	s.wg.Add(s.par)
 	for w := 0; w < s.par; w++ {
@@ -65,40 +157,63 @@ func (s *sourceIter) start() {
 
 func (s *sourceIter) worker(fileCh <-chan string) {
 	defer s.wg.Done()
+	em := chunkEmitter{out: s.out, done: s.done, size: s.p.chunkSize()}
+	defer em.flush()
+	tr := tracker{h: s.handle}
+	defer tr.flush()
+	traced := tr.traced()
+	sm := trace.NewSampler(s.p.sampleEvery())
+	modelCPU := s.p.opts.WorkScale > 0
 	// Per-record parse cost: framing checksum work, modeled as a small
 	// fixed CPU cost plus a per-byte term for the CRC pass.
-	const parsePerByte = 0.3e-9  // ~3.3 GB/s checksum throughput
+	const parsePerByte = 0.3e-9 // ~3.3 GB/s checksum throughput
 	const parsePerElem = 1.5e-6 // record framing bookkeeping
+	// Sequence numbers are reserved in chunk-sized blocks so the shared
+	// counter is touched once per chunk instead of once per record.
+	idxBlock := int64(s.p.chunkSize())
+	var idxNext, idxEnd int64
 	for path := range fileCh {
 		r, err := s.p.opts.FS.Open(path)
 		if err != nil {
-			s.emit(item{err: fmt.Errorf("source: %w", err)})
+			em.add(item{err: fmt.Errorf("source: %w", err)})
 			return
 		}
 		rr := data.NewRecordReader(r)
+		rr.SetPooling(s.p.pool)
 		for {
-			start := time.Now()
+			var start time.Time
+			sampled := traced && sm.Tick()
+			if sampled {
+				start = time.Now()
+			}
 			rec, err := rr.Next()
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
 				r.Close()
-				s.emit(item{err: err})
+				em.add(item{err: err})
 				return
+			}
+			if idxNext == idxEnd {
+				idxEnd = atomic.AddInt64(&s.nextIdx, idxBlock)
+				idxNext = idxEnd - idxBlock
 			}
 			e := data.Element{
 				Payload: rec,
 				Size:    int64(len(rec)),
 				Count:   1,
-				Index:   atomic.AddInt64(&s.nextIdx, 1) - 1,
+				Index:   idxNext,
 			}
-			s.p.accountCPU(s.handle, parsePerByte*float64(len(rec))+parsePerElem)
-			produced(s.handle, e)
-			if s.handle != nil {
-				trace.AddWall(s.handle, time.Since(start))
+			idxNext++
+			if modelCPU {
+				s.p.accountCPU(&tr.ls, parsePerByte*float64(len(rec))+parsePerElem)
 			}
-			if !s.emit(item{elem: e}) {
+			tr.produced(e)
+			if sampled {
+				tr.wall(sm.Scale(time.Since(start)))
+			}
+			if !em.add(item{elem: e}) {
 				r.Close()
 				return
 			}
@@ -107,25 +222,12 @@ func (s *sourceIter) worker(fileCh <-chan string) {
 	}
 }
 
-func (s *sourceIter) emit(it item) bool {
-	select {
-	case s.out <- it:
-		return true
-	case <-s.done:
-		return false
-	}
-}
-
 func (s *sourceIter) Next() (data.Element, error) {
 	s.once.Do(s.start)
 	if s.initErr != nil {
 		return data.Element{}, s.initErr
 	}
-	it, ok := <-s.out
-	if !ok {
-		return data.Element{}, io.EOF
-	}
-	return it.elem, it.err
+	return s.recv.next(s.out)
 }
 
 func (s *sourceIter) Close() error {
@@ -146,7 +248,8 @@ func (s *sourceIter) Close() error {
 
 // mapIter applies a UDF with a worker pool. Child access is serialized;
 // output order is the workers' completion order (tf.data's non-deterministic
-// parallel map).
+// parallel map). Workers pull a chunk of inputs under one child-lock
+// acquisition, process them lock-free, and emit a chunk of outputs.
 type mapIter struct {
 	p      *Pipeline
 	child  iterator
@@ -156,11 +259,12 @@ type mapIter struct {
 	seed   uint64
 
 	once    sync.Once
-	out     chan item
+	out     chan []item
 	done    chan struct{}
 	wg      sync.WaitGroup
 	childMu sync.Mutex
 	eof     atomic.Bool
+	recv    chunkReceiver
 }
 
 func newMapIter(p *Pipeline, child iterator, u udf.UDF, par int, handle *trace.NodeStats, seed uint64) *mapIter {
@@ -168,7 +272,7 @@ func newMapIter(p *Pipeline, child iterator, u udf.UDF, par int, handle *trace.N
 }
 
 func (m *mapIter) start() {
-	m.out = make(chan item, m.par*m.p.opts.ChannelSlack)
+	m.out = make(chan []item, m.par*m.p.opts.ChannelSlack)
 	m.done = make(chan struct{})
 	m.wg.Add(m.par)
 	for w := 0; w < m.par; w++ {
@@ -182,71 +286,110 @@ func (m *mapIter) start() {
 
 func (m *mapIter) worker() {
 	defer m.wg.Done()
+	em := chunkEmitter{out: m.out, done: m.done, size: m.p.chunkSize()}
+	defer em.flush()
+	tr := tracker{h: m.handle}
+	defer tr.flush()
+	traced := tr.traced()
+	sm := trace.NewSampler(m.p.sampleEvery())
+	cs := m.p.chunkSize()
+	in := make([]item, 0, cs)
 	for {
 		if m.eof.Load() {
 			return
 		}
+		// Pull up to a chunk of inputs under one lock acquisition. Clear
+		// the reused buffer first so stale payload references from the
+		// previous chunk don't pin their buffers against collection.
+		for i := range in {
+			in[i] = item{}
+		}
+		in = in[:0]
 		m.childMu.Lock()
-		in, err := m.child.Next()
+		for len(in) < cs {
+			e, err := m.child.Next()
+			if err == io.EOF {
+				m.eof.Store(true)
+				break
+			}
+			in = append(in, item{elem: e, err: err})
+			if err != nil {
+				break
+			}
+		}
 		m.childMu.Unlock()
-		if err == io.EOF {
-			m.eof.Store(true)
-			return
-		}
-		if err != nil {
-			m.emit(item{err: err})
-			return
-		}
-		consumed(m.handle)
-		out, keep, err := m.apply(in)
-		if err != nil {
-			m.emit(item{err: err})
-			return
-		}
-		if !keep {
-			continue
-		}
-		produced(m.handle, out)
-		if !m.emit(item{elem: out}) {
-			return
+		for _, it := range in {
+			if it.err != nil {
+				em.add(item{err: it.err})
+				return
+			}
+			tr.consumed()
+			out, keep, err := m.apply(it.elem, &tr.ls, &sm, traced)
+			if err != nil {
+				em.add(item{err: err})
+				return
+			}
+			if !keep {
+				// The dropped element's sole owner is this worker (UDF
+				// bodies must not retain inputs); recycle its buffer.
+				if m.p.recycle && it.elem.Payload != nil {
+					data.PutBuf(it.elem.Payload)
+				}
+				continue
+			}
+			tr.produced(out)
+			if !em.add(item{elem: out}) {
+				return
+			}
 		}
 	}
 }
 
 // apply runs the UDF body (or the pure cost model when no body is present)
-// with CPU accounting.
-func (m *mapIter) apply(in data.Element) (data.Element, bool, error) {
-	start := time.Now()
-	defer func() {
-		if m.handle != nil {
-			trace.AddWall(m.handle, time.Since(start))
-		}
-	}()
-	m.p.accountCPU(m.handle, m.u.Cost.CPUSeconds(in.Size))
+// with CPU accounting into the worker's shard and sampled wall timing.
+func (m *mapIter) apply(in data.Element, ls *trace.LocalStats, sm *trace.Sampler, traced bool) (data.Element, bool, error) {
+	var start time.Time
+	sampled := traced && sm.Tick()
+	if sampled {
+		start = time.Now()
+	}
+	if m.p.opts.WorkScale > 0 {
+		m.p.accountCPU(ls, m.u.Cost.CPUSeconds(in.Size))
+	}
+	var (
+		out  data.Element
+		keep bool
+		err  error
+	)
 	if m.u.Body != nil {
-		return m.u.Body(in)
+		out, keep, err = m.u.Body(in)
+	} else {
+		// Pure cost-model UDF: apply size factor and keep fraction.
+		newSize := int64(float64(in.Size) * m.u.Cost.SizeFactor)
+		if grow := in.Payload != nil && newSize > int64(len(in.Payload)); grow && m.p.pool {
+			// Amplifying UDF (decode-style): grow through the pool and
+			// recycle the input, which WithSize's plain make would strand.
+			buf := data.GetBuf(int(newSize))
+			n := copy(buf, in.Payload)
+			clear(buf[n:])
+			if m.p.recycle {
+				data.PutBuf(in.Payload)
+			}
+			out = data.Element{Payload: buf, Size: newSize, Count: in.Count, Index: in.Index}
+		} else {
+			out = in.WithSize(newSize)
+		}
+		keep = true
 	}
-	// Pure cost-model UDF: apply size factor and keep fraction.
-	out := in.WithSize(int64(float64(in.Size) * m.u.Cost.SizeFactor))
-	return out, true, nil
-}
-
-func (m *mapIter) emit(it item) bool {
-	select {
-	case m.out <- it:
-		return true
-	case <-m.done:
-		return false
+	if sampled {
+		ls.AddWall(sm.Scale(time.Since(start)))
 	}
+	return out, keep, err
 }
 
 func (m *mapIter) Next() (data.Element, error) {
 	m.once.Do(m.start)
-	it, ok := <-m.out
-	if !ok {
-		return data.Element{}, io.EOF
-	}
-	return it.elem, it.err
+	return m.recv.next(m.out)
 }
 
 func (m *mapIter) Close() error {
@@ -265,15 +408,16 @@ func (m *mapIter) Close() error {
 // Filter
 
 type filterIter struct {
-	p      *Pipeline
-	child  iterator
-	u      udf.UDF
-	handle *trace.NodeStats
-	rng    uint64
+	p     *Pipeline
+	child iterator
+	u     udf.UDF
+	tr    tracker
+	sm    trace.Sampler
+	rng   uint64
 }
 
 func newFilterIter(p *Pipeline, child iterator, u udf.UDF, handle *trace.NodeStats) *filterIter {
-	return &filterIter{p: p, child: child, u: u, handle: handle, rng: 0x2545f4914f6cdd1d}
+	return &filterIter{p: p, child: child, u: u, tr: tracker{h: handle}, sm: trace.NewSampler(p.sampleEvery()), rng: 0x2545f4914f6cdd1d}
 }
 
 func (f *filterIter) Next() (data.Element, error) {
@@ -282,9 +426,13 @@ func (f *filterIter) Next() (data.Element, error) {
 		if err != nil {
 			return data.Element{}, err
 		}
-		consumed(f.handle)
-		start := time.Now()
-		f.p.accountCPU(f.handle, f.u.Cost.CPUSeconds(in.Size))
+		f.tr.consumed()
+		var start time.Time
+		sampled := f.tr.traced() && f.sm.Tick()
+		if sampled {
+			start = time.Now()
+		}
+		f.p.accountCPU(&f.tr.ls, f.u.Cost.CPUSeconds(in.Size))
 		keep := true
 		out := in
 		if f.u.Body != nil {
@@ -297,26 +445,33 @@ func (f *filterIter) Next() (data.Element, error) {
 			f.rng = f.rng*6364136223846793005 + 1442695040888963407
 			keep = float64(f.rng>>11)/(1<<53) < kf
 		}
-		if f.handle != nil {
-			trace.AddWall(f.handle, time.Since(start))
+		if sampled {
+			f.tr.wall(f.sm.Scale(time.Since(start)))
 		}
 		if keep {
-			produced(f.handle, out)
+			f.tr.produced(out)
 			return out, nil
+		}
+		// Dropped: this iterator is the payload's sole owner; recycle it.
+		if f.p.recycle && in.Payload != nil {
+			data.PutBuf(in.Payload)
 		}
 	}
 }
 
-func (f *filterIter) Close() error { return f.child.Close() }
+func (f *filterIter) Close() error {
+	f.tr.flush()
+	return f.child.Close()
+}
 
 // ---------------------------------------------------------------------------
 // Shuffle
 
 type shuffleIter struct {
-	child  iterator
-	size   int
-	handle *trace.NodeStats
-	rng    *stats.RNG
+	child iterator
+	size  int
+	tr    tracker
+	rng   *stats.RNG
 
 	buf    []data.Element
 	filled bool
@@ -324,16 +479,15 @@ type shuffleIter struct {
 }
 
 func newShuffleIter(child iterator, size int, handle *trace.NodeStats, rng *stats.RNG) *shuffleIter {
-	return &shuffleIter{child: child, size: size, handle: handle, rng: rng}
+	return &shuffleIter{child: child, size: size, tr: tracker{h: handle}, rng: rng}
 }
 
 func (s *shuffleIter) Next() (data.Element, error) {
-	start := time.Now()
-	defer func() {
-		if s.handle != nil {
-			trace.AddWall(s.handle, time.Since(start))
-		}
-	}()
+	var start time.Time
+	traced := s.tr.traced()
+	if traced {
+		start = time.Now()
+	}
 	if !s.filled {
 		for len(s.buf) < s.size {
 			e, err := s.child.Next()
@@ -344,7 +498,7 @@ func (s *shuffleIter) Next() (data.Element, error) {
 			if err != nil {
 				return data.Element{}, err
 			}
-			consumed(s.handle)
+			s.tr.consumed()
 			s.buf = append(s.buf, e)
 		}
 		s.filled = true
@@ -366,15 +520,21 @@ func (s *shuffleIter) Next() (data.Element, error) {
 		} else if err != nil {
 			return data.Element{}, err
 		} else {
-			consumed(s.handle)
+			s.tr.consumed()
 			s.buf[i] = e
 		}
 	}
-	produced(s.handle, out)
+	if traced {
+		s.tr.wall(time.Since(start))
+	}
+	s.tr.produced(out)
 	return out, nil
 }
 
-func (s *shuffleIter) Close() error { return s.child.Close() }
+func (s *shuffleIter) Close() error {
+	s.tr.flush()
+	return s.child.Close()
+}
 
 // ---------------------------------------------------------------------------
 // Repeat
@@ -386,14 +546,14 @@ func (s *shuffleIter) Close() error { return s.child.Close() }
 type repeatIter struct {
 	factory func() (iterator, error)
 	count   int64
-	handle  *trace.NodeStats
+	tr      tracker
 
 	child iterator
 	epoch int64
 }
 
 func newRepeatIter(factory func() (iterator, error), count int64, handle *trace.NodeStats) *repeatIter {
-	return &repeatIter{factory: factory, count: count, handle: handle}
+	return &repeatIter{factory: factory, count: count, tr: tracker{h: handle}}
 }
 
 func (r *repeatIter) Next() (data.Element, error) {
@@ -418,13 +578,14 @@ func (r *repeatIter) Next() (data.Element, error) {
 		if err != nil {
 			return data.Element{}, err
 		}
-		consumed(r.handle)
-		produced(r.handle, e)
+		r.tr.consumed()
+		r.tr.produced(e)
 		return e, nil
 	}
 }
 
 func (r *repeatIter) Close() error {
+	r.tr.flush()
 	if r.child != nil {
 		return r.child.Close()
 	}
@@ -434,22 +595,36 @@ func (r *repeatIter) Close() error {
 // ---------------------------------------------------------------------------
 // Batch
 
+// batchIter groups size child elements into one minibatch element. The
+// output payload is assembled in a pooled buffer, and — when the pipeline
+// permits recycling — the child payloads it copied out of are returned to
+// the pool, closing the per-record allocation loop.
 type batchIter struct {
-	child  iterator
-	size   int
-	handle *trace.NodeStats
-	eof    bool
+	p     *Pipeline
+	child iterator
+	size  int
+	tr    tracker
+	eof   bool
+	// lastCap remembers the previous batch payload's final capacity so the
+	// next batch's buffer request covers it up front: after the first few
+	// batches the assembly stops regrowing (a regrown buffer strands the
+	// pooled one and its odd capacity is rejected by PutBuf).
+	lastCap int
 }
 
-func newBatchIter(child iterator, size int, handle *trace.NodeStats) *batchIter {
-	return &batchIter{child: child, size: size, handle: handle}
+func newBatchIter(p *Pipeline, child iterator, size int, handle *trace.NodeStats) *batchIter {
+	return &batchIter{p: p, child: child, size: size, tr: tracker{h: handle}}
 }
 
 func (b *batchIter) Next() (data.Element, error) {
 	if b.eof {
 		return data.Element{}, io.EOF
 	}
-	start := time.Now()
+	var start time.Time
+	traced := b.tr.traced()
+	if traced {
+		start = time.Now()
+	}
 	var out data.Element
 	var payload []byte
 	for i := 0; i < b.size; i++ {
@@ -461,73 +636,132 @@ func (b *batchIter) Next() (data.Element, error) {
 		if err != nil {
 			return data.Element{}, err
 		}
-		consumed(b.handle)
+		b.tr.consumed()
 		out.Size += e.Size
 		out.Count += e.Count
 		if e.Payload != nil {
+			if payload == nil {
+				// Headroom above size*first-element avoids an append
+				// regrowth when later records run larger than the first.
+				guess := b.size * len(e.Payload) * 9 / 8
+				if b.lastCap > guess {
+					guess = b.lastCap
+				}
+				if b.p.pool {
+					payload = data.GetBuf(guess)[:0]
+				} else {
+					payload = make([]byte, 0, guess)
+				}
+			}
 			payload = append(payload, e.Payload...)
+			if b.p.recycle {
+				data.PutBuf(e.Payload)
+			}
 		}
 		if i == 0 {
 			out.Index = e.Index
 		}
 	}
-	if b.handle != nil {
-		trace.AddWall(b.handle, time.Since(start))
+	if traced {
+		b.tr.wall(time.Since(start))
 	}
 	if out.Count == 0 {
+		if payload != nil && b.p.recycle {
+			data.PutBuf(payload)
+		}
 		return data.Element{}, io.EOF
 	}
+	if cap(payload) > b.lastCap {
+		b.lastCap = cap(payload)
+	}
 	out.Payload = payload
-	produced(b.handle, out)
+	b.tr.produced(out)
 	return out, nil
 }
 
-func (b *batchIter) Close() error { return b.child.Close() }
+func (b *batchIter) Close() error {
+	b.tr.flush()
+	return b.child.Close()
+}
 
 // ---------------------------------------------------------------------------
 // Prefetch
 
 // prefetchIter decouples producer and consumer with a bounded buffer filled
 // by a background goroutine — the software-pipelining operator that overlaps
-// input processing with model steps.
+// input processing with model steps. The buffer is chunked like the worker
+// stages, but sized so that the channel's chunk budget stays within
+// BufferSize; like the legacy per-element implementation, up to two extra
+// elements ride outside the channel (the emitter's in-hand chunk and the
+// receiver's pending chunk), so total in-flight lookahead is bounded by
+// BufferSize plus two chunk remnants. Partial chunks are flushed whenever
+// the consumer is starving, so chunking never delays time-to-first-element
+// the way a full-chunk wait would.
 type prefetchIter struct {
+	p      *Pipeline
 	child  iterator
 	size   int
 	handle *trace.NodeStats
 
 	once sync.Once
-	out  chan item
+	out  chan []item
 	done chan struct{}
 	wg   sync.WaitGroup
+	recv chunkReceiver
 }
 
-func newPrefetchIter(child iterator, size int, handle *trace.NodeStats) *prefetchIter {
-	return &prefetchIter{child: child, size: size, handle: handle}
+func newPrefetchIter(p *Pipeline, child iterator, size int, handle *trace.NodeStats) *prefetchIter {
+	return &prefetchIter{p: p, child: child, size: size, handle: handle}
 }
 
 func (p *prefetchIter) start() {
-	p.out = make(chan item, p.size)
+	// Budget BufferSize elements across the channel, the emitter's partial
+	// chunk, and the receiver's pending chunk: chunk at most size/4 so at
+	// least a couple of chunks fit, and reserve two chunk slots (emitter +
+	// receiver) out of the channel depth.
+	cs := p.p.chunkSize()
+	if limit := p.size / 4; cs > limit {
+		cs = limit
+	}
+	if cs < 1 {
+		cs = 1
+	}
+	depth := p.size/cs - 2
+	if depth < 1 {
+		depth = 1
+	}
+	p.out = make(chan []item, depth)
 	p.done = make(chan struct{})
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
 		defer close(p.out)
+		em := chunkEmitter{out: p.out, done: p.done, size: cs}
+		defer em.flush()
+		tr := tracker{h: p.handle}
+		defer tr.flush()
 		for {
 			e, err := p.child.Next()
 			if err == io.EOF {
 				return
 			}
-			if err == nil {
-				consumed(p.handle)
-				produced(p.handle, e)
+			if err != nil {
+				em.add(item{err: err})
+				em.flush()
+				return
 			}
-			select {
-			case p.out <- item{elem: e, err: err}:
-				if err != nil {
+			tr.consumed()
+			tr.produced(e)
+			if !em.add(item{elem: e}) {
+				return
+			}
+			// Consumer starving (channel drained): hand over the partial
+			// chunk now instead of waiting for it to fill. Only this
+			// goroutine sends, so the observed room cannot vanish.
+			if len(em.buf) > 0 && len(p.out) == 0 {
+				if !em.flush() {
 					return
 				}
-			case <-p.done:
-				return
 			}
 		}
 	}()
@@ -535,11 +769,7 @@ func (p *prefetchIter) start() {
 
 func (p *prefetchIter) Next() (data.Element, error) {
 	p.once.Do(p.start)
-	it, ok := <-p.out
-	if !ok {
-		return data.Element{}, io.EOF
-	}
-	return it.elem, it.err
+	return p.recv.next(p.out)
 }
 
 func (p *prefetchIter) Close() error {
@@ -589,10 +819,12 @@ func (cs *cacheStore) entry(name string) *cacheEntry {
 // cacheIter passes elements through on the first epoch while recording
 // them; once the child reports EOF the entry is complete and subsequent
 // instantiations serve from memory without touching the child (or disk).
+// Cached elements are retained across epochs, which is why the engine
+// disables payload recycling for chains containing a Cache node.
 type cacheIter struct {
 	entry   *cacheEntry
 	factory func() (iterator, error)
-	handle  *trace.NodeStats
+	tr      tracker
 
 	child   iterator
 	serving bool
@@ -600,7 +832,7 @@ type cacheIter struct {
 }
 
 func newCacheIter(entry *cacheEntry, factory func() (iterator, error), handle *trace.NodeStats) (*cacheIter, error) {
-	c := &cacheIter{entry: entry, factory: factory, handle: handle}
+	c := &cacheIter{entry: entry, factory: factory, tr: tracker{h: handle}}
 	entry.mu.Lock()
 	c.serving = entry.complete
 	entry.mu.Unlock()
@@ -616,7 +848,7 @@ func (c *cacheIter) Next() (data.Element, error) {
 		}
 		e := c.entry.elems[c.pos]
 		c.pos++
-		produced(c.handle, e)
+		c.tr.produced(e)
 		return e, nil
 	}
 	if c.child == nil {
@@ -636,16 +868,17 @@ func (c *cacheIter) Next() (data.Element, error) {
 	if err != nil {
 		return data.Element{}, err
 	}
-	consumed(c.handle)
+	c.tr.consumed()
 	c.entry.mu.Lock()
 	c.entry.elems = append(c.entry.elems, e)
 	c.entry.bytes += e.Size
 	c.entry.mu.Unlock()
-	produced(c.handle, e)
+	c.tr.produced(e)
 	return e, nil
 }
 
 func (c *cacheIter) Close() error {
+	c.tr.flush()
 	if c.child != nil {
 		return c.child.Close()
 	}
@@ -658,12 +891,12 @@ func (c *cacheIter) Close() error {
 type takeIter struct {
 	child  iterator
 	count  int64
-	handle *trace.NodeStats
+	tr     tracker
 	served int64
 }
 
 func newTakeIter(child iterator, count int64, handle *trace.NodeStats) *takeIter {
-	return &takeIter{child: child, count: count, handle: handle}
+	return &takeIter{child: child, count: count, tr: tracker{h: handle}}
 }
 
 func (t *takeIter) Next() (data.Element, error) {
@@ -674,13 +907,16 @@ func (t *takeIter) Next() (data.Element, error) {
 	if err != nil {
 		return data.Element{}, err
 	}
-	consumed(t.handle)
+	t.tr.consumed()
 	t.served++
-	produced(t.handle, e)
+	t.tr.produced(e)
 	return e, nil
 }
 
-func (t *takeIter) Close() error { return t.child.Close() }
+func (t *takeIter) Close() error {
+	t.tr.flush()
+	return t.child.Close()
+}
 
 // ---------------------------------------------------------------------------
 // Round-robin (outer parallelism)

@@ -3,6 +3,7 @@ package simfs
 import (
 	"fmt"
 	"io"
+	"reflect"
 	"sort"
 	"sync"
 	"time"
@@ -69,6 +70,33 @@ func (fs *FS) AddObserver(o ReadObserver) {
 	fs.observers = append(fs.observers, o)
 }
 
+// RemoveObserver detaches a previously registered observer, so short-lived
+// collectors (benchmark reps) do not keep receiving reads after their run.
+// Observers of uncomparable dynamic types (such as the ObserverFunc
+// adapter) cannot be matched by identity and are left in place; register a
+// pointer type if removal is needed.
+func (fs *FS) RemoveObserver(o ReadObserver) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	kept := fs.observers[:0]
+	for _, ob := range fs.observers {
+		if !sameObserver(ob, o) {
+			kept = append(kept, ob)
+		}
+	}
+	fs.observers = kept
+}
+
+// sameObserver reports identity without panicking on uncomparable dynamic
+// types (comparing two func-typed interface values is a runtime panic).
+func sameObserver(a, b ReadObserver) bool {
+	ta, tb := reflect.TypeOf(a), reflect.TypeOf(b)
+	if ta != tb || ta == nil || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}
+
 // AddCatalog registers every shard of a catalog, generated with seed.
 func (fs *FS) AddCatalog(c data.Catalog, seed uint64) {
 	for _, spec := range c.GenerateFileSpecs(seed) {
@@ -131,10 +159,10 @@ func (fs *FS) ReadCalls() int64 {
 	return fs.readCalls
 }
 
-func (fs *FS) observe(path string, n int64) {
+func (fs *FS) observe(path string, n, calls int64) {
 	fs.mu.Lock()
 	fs.bytesRead += n
-	fs.readCalls++
+	fs.readCalls += calls
 	obs := append([]ReadObserver(nil), fs.observers...)
 	fs.mu.Unlock()
 	for _, o := range obs {
@@ -198,6 +226,14 @@ func hash64(s string) uint64 {
 	return h
 }
 
+// observeFlushBytes is how many served bytes a Reader accumulates before
+// publishing them to the filesystem counters and observers. Record readers
+// issue several small Read calls per record; flushing observation in large
+// batches keeps the fs mutex and the tracer's ObserveRead off the per-record
+// hot path while total accounting stays exact (the remainder is flushed at
+// EOF and on Close).
+const observeFlushBytes = 128 << 10
+
 // Reader streams one file's bytes with instrumentation and (optionally)
 // real-time throttling against the device token bucket.
 type Reader struct {
@@ -207,6 +243,9 @@ type Reader struct {
 	off    int
 	start  time.Time
 	closed bool
+
+	pendingBytes int64
+	pendingCalls int64
 }
 
 // Open returns a reader over the file's framed content.
@@ -231,7 +270,11 @@ func (r *Reader) Read(p []byte) (int, error) {
 	}
 	n := copy(p, r.buf[r.off:])
 	r.off += n
-	r.fs.observe(r.path, int64(n))
+	r.pendingBytes += int64(n)
+	r.pendingCalls++
+	if r.pendingBytes >= observeFlushBytes || r.off >= len(r.buf) {
+		r.flushObservation()
+	}
 	if r.fs.throttle {
 		now := time.Since(r.start)
 		if wait := r.fs.bucket.Take(now, int64(n)); wait > 0 {
@@ -241,9 +284,22 @@ func (r *Reader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// Close releases the reader.
+// flushObservation publishes accumulated read accounting.
+func (r *Reader) flushObservation() {
+	if r.pendingCalls == 0 {
+		return
+	}
+	r.fs.observe(r.path, r.pendingBytes, r.pendingCalls)
+	r.pendingBytes, r.pendingCalls = 0, 0
+}
+
+// Close releases the reader, flushing any unpublished read accounting.
 func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
 	r.closed = true
+	r.flushObservation()
 	return nil
 }
 
