@@ -1,0 +1,379 @@
+// Command plumber is the CLI over the plumber façade: trace a pipeline into
+// a snapshot, analyze a snapshot into resource-accounted rates, or run the
+// closed-loop tuner end to end.
+//
+// Usage:
+//
+//	plumber trace    [-graph graph.json] [-out snapshot.json] [workload flags]
+//	plumber analyze  -snap snapshot.json [-out analysis.json]
+//	plumber optimize [-graph graph.json] [-out tuner.json] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
+//
+// Without -graph, the commands build the demo program — an all-sequential
+// interleave → map → batch chain over a synthetic catalog — whose shape is
+// controlled by the workload flags (-files, -records-per-file,
+// -record-bytes, -batch, -udf-cpu-us). A walkthrough:
+//
+//	plumber trace -out snap.json            # run instrumented, dump counters + program
+//	plumber analyze -snap snap.json         # rates, capacities, cache legality
+//	plumber optimize -out tuner.json        # trace/analyze/rewrite until converged
+//
+// UDF names in a loaded graph that the demo registry does not know are
+// registered automatically as cost-model UDFs costing -udf-cpu-us
+// microseconds per element, so serialized programs from other tools remain
+// runnable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"plumber"
+	"plumber/internal/data"
+	"plumber/internal/ops"
+	"plumber/internal/pipeline"
+	"plumber/internal/simfs"
+	"plumber/internal/trace"
+	"plumber/internal/udf"
+)
+
+const demoUDF = "cli_decode"
+
+// workload bundles the flags shared by trace and optimize.
+type workload struct {
+	graphPath      string
+	files          int
+	recordsPerFile int
+	recordBytes    int64
+	batch          int
+	udfCPUMicros   float64
+	workScale      float64
+	spin           bool
+	seed           uint64
+	minibatches    int64
+}
+
+func (w *workload) register(fs *flag.FlagSet) {
+	fs.StringVar(&w.graphPath, "graph", "", "serialized pipeline program to load (default: build the demo chain)")
+	fs.IntVar(&w.files, "files", 4, "synthetic catalog: shard count")
+	fs.IntVar(&w.recordsPerFile, "records-per-file", 512, "synthetic catalog: records per shard")
+	fs.Int64Var(&w.recordBytes, "record-bytes", 1024, "synthetic catalog: mean record size")
+	fs.IntVar(&w.batch, "batch", 32, "demo chain: batch size")
+	fs.Float64Var(&w.udfCPUMicros, "udf-cpu-us", 20, "modeled UDF cost in CPU-microseconds per element")
+	fs.Float64Var(&w.workScale, "workscale", 1, "scale factor on modeled CPU time (0 disables CPU modeling)")
+	fs.BoolVar(&w.spin, "spin", false, "burn modeled CPU for real so wallclock reflects the cost model")
+	fs.Uint64Var(&w.seed, "seed", 42, "seed for shard content and shuffles")
+	fs.Int64Var(&w.minibatches, "minibatches", 0, "bound each trace drain to N minibatches (0 = one full pass)")
+}
+
+func (w *workload) catalog() data.Catalog {
+	return data.Catalog{
+		Name:                  "cli-synth",
+		NumFiles:              w.files,
+		RecordsPerFile:        w.recordsPerFile,
+		MeanRecordBytes:       w.recordBytes,
+		RecordBytesStddevFrac: 0.25,
+		DecodeAmplification:   1,
+	}
+}
+
+// setup registers the synthetic workload, loads (or builds) the graph, and
+// prepares the filesystem and UDF registry it needs.
+func (w *workload) setup() (*pipeline.Graph, plumber.Options, error) {
+	cat := w.catalog()
+	if err := data.RegisterCatalog(cat); err != nil {
+		return nil, plumber.Options{}, err
+	}
+	reg := udf.NewRegistry()
+	cost := udf.Cost{CPUPerElement: w.udfCPUMicros * 1e-6, SizeFactor: 1}
+	if err := reg.Register(udf.UDF{Name: demoUDF, Cost: cost}); err != nil {
+		return nil, plumber.Options{}, err
+	}
+
+	var g *pipeline.Graph
+	if w.graphPath != "" {
+		b, err := os.ReadFile(w.graphPath)
+		if err != nil {
+			return nil, plumber.Options{}, err
+		}
+		g, err = pipeline.Unmarshal(b)
+		if err != nil {
+			return nil, plumber.Options{}, err
+		}
+	} else {
+		var err error
+		g, err = pipeline.NewBuilder().
+			Interleave(cat.Name, 1).
+			Map(demoUDF, 1).
+			Batch(w.batch).
+			Build()
+		if err != nil {
+			return nil, plumber.Options{}, err
+		}
+	}
+
+	// Unknown UDFs in a loaded graph become cost-model-only stand-ins.
+	for _, n := range g.Nodes {
+		if n.UDF == "" {
+			continue
+		}
+		if _, err := reg.Lookup(n.UDF); err != nil {
+			if err := reg.Register(udf.UDF{Name: n.UDF, Cost: cost}); err != nil {
+				return nil, plumber.Options{}, err
+			}
+		}
+	}
+
+	chain, err := g.Chain()
+	if err != nil {
+		return nil, plumber.Options{}, err
+	}
+	srcCat, err := data.CatalogByName(chain[0].Catalog)
+	if err != nil {
+		return nil, plumber.Options{}, err
+	}
+	fs := simfs.New(simfs.Device{Name: "cli-mem"}, false)
+	fs.AddCatalog(srcCat, w.seed)
+
+	opts := plumber.Options{
+		FS:             fs,
+		UDFs:           reg,
+		Seed:           w.seed,
+		WorkScale:      w.workScale,
+		Spin:           w.spin,
+		MaxMinibatches: w.minibatches,
+	}
+	return g, opts, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "trace":
+		err = runTrace(os.Args[2:])
+	case "analyze":
+		err = runAnalyze(os.Args[2:])
+	case "optimize":
+		err = runOptimize(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "plumber: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plumber %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  plumber trace    [-graph graph.json] [-out snapshot.json] [workload flags]
+  plumber analyze  -snap snapshot.json [-out analysis.json]
+  plumber optimize [-graph graph.json] [-out tuner.json] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
+
+run "plumber <subcommand> -h" for the full flag list`)
+}
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	var w workload
+	w.register(fs)
+	out := fs.String("out", "snapshot.json", "output path for the snapshot JSON")
+	fs.Parse(args)
+
+	g, opts, err := w.setup()
+	if err != nil {
+		return err
+	}
+	snap, err := plumber.Trace(g, opts)
+	if err != nil {
+		return err
+	}
+	b, err := snap.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := writeFile(*out, b); err != nil {
+		return err
+	}
+	root, err := snap.RootStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traced %d minibatches over %v (%d files observed); wrote %s\n",
+		root.ElementsProduced, snap.Duration.Round(0), len(snap.Files), *out)
+	return nil
+}
+
+func runAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	snapPath := fs.String("snap", "", "snapshot JSON produced by plumber trace (required)")
+	out := fs.String("out", "", "optional output path for the analysis JSON")
+	fs.Parse(args)
+	if *snapPath == "" {
+		return fmt.Errorf("-snap is required")
+	}
+	b, err := os.ReadFile(*snapPath)
+	if err != nil {
+		return err
+	}
+	snap, err := trace.UnmarshalSnapshot(b)
+	if err != nil {
+		return err
+	}
+	// A standalone snapshot carries no UDF registry; UDFs are treated as
+	// deterministic for cache legality.
+	an, err := plumber.Analyze(snap, nil)
+	if err != nil {
+		return err
+	}
+	printAnalysis(an)
+	if *out != "" {
+		doc := analysisDoc(an)
+		j, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFile(*out, j); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+// analysisNodeDoc is the JSON view of one analyzed Dataset (Inf-free).
+type analysisNodeDoc struct {
+	Name              string  `json:"name"`
+	Kind              string  `json:"kind"`
+	Parallelism       int     `json:"parallelism"`
+	VisitRatio        float64 `json:"visit_ratio"`
+	RatePerCore       float64 `json:"rate_per_core,omitempty"`
+	ScaledCapacity    float64 `json:"scaled_capacity,omitempty"`
+	MaterializedBytes float64 `json:"materialized_bytes,omitempty"`
+	Cacheable         bool    `json:"cacheable"`
+	CacheVeto         string  `json:"cache_veto,omitempty"`
+}
+
+func analysisDoc(an *ops.Analysis) map[string]any {
+	nodes := make([]analysisNodeDoc, 0, len(an.Nodes))
+	for _, n := range an.Nodes {
+		nodes = append(nodes, analysisNodeDoc{
+			Name:              n.Name,
+			Kind:              string(n.Kind),
+			Parallelism:       n.Parallelism,
+			VisitRatio:        n.VisitRatio,
+			RatePerCore:       finiteOrZero(n.Rate),
+			ScaledCapacity:    finiteOrZero(n.ScaledCapacity),
+			MaterializedBytes: finiteOrZero(n.MaterializedBytes),
+			Cacheable:         n.Cacheable,
+			CacheVeto:         n.CacheVeto,
+		})
+	}
+	return map[string]any{
+		"observed_minibatches_per_sec": an.ObservedRate,
+		"dataset_bytes":                an.DatasetBytes,
+		"observed_files":               an.ObservedFiles,
+		"total_files":                  an.TotalFiles,
+		"bottleneck":                   an.Bottleneck().Name,
+		"nodes":                        nodes,
+	}
+}
+
+func printAnalysis(an *ops.Analysis) {
+	fmt.Printf("observed rate: %.1f minibatches/s   dataset: %.0f bytes (%d/%d files observed)\n",
+		an.ObservedRate, an.DatasetBytes, an.ObservedFiles, an.TotalFiles)
+	fmt.Printf("bottleneck: %s\n\n", an.Bottleneck().Name)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\tkind\tpar\tvisit\trate/core\tcapacity\tcacheable\tmaterialized")
+	for _, n := range an.Nodes {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%s\t%s\t%v\t%s\n",
+			n.Name, n.Kind, n.Parallelism, n.VisitRatio,
+			fmtRate(n.Rate), fmtRate(n.ScaledCapacity), n.Cacheable, fmtBytes(n.MaterializedBytes))
+	}
+	tw.Flush()
+}
+
+func runOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	var w workload
+	w.register(fs)
+	out := fs.String("out", "tuner.json", "output path for the tuner report JSON")
+	cores := fs.Int("cores", 4, "core budget")
+	memoryMB := fs.Int64("memory-mb", 256, "cache memory budget in MiB (0 disables caching)")
+	bwMBps := fs.Float64("bw-mbps", 0, "disk bandwidth budget in MB/s (0 = unbounded)")
+	fs.Parse(args)
+
+	g, opts, err := w.setup()
+	if err != nil {
+		return err
+	}
+	budget := plumber.Budget{
+		Cores:         *cores,
+		MemoryBytes:   *memoryMB << 20,
+		DiskBandwidth: *bwMBps * 1e6,
+	}
+	res, err := plumber.Optimize(g, budget, opts)
+	if err != nil {
+		return err
+	}
+
+	for _, s := range res.Steps {
+		line := fmt.Sprintf("step %2d: %8.1f minibatches/s observed, bottleneck %-18s", s.Step, s.ObservedMinibatchesPerSec, s.Bottleneck)
+		if s.Applied != nil {
+			line += " -> " + s.Applied.Detail
+		} else {
+			line += " -> converged"
+		}
+		fmt.Println(line)
+	}
+	if !res.Converged {
+		fmt.Println("stopped: step budget exhausted before convergence")
+	}
+
+	j, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFile(*out, j); err != nil {
+		return err
+	}
+	fmt.Printf("applied %d rewrites; wrote %s\n", len(res.Trail), *out)
+	return nil
+}
+
+func writeFile(path string, b []byte) error {
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func finiteOrZero(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+func fmtRate(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func fmtBytes(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", v)
+}

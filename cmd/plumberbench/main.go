@@ -1,16 +1,23 @@
-// Command plumberbench measures engine hot-path throughput on canonical
-// pipelines and writes BENCH_engine.json, the checked-in perf trajectory.
+// Command plumberbench measures the repo's checked-in perf trajectories.
 //
 // Usage:
 //
-//	plumberbench [-quick] [-out BENCH_engine.json]
+//	plumberbench [-quick] [-out BENCH_engine.json]          # engine hot path
+//	plumberbench -tuner [-quick] [-out BENCH_tuner.json]    # closed-loop tuner
 //
-// The suite runs the per-element baseline (ChunkSize=1, no pooling), the
-// chunked+pooled engine untraced and traced, and a parallelism sweep. The
-// report includes two acceptance ratios:
+// The default suite runs the engine hot-path configurations (per-element
+// baseline, chunked+pooled untraced and traced, parallelism sweep) and
+// writes BENCH_engine.json with two acceptance ratios:
 //
 //   - chunked_pooled_speedup_over_baseline: >= 2.0 is the target
 //   - traced_fraction_of_untraced: >= 0.85 is the target
+//
+// With -tuner it instead runs plumber.Optimize end to end on the synthetic
+// tuner catalog and writes BENCH_tuner.json — per-step capacity, the
+// applied-rewrite audit trail alongside the final graph, and measured
+// throughput of sequential vs tuned vs hand-tuned:
+//
+//   - tuned_fraction_of_hand_tuned: >= 0.8 is the target
 package main
 
 import (
@@ -24,26 +31,26 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced CI smoke suite")
-	out := flag.String("out", "BENCH_engine.json", "output path for the JSON report")
+	tuner := flag.Bool("tuner", false, "run the closed-loop tuner benchmark instead of the engine suite")
+	out := flag.String("out", "", "output path (default BENCH_engine.json, or BENCH_tuner.json with -tuner)")
 	flag.Parse()
 
-	rep, err := bench.RunSuite(*quick)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "plumberbench: %v\n", err)
-		os.Exit(1)
+	if *tuner {
+		runTuner(*quick, *out)
+		return
 	}
+	runEngine(*quick, *out)
+}
 
-	b, err := json.MarshalIndent(rep, "", "  ")
+func runEngine(quick bool, out string) {
+	if out == "" {
+		out = "BENCH_engine.json"
+	}
+	rep, err := bench.RunSuite(quick)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "plumberbench: marshal: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	b = append(b, '\n')
-	if err := os.WriteFile(*out, b, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "plumberbench: write %s: %v\n", *out, err)
-		os.Exit(1)
-	}
-
+	writeJSON(out, rep)
 	fmt.Printf("%-28s %14s %12s %12s %10s\n", "config", "examples/sec", "MB/sec", "ns/example", "allocs/ex")
 	for _, r := range rep.Results {
 		fmt.Printf("%-28s %14.0f %12.1f %12.0f %10.2f\n",
@@ -52,5 +59,48 @@ func main() {
 	for k, v := range rep.Comparisons {
 		fmt.Printf("%s = %.3f\n", k, v)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", out)
+}
+
+func runTuner(quick bool, out string) {
+	if out == "" {
+		out = "BENCH_tuner.json"
+	}
+	rep, err := bench.RunTuner(quick)
+	if err != nil {
+		fatal(err)
+	}
+	writeJSON(out, rep)
+	for _, s := range rep.Steps {
+		line := fmt.Sprintf("step %2d: %9.1f minibatches/s observed", s.Step, s.ObservedMinibatchesPerSec)
+		if s.Applied != nil {
+			line += " -> " + s.Applied.Detail
+		} else {
+			line += " -> converged"
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("sequential  %10.0f examples/sec\n", rep.SequentialExamplesPerSec)
+	fmt.Printf("tuned       %10.0f examples/sec\n", rep.TunedExamplesPerSec)
+	fmt.Printf("hand-tuned  %10.0f examples/sec\n", rep.HandTunedExamplesPerSec)
+	for k, v := range rep.Comparisons {
+		fmt.Printf("%s = %.3f\n", k, v)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+func writeJSON(path string, doc any) {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(fmt.Errorf("marshal: %w", err))
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fatal(fmt.Errorf("write %s: %w", path, err))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "plumberbench: %v\n", err)
+	os.Exit(1)
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,13 +65,20 @@ type Options struct {
 	// automatically restricted (no recycling) when the chain contains a
 	// Cache node, which retains elements across epochs.
 	DisableBufferPool bool
+	// Caches, when non-nil, is a cache store shared across pipeline
+	// re-instantiations: a rewrite loop that repeatedly rebuilds the
+	// pipeline keeps warm cache contents between builds, and entries whose
+	// below-cache chain changed under a rewrite are invalidated
+	// automatically. Nil gives each pipeline a private store (caches live
+	// only across Repeat epochs within that pipeline).
+	Caches *CacheStore
 }
 
 // Pipeline is an instantiated, runnable iterator tree.
 type Pipeline struct {
 	root   iterator
 	opts   Options
-	caches *cacheStore
+	caches *CacheStore
 	mu     sync.Mutex
 	closed bool
 
@@ -112,7 +120,10 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 			opts.SampleEvery = 1
 		}
 	}
-	p := &Pipeline{opts: opts, caches: newCacheStore()}
+	p := &Pipeline{opts: opts, caches: opts.Caches}
+	if p.caches == nil {
+		p.caches = NewCacheStore()
+	}
 	chain, err := g.Chain()
 	if err != nil {
 		return nil, err
@@ -129,11 +140,11 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 	if outer < 1 {
 		outer = 1
 	}
-	build := func(seedShift uint64) (iterator, error) {
-		return p.buildChain(chain, len(chain)-1, opts.Seed^seedShift)
+	build := func(replica int, seedShift uint64) (iterator, error) {
+		return p.buildChain(chain, len(chain)-1, replica, opts.Seed^seedShift)
 	}
 	if outer == 1 {
-		root, err := build(0)
+		root, err := build(0, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +155,7 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 	// round-robin their outputs (§5.1's remedy for NLP pipelines).
 	replicas := make([]iterator, outer)
 	for i := range replicas {
-		it, err := build(uint64(i+1) * 0x9e3779b97f4a7c15)
+		it, err := build(i, uint64(i+1)*0x9e3779b97f4a7c15)
 		if err != nil {
 			return nil, err
 		}
@@ -201,15 +212,18 @@ func (p *Pipeline) Recycle(e data.Element) {
 
 // buildChain builds the iterator for chain[idx], recursively building its
 // child. Repeat nodes capture a factory so each epoch re-instantiates the
-// subtree below them (cache contents persist in the store).
-func (p *Pipeline) buildChain(chain []pipeline.Node, idx int, seed uint64) (iterator, error) {
+// subtree below them (cache contents persist in the store). replica is the
+// outer-parallelism replica index; each replica materializes its own cache
+// entries, since replicas are independent pipeline instances whose fills
+// must not interleave.
+func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint64) (iterator, error) {
 	n := chain[idx]
 	handle := p.handle(n.Name)
 	childFactory := func() (iterator, error) {
 		if idx == 0 {
 			return nil, fmt.Errorf("engine: node %q has no child", n.Name)
 		}
-		return p.buildChain(chain, idx-1, seed)
+		return p.buildChain(chain, idx-1, replica, seed)
 	}
 	switch n.Kind {
 	case pipeline.KindSource, pipeline.KindInterleave:
@@ -263,7 +277,11 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx int, seed uint64) (iter
 		}
 		return newPrefetchIter(p, child, n.BufferSize, handle), nil
 	case pipeline.KindCache:
-		return newCacheIter(p.caches.entry(n.Name), childFactory, handle)
+		key := n.Name
+		if replica > 0 {
+			key = fmt.Sprintf("%s#%d", n.Name, replica)
+		}
+		return newCacheIter(p.caches.entry(key, chainSignature(chain[:idx], seed)), childFactory, handle)
 	case pipeline.KindTake:
 		child, err := childFactory()
 		if err != nil {
@@ -342,6 +360,22 @@ func spin(d time.Duration) {
 		}
 	}
 	atomic.StoreUint64(&spinSink, s)
+}
+
+// chainSignature fingerprints the subtree below a cache node: every field
+// that affects what the cache would materialize (operator identity and
+// parameters, plus the pipeline seed that drives shuffles and randomized
+// UDFs). A rewrite that touches anything below the cache point produces a
+// different signature and therefore a cold entry.
+func chainSignature(below []pipeline.Node, seed uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", seed)
+	for _, n := range below {
+		fmt.Fprintf(&b, "|%s/%s/%s/%s/%d/%d/%d/%d/%s/%t",
+			n.Name, n.Kind, n.Input, n.UDF, n.Parallelism, n.BufferSize,
+			n.BatchSize, n.Count, n.Catalog, n.ParallelizableBatch)
+	}
+	return b.String()
 }
 
 func hashName(s string) uint64 {

@@ -353,6 +353,190 @@ func TestFilterDropRecycle(t *testing.T) {
 	}
 }
 
+// TestSharedCacheStoreServesAcrossInstantiations drains a cached pipeline,
+// then re-instantiates the same graph against the same CacheStore: the
+// second pipeline must serve entirely from memory, issuing no file reads.
+func TestSharedCacheStoreServesAcrossInstantiations(t *testing.T) {
+	fs, reg := testSetup(t)
+	g, err := pipeline.NewBuilder().
+		Interleave(testCatalog.Name, 2).
+		Map("noop", 2).
+		Cache().
+		Batch(8).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewCacheStore()
+	total := int64(testCatalog.NumFiles * testCatalog.RecordsPerFile)
+
+	drain := func() (examples int64) {
+		t.Helper()
+		p, err := New(g, Options{FS: fs, UDFs: reg, Caches: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		_, examples, err = p.Drain(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return examples
+	}
+
+	if got := drain(); got != total {
+		t.Fatalf("first drain: %d examples, want %d", got, total)
+	}
+	readsAfterFill := fs.ReadCalls()
+	if got := drain(); got != total {
+		t.Fatalf("cached drain: %d examples, want %d", got, total)
+	}
+	if fs.ReadCalls() != readsAfterFill {
+		t.Fatalf("cached re-instantiation touched the filesystem: %d -> %d read calls",
+			readsAfterFill, fs.ReadCalls())
+	}
+}
+
+// TestSharedCacheStoreInvalidatedByRewrite rewrites the chain below the
+// cache node between instantiations; the stale entry must be discarded and
+// the data re-read, not served from the old chain's contents.
+func TestSharedCacheStoreInvalidatedByRewrite(t *testing.T) {
+	fs, reg := testSetup(t)
+	if err := reg.Register(udf.UDF{Name: "grow2x", Cost: udf.Cost{SizeFactor: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	build := func(udfName string) *pipeline.Graph {
+		g, err := pipeline.NewBuilder().
+			Interleave(testCatalog.Name, 2).
+			Named("mapper").Map(udfName, 2).
+			Named("the_cache").Cache().
+			Batch(8).
+			Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	store := NewCacheStore()
+	total := int64(testCatalog.NumFiles * testCatalog.RecordsPerFile)
+
+	drainBytes := func(g *pipeline.Graph) (bytes int64) {
+		t.Helper()
+		p, err := New(g, Options{FS: fs, UDFs: reg, Caches: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		var examples int64
+		for {
+			e, err := p.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			bytes += e.Size
+			examples += int64(e.Count)
+		}
+		if examples != total {
+			t.Fatalf("drained %d examples, want %d", examples, total)
+		}
+		return bytes
+	}
+
+	baseBytes := drainBytes(build("noop"))
+	readsAfterFill := fs.ReadCalls()
+
+	// Same chain below the cache: served from memory, same bytes.
+	if got := drainBytes(build("noop")); got != baseBytes {
+		t.Fatalf("cached drain bytes %d, want %d", got, baseBytes)
+	}
+	if fs.ReadCalls() != readsAfterFill {
+		t.Fatal("unchanged chain should have served from cache")
+	}
+
+	// Rewritten chain below the cache (different UDF): entry invalidated,
+	// files re-read, and the amplified output proves fresh computation.
+	grownBytes := drainBytes(build("grow2x"))
+	if grownBytes != 2*baseBytes {
+		t.Fatalf("rewritten chain produced %d bytes, want %d (2x): stale cache served", grownBytes, 2*baseBytes)
+	}
+	if fs.ReadCalls() == readsAfterFill {
+		t.Fatal("rewritten chain never touched the filesystem: stale cache served")
+	}
+}
+
+// TestPrivateCacheStorePerPipeline documents the default: with Options.Caches
+// nil, a second instantiation re-reads from disk.
+func TestPrivateCacheStorePerPipeline(t *testing.T) {
+	fs, reg := testSetup(t)
+	g, err := pipeline.NewBuilder().
+		Interleave(testCatalog.Name, 2).
+		Cache().
+		Batch(8).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		before := fs.ReadCalls()
+		p, err := New(g, Options{FS: fs, UDFs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p.Drain(0); err != nil {
+			t.Fatal(err)
+		}
+		p.Close()
+		if fs.ReadCalls() == before {
+			t.Fatalf("instantiation %d served from a store that should be private", i)
+		}
+	}
+}
+
+// TestOuterParallelismWithCache pins the replica isolation of cache
+// entries: with OuterParallelism 2 and a Cache in the chain, each replica
+// fills and serves its own entry, so a multi-epoch drain yields exactly
+// epochs x replicas x dataset examples — not interleaved, duplicated fills.
+func TestOuterParallelismWithCache(t *testing.T) {
+	fs, reg := testSetup(t)
+	g, err := pipeline.NewBuilder().
+		Interleave(testCatalog.Name, 2).
+		Map("noop", 2).
+		Cache().
+		Batch(8).
+		Repeat(2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.OuterParallelism = 2
+	p, err := New(g, Options{FS: fs, UDFs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var examples int64
+	for {
+		e, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(e.Payload)) != e.Size {
+			t.Fatalf("replicated cached element corrupt: len=%d size=%d", len(e.Payload), e.Size)
+		}
+		examples += int64(e.Count)
+	}
+	total := int64(testCatalog.NumFiles * testCatalog.RecordsPerFile)
+	if want := 2 * 2 * total; examples != want {
+		t.Fatalf("drained %d examples, want %d (2 epochs x 2 replicas x %d)", examples, want, total)
+	}
+}
+
 // TestChunkedHandoffRace hammers the chunked worker handoff from several
 // concurrently-draining pipelines; run with -race in CI.
 func TestChunkedHandoffRace(t *testing.T) {

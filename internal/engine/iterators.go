@@ -787,30 +787,46 @@ func (p *prefetchIter) Close() error {
 // ---------------------------------------------------------------------------
 // Cache
 
-// cacheStore holds materialized cache contents across subtree rebuilds
-// (Repeat epochs) keyed by cache node name.
-type cacheStore struct {
+// CacheStore holds materialized cache contents keyed by cache node name
+// (suffixed with the replica index under outer parallelism, so independent
+// replicas never interleave their fills). It
+// survives subtree rebuilds (Repeat epochs) within one pipeline, and — when
+// passed explicitly via Options.Caches — re-instantiations of the pipeline
+// across graph rewrites, so a tuner's trace/rewrite loop keeps warm caches
+// between steps. Entries remember a signature of the chain below their cache
+// node; instantiating a graph whose below-cache chain changed invalidates
+// the stale contents instead of serving them.
+//
+// A CacheStore is safe to share across sequentially instantiated pipelines
+// (close one before draining the next); concurrent pipelines filling the
+// same entry are not supported.
+type CacheStore struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 }
 
 type cacheEntry struct {
 	mu       sync.Mutex
+	sig      string
 	elems    []data.Element
 	complete bool
 	bytes    int64
 }
 
-func newCacheStore() *cacheStore {
-	return &cacheStore{entries: make(map[string]*cacheEntry)}
+// NewCacheStore returns an empty cache store for sharing across pipeline
+// re-instantiations.
+func NewCacheStore() *CacheStore {
+	return &CacheStore{entries: make(map[string]*cacheEntry)}
 }
 
-func (cs *cacheStore) entry(name string) *cacheEntry {
+// entry returns the entry for the named cache node, discarding any previous
+// contents materialized under a different below-cache chain signature.
+func (cs *CacheStore) entry(name, sig string) *cacheEntry {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	e, ok := cs.entries[name]
-	if !ok {
-		e = &cacheEntry{}
+	if !ok || e.sig != sig {
+		e = &cacheEntry{sig: sig}
 		cs.entries[name] = e
 	}
 	return e
@@ -835,6 +851,13 @@ func newCacheIter(entry *cacheEntry, factory func() (iterator, error), handle *t
 	c := &cacheIter{entry: entry, factory: factory, tr: tracker{h: handle}}
 	entry.mu.Lock()
 	c.serving = entry.complete
+	if !entry.complete {
+		// A previous pipeline may have filled this entry partially (drain
+		// bounded by Take or an early Close) before the store was reused;
+		// restart the fill from scratch so elements are never duplicated.
+		entry.elems = nil
+		entry.bytes = 0
+	}
 	entry.mu.Unlock()
 	return c, nil
 }

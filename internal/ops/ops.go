@@ -247,16 +247,25 @@ func (a *Analysis) Node(name string) (NodeAnalysis, error) {
 
 // Bottleneck returns the node with the lowest current throughput ceiling
 // (ScaledCapacity), i.e. the pipeline's bottleneck under the operational
-// model. Sequential zero-cost plumbing nodes (prefetch, repeat, take, cache)
-// with infinite rates never win.
+// model. Infinite-capacity nodes — zero-cost plumbing (prefetch, repeat,
+// take, cache) and any node with no measurable CPU in the trace — are
+// skipped explicitly. Ties break deterministically in source-to-root order
+// (the earliest node wins). On an all-infinite trace, where no node has a
+// measurable cost, the source is returned as the deterministic fallback.
 func (a *Analysis) Bottleneck() NodeAnalysis {
-	best := a.Nodes[0]
-	for _, n := range a.Nodes[1:] {
-		if n.ScaledCapacity < best.ScaledCapacity {
-			best = n
+	best := -1
+	for i, n := range a.Nodes {
+		if math.IsInf(n.ScaledCapacity, 1) {
+			continue
+		}
+		if best < 0 || n.ScaledCapacity < a.Nodes[best].ScaledCapacity {
+			best = i
 		}
 	}
-	return best
+	if best < 0 {
+		return a.Nodes[0]
+	}
+	return a.Nodes[best]
 }
 
 // RankedByCapacity returns nodes sorted ascending by ScaledCapacity — the
@@ -294,10 +303,15 @@ func (a *Analysis) NextParallelizableBottleneck() (NodeAnalysis, bool) {
 // DiskBoundMinibatchesPerSec converts available bandwidth (bytes/second)
 // into a root-throughput ceiling using the source's I/O cost: the §5.2
 // arithmetic (e.g. ImageNet: 128×110KB per minibatch → 6.9 minibatches per
-// 100MB/s).
+// 100MB/s). A pipeline that performs no I/O is never disk-bound (+Inf); a
+// pipeline that does perform I/O has ceiling 0 when bandwidth <= 0, since
+// no bytes can be served.
 func (a *Analysis) DiskBoundMinibatchesPerSec(bandwidth float64) float64 {
 	for _, n := range a.Nodes {
 		if n.IOBytesPerMinibatch > 0 {
+			if bandwidth <= 0 {
+				return 0
+			}
 			return bandwidth / n.IOBytesPerMinibatch
 		}
 	}

@@ -2,8 +2,16 @@
 // input pipeline: a chain of Dataset nodes from a storage source up to the
 // root that feeds the model (§2.1). The representation plays the role of
 // tf.data's serialized GraphDef: Plumber's tracer dumps it next to the
-// runtime counters, the analyzer joins the two, and the rewriter performs
-// graph surgery on it before re-instantiating the pipeline.
+// runtime counters, the analyzer joins the two, and the rewriter (package
+// internal/rewrite, driven by the top-level plumber façade) performs graph
+// surgery on it before re-instantiating the pipeline.
+//
+// Graph surgery goes through the transactional mutation primitives —
+// InsertAbove, Remove, WithParallelism, WithOuterParallelism — each of
+// which returns a validated clone and leaves the receiver untouched, so
+// analyses and snapshots keyed on node names never observe a half-edited
+// program. Raw SetNode remains for in-place parameter edits by code that
+// manages its own validation.
 package pipeline
 
 import (
@@ -135,6 +143,98 @@ func (g *Graph) SetNode(n Node) error {
 	return nil
 }
 
+// InsertAbove returns a validated clone with n inserted directly above the
+// named node: n consumes name, and whatever consumed name now consumes n.
+// Inserting above the output makes n the new output. The receiver is never
+// modified; on any error (missing anchor, duplicate or empty name for n,
+// or a clone that fails Validate) the original graph remains usable as-is.
+func (g *Graph) InsertAbove(name string, n Node) (*Graph, error) {
+	if n.Name == "" {
+		return nil, fmt.Errorf("pipeline: InsertAbove: inserted node needs a name")
+	}
+	if g.NodeIndex(n.Name) >= 0 {
+		return nil, fmt.Errorf("pipeline: InsertAbove: node %q already exists", n.Name)
+	}
+	if g.NodeIndex(name) < 0 {
+		return nil, fmt.Errorf("pipeline: InsertAbove: no node %q", name)
+	}
+	if n.IsSource() {
+		return nil, fmt.Errorf("pipeline: InsertAbove: cannot insert source node %q mid-chain", n.Name)
+	}
+	out := g.Clone()
+	n.Input = name
+	for i := range out.Nodes {
+		if out.Nodes[i].Input == name {
+			out.Nodes[i].Input = n.Name
+		}
+	}
+	out.Nodes = append(out.Nodes, n)
+	if out.Output == name {
+		out.Output = n.Name
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: InsertAbove %q: %w", n.Name, err)
+	}
+	return out, nil
+}
+
+// Remove returns a validated clone with the named node spliced out: its
+// consumer (or the graph output) now pulls from its input. Removing the
+// source fails validation, as does removing the only node. The receiver is
+// never modified.
+func (g *Graph) Remove(name string) (*Graph, error) {
+	i := g.NodeIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("pipeline: Remove: no node %q", name)
+	}
+	out := g.Clone()
+	removed := out.Nodes[i]
+	out.Nodes = append(out.Nodes[:i], out.Nodes[i+1:]...)
+	for j := range out.Nodes {
+		if out.Nodes[j].Input == name {
+			out.Nodes[j].Input = removed.Input
+		}
+	}
+	if out.Output == name {
+		if removed.Input == "" {
+			return nil, fmt.Errorf("pipeline: Remove: cannot remove %q, the only node", name)
+		}
+		out.Output = removed.Input
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: Remove %q: %w", name, err)
+	}
+	return out, nil
+}
+
+// WithParallelism returns a validated clone with the named node's
+// parallelism knob set to p. Raising parallelism on a sequential node fails
+// validation. The receiver is never modified.
+func (g *Graph) WithParallelism(name string, p int) (*Graph, error) {
+	i := g.NodeIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("pipeline: WithParallelism: no node %q", name)
+	}
+	out := g.Clone()
+	out.Nodes[i].Parallelism = p
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: WithParallelism %q: %w", name, err)
+	}
+	return out, nil
+}
+
+// WithOuterParallelism returns a validated clone replicating the whole
+// pipeline k times (0 and 1 both mean a single instance). The receiver is
+// never modified.
+func (g *Graph) WithOuterParallelism(k int) (*Graph, error) {
+	out := g.Clone()
+	out.OuterParallelism = k
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: WithOuterParallelism %d: %w", k, err)
+	}
+	return out, nil
+}
+
 // Chain returns the nodes ordered from source to root. It fails if the
 // graph is not a single linear chain ending at Output.
 func (g *Graph) Chain() ([]Node, error) {
@@ -192,6 +292,9 @@ func (g *Graph) Chain() ([]Node, error) {
 // Validate checks structural invariants: a single linear chain, exactly one
 // source at the head, and per-kind parameter sanity.
 func (g *Graph) Validate() error {
+	if g.OuterParallelism < 0 {
+		return fmt.Errorf("pipeline: negative outer parallelism %d", g.OuterParallelism)
+	}
 	chain, err := g.Chain()
 	if err != nil {
 		return err

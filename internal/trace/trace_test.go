@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"plumber/internal/pipeline"
+	"plumber/internal/simfs"
+)
+
+func testSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	g, err := pipeline.NewBuilder().
+		Interleave("cat", 2).
+		Map("decode", 2).
+		Batch(8).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Snapshot{
+		Graph: g,
+		Machine: Machine{
+			Name:            "setup-a",
+			Cores:           16,
+			MemoryBytes:     32 << 30,
+			MemoryBandwidth: 12e9,
+		},
+		Duration: 1500 * time.Millisecond,
+		Nodes: map[string]*NodeStats{
+			"interleave_1": {
+				Name: "interleave_1", Kind: pipeline.KindInterleave, Parallelism: 2,
+				ElementsProduced: 4096, BytesProduced: 4 << 20, BytesRead: 5 << 20,
+				CPUNanos: 7e8, WallNanos: 9e8,
+			},
+			"map_1": {
+				Name: "map_1", Kind: pipeline.KindMap, Parallelism: 2,
+				ElementsProduced: 4096, ElementsConsumed: 4096, BytesProduced: 4 << 20,
+				CPUNanos: 3e8, WallNanos: 4e8,
+			},
+			"batch_1": {
+				Name: "batch_1", Kind: pipeline.KindBatch, Parallelism: 1,
+				ElementsProduced: 512, ElementsConsumed: 4096, BytesProduced: 4 << 20,
+			},
+		},
+		// Subsampled file observation: 2 of 8 shards seen.
+		Files: map[string]int64{
+			"/data/cat/cat-00000-of-00008.tfrecord": 2621440,
+			"/data/cat/cat-00003-of-00008.tfrecord": 2600000,
+		},
+		TotalFiles: 8,
+		DiskProfile: &simfs.BandwidthProfile{
+			Device:      "hdd",
+			Parallelism: []int{1, 2, 4},
+			Bandwidth:   []float64{60e6, 120e6, 180e6},
+		},
+	}
+}
+
+// TestSnapshotRoundTrip marshals a fully populated snapshot — including the
+// Files/TotalFiles subsample fields the size estimator rescales by — and
+// checks every field survives the JSON round trip.
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := testSnapshot(t)
+	b, err := snap.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.Graph, snap.Graph) {
+		t.Fatalf("graph mismatch:\n got %+v\nwant %+v", got.Graph, snap.Graph)
+	}
+	// Machine.Disk is deliberately not serialized (json:"-"); the rest must
+	// survive.
+	if got.Machine != snap.Machine {
+		t.Fatalf("machine mismatch: got %+v want %+v", got.Machine, snap.Machine)
+	}
+	if got.Duration != snap.Duration {
+		t.Fatalf("duration = %v, want %v", got.Duration, snap.Duration)
+	}
+	if !reflect.DeepEqual(got.Nodes, snap.Nodes) {
+		t.Fatalf("node counters mismatch:\n got %+v\nwant %+v", got.Nodes, snap.Nodes)
+	}
+	if !reflect.DeepEqual(got.Files, snap.Files) {
+		t.Fatalf("files mismatch: got %+v want %+v", got.Files, snap.Files)
+	}
+	if got.TotalFiles != snap.TotalFiles {
+		t.Fatalf("TotalFiles = %d, want %d", got.TotalFiles, snap.TotalFiles)
+	}
+	if got.ObservedFileBytes() != snap.ObservedFileBytes() {
+		t.Fatalf("ObservedFileBytes = %d, want %d", got.ObservedFileBytes(), snap.ObservedFileBytes())
+	}
+	if !reflect.DeepEqual(got.DiskProfile.Parallelism, snap.DiskProfile.Parallelism) ||
+		!reflect.DeepEqual(got.DiskProfile.Bandwidth, snap.DiskProfile.Bandwidth) ||
+		got.DiskProfile.Device != snap.DiskProfile.Device {
+		t.Fatalf("disk profile mismatch: got %+v want %+v", got.DiskProfile, snap.DiskProfile)
+	}
+
+	// Chain-ordered access must work identically on the decoded copy.
+	gotChain, err := got.ChainStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChain, err := snap.ChainStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotChain, wantChain) {
+		t.Fatal("ChainStats differs after round trip")
+	}
+	if !reflect.DeepEqual(got.SortedFileNames(), snap.SortedFileNames()) {
+		t.Fatal("SortedFileNames differs after round trip")
+	}
+}
+
+// TestSnapshotRoundTripOmitsEmpty checks a minimal snapshot (no disk
+// profile, no files) round-trips without sprouting spurious fields.
+func TestSnapshotRoundTripOmitsEmpty(t *testing.T) {
+	snap := testSnapshot(t)
+	snap.DiskProfile = nil
+	snap.Files = map[string]int64{}
+	snap.TotalFiles = 0
+	b, err := snap.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DiskProfile != nil {
+		t.Fatalf("DiskProfile = %+v, want nil", got.DiskProfile)
+	}
+	if len(got.Files) != 0 || got.TotalFiles != 0 {
+		t.Fatalf("subsample fields not empty: %d files, TotalFiles %d", len(got.Files), got.TotalFiles)
+	}
+}
+
+func TestUnmarshalSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalSnapshot([]byte(`{"graph": 42`)); err == nil {
+		t.Fatal("expected error on malformed snapshot JSON")
+	}
+}

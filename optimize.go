@@ -1,0 +1,175 @@
+package plumber
+
+import (
+	"fmt"
+	"math"
+
+	"plumber/internal/engine"
+	"plumber/internal/ops"
+	"plumber/internal/pipeline"
+	"plumber/internal/rewrite"
+)
+
+// Budget is the resource envelope the tuner allocates against; it aliases
+// rewrite.Budget so callers can stay entirely within the façade.
+type Budget = rewrite.Budget
+
+// StepReport records the state the tuner observed at one trace/analyze
+// iteration, before (possibly) applying a rewrite — the per-step capacity
+// trajectory.
+type StepReport struct {
+	// Step is the 0-based iteration index.
+	Step int `json:"step"`
+	// ObservedMinibatchesPerSec is X_0 from this step's trace.
+	ObservedMinibatchesPerSec float64 `json:"observed_minibatches_per_sec"`
+	// Bottleneck is the lowest-finite-capacity Dataset at this step.
+	Bottleneck string `json:"bottleneck"`
+	// BottleneckCapacity is its ScaledCapacity in minibatches/second
+	// (0 encodes an all-infinite trace with no measurable bottleneck).
+	BottleneckCapacity float64 `json:"bottleneck_capacity"`
+	// CapacityCeiling is the budget-constrained end-to-end ceiling
+	// (0 encodes an unbounded ceiling: no budget or sequential cap binds).
+	CapacityCeiling float64 `json:"capacity_ceiling"`
+	// ParallelCores is the core claim of the program's knobs at this step.
+	ParallelCores int `json:"parallel_cores"`
+	// Applied is the rewrite this step fired, nil on the converged step.
+	Applied *rewrite.Step `json:"applied,omitempty"`
+}
+
+// Result is the outcome of one Optimize run: the rewritten program, the
+// audit trail of applied remedies, and the per-step capacity trajectory.
+type Result struct {
+	// Initial and Final are the program before and after tuning; Initial is
+	// a clone, the caller's graph is never modified.
+	Initial *pipeline.Graph `json:"initial"`
+	Final   *pipeline.Graph `json:"final"`
+	// Budget echoes the resource envelope the tuner ran under.
+	Budget Budget `json:"budget"`
+	// Trail is the ordered audit of every applied rewrite.
+	Trail rewrite.Trail `json:"trail"`
+	// Steps is the per-iteration capacity trajectory; the last entry with
+	// Applied == nil describes the converged program.
+	Steps []StepReport `json:"steps"`
+	// Converged is true when no remedy applied (capacity converged or the
+	// budget bound); false means MaxSteps was exhausted first.
+	Converged bool `json:"converged"`
+	// FinalObservedMinibatchesPerSec is the last trace's observed rate.
+	FinalObservedMinibatchesPerSec float64 `json:"final_observed_minibatches_per_sec"`
+}
+
+// Optimize runs the paper's closed loop on the graph: trace it on the real
+// engine, operationalize the counters, apply the first applicable remedy
+// (raise the parallelizable bottleneck, insert a root prefetch, materialize
+// the best cacheable Dataset, replicate past a sequential bottleneck), and
+// re-instantiate — repeating until no remedy applies or MaxSteps is hit.
+// A zero Budget.Cores allocates against the machine's core count, like the
+// paper's nc-core tuner. The caller's graph is never modified.
+func Optimize(g *pipeline.Graph, budget Budget, opts Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Snapshots produced by the loop should describe the budget the tuner
+	// actually allocated against, unless the caller pinned the machine.
+	if opts.Machine.Cores == 0 && budget.Cores > 0 {
+		opts.Machine.Cores = budget.Cores
+	}
+	if opts.Machine.MemoryBytes == 0 {
+		opts.Machine.MemoryBytes = budget.MemoryBytes
+	}
+	userSetMaxSteps := opts.MaxSteps > 0
+	opts = opts.withDefaults()
+	if budget.Cores <= 0 {
+		// An unbounded core budget gives the +1-per-step parallelism ramp no
+		// stopping point short of the rewrites' safety caps; allocate
+		// against the machine instead, like the paper's nc-core tuner.
+		budget.Cores = opts.Machine.Cores
+	}
+	if !userSetMaxSteps && 2*budget.Cores+8 > opts.MaxSteps {
+		// The parallelism ramp alone can take ~cores steps per parallel
+		// Dataset; leave the default step cap comfortably above it.
+		opts.MaxSteps = 2*budget.Cores + 8
+	}
+	if opts.Caches == nil {
+		// One store per run: caches inserted at step k are warm at step
+		// k+1, and the engine invalidates entries whose below-cache chain a
+		// later rewrite touches.
+		opts.Caches = engine.NewCacheStore()
+	}
+	rewrites := opts.Rewrites
+	if rewrites == nil {
+		rewrites = rewrite.DefaultRewrites(budget)
+	}
+
+	res := &Result{Initial: g.Clone(), Budget: budget}
+	cur := g.Clone()
+	for step := 0; step < opts.MaxSteps; step++ {
+		snap, err := Trace(cur, opts)
+		if err != nil {
+			return nil, fmt.Errorf("plumber: optimize step %d: %w", step, err)
+		}
+		an, err := Analyze(snap, opts.UDFs)
+		if err != nil {
+			return nil, fmt.Errorf("plumber: optimize step %d: %w", step, err)
+		}
+		report := stepReport(step, an, budget)
+		res.FinalObservedMinibatchesPerSec = report.ObservedMinibatchesPerSec
+
+		applied := false
+		for _, rw := range rewrites {
+			next, st, ok, err := rw.Apply(an, budget)
+			if err != nil {
+				return nil, fmt.Errorf("plumber: optimize step %d: %s: %w", step, rw.Name(), err)
+			}
+			if !ok {
+				continue
+			}
+			cur = next
+			res.Trail = append(res.Trail, st)
+			report.Applied = &st
+			applied = true
+			break
+		}
+		res.Steps = append(res.Steps, report)
+		if !applied {
+			res.Converged = true
+			break
+		}
+	}
+	if !res.Converged {
+		// MaxSteps exhausted with the last rewrite unmeasured: one final
+		// trace so Final's reported rate matches the returned program.
+		snap, err := Trace(cur, opts)
+		if err != nil {
+			return nil, fmt.Errorf("plumber: optimize final trace: %w", err)
+		}
+		an, err := Analyze(snap, opts.UDFs)
+		if err != nil {
+			return nil, fmt.Errorf("plumber: optimize final analysis: %w", err)
+		}
+		report := stepReport(len(res.Steps), an, budget)
+		res.FinalObservedMinibatchesPerSec = report.ObservedMinibatchesPerSec
+		res.Steps = append(res.Steps, report)
+	}
+	res.Final = cur
+	return res, nil
+}
+
+func stepReport(step int, an *ops.Analysis, budget Budget) StepReport {
+	bn := an.Bottleneck()
+	r := StepReport{
+		Step:                      step,
+		ObservedMinibatchesPerSec: an.ObservedRate,
+		Bottleneck:                bn.Name,
+		BottleneckCapacity:        bn.ScaledCapacity,
+		CapacityCeiling:           rewrite.CapacityCeiling(an, budget),
+		ParallelCores:             rewrite.ParallelCoresInUse(an.Snapshot.Graph),
+	}
+	// JSON cannot carry +Inf; encode "no measurable bottleneck" as 0.
+	if math.IsInf(r.BottleneckCapacity, 1) {
+		r.BottleneckCapacity = 0
+	}
+	if math.IsInf(r.CapacityCeiling, 1) {
+		r.CapacityCeiling = 0
+	}
+	return r
+}

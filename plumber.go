@@ -1,0 +1,142 @@
+// Package plumber is the drop-in façade over the reproduction's layers: it
+// wires the engine, tracer, analyzer, and rewriter into the paper's
+// five-lines-of-code interface. Trace runs an instrumented pipeline and
+// returns a Snapshot; Analyze turns a Snapshot into resource-accounted
+// rates; Optimize closes the loop — trace, analyze, rewrite,
+// re-instantiate — until capacity converges or the resource budget binds,
+// returning the rewritten program together with the audit trail of every
+// remedy applied.
+//
+//	snap, _ := plumber.Trace(graph, opts)
+//	analysis, _ := plumber.Analyze(snap, opts.UDFs)
+//	result, _ := plumber.Optimize(graph, plumber.Budget{Cores: 16, MemoryBytes: 32 << 30}, opts)
+//	run(result.Final)
+package plumber
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"plumber/internal/data"
+	"plumber/internal/engine"
+	"plumber/internal/ops"
+	"plumber/internal/pipeline"
+	"plumber/internal/rewrite"
+	"plumber/internal/simfs"
+	"plumber/internal/trace"
+	"plumber/internal/udf"
+)
+
+// Options configures the façade's engine runs.
+type Options struct {
+	// FS serves the source shards. Required.
+	FS *simfs.FS
+	// UDFs resolves Map/Filter function names and the randomness closure
+	// that gates caching. Optional when the graph uses no UDF nodes.
+	UDFs *udf.Registry
+	// Machine labels emitted snapshots; zero values are filled with
+	// sensible defaults ("plumber", runtime.NumCPU cores).
+	Machine trace.Machine
+	// Seed drives shuffles and randomized UDFs.
+	Seed uint64
+	// WorkScale converts modeled UDF CPU-seconds into accounted (and, with
+	// Spin, burned) CPU time. Zero disables CPU modeling.
+	WorkScale float64
+	// Spin makes workers busy-wait for modeled CPU time so wallclock
+	// throughput reflects the cost model.
+	Spin bool
+	// MaxMinibatches bounds each trace drain; 0 drains to EOF (one pass
+	// over a finite pipeline).
+	MaxMinibatches int64
+	// MaxSteps caps Optimize's rewrite iterations (default 32).
+	MaxSteps int
+	// Rewrites overrides Optimize's remedy sequence; nil uses
+	// rewrite.DefaultRewrites(budget).
+	Rewrites []rewrite.Rewrite
+	// Caches, when non-nil, carries warm cache contents across Optimize's
+	// re-instantiations (and across separate Trace calls). Optimize
+	// defaults to one shared store per call, so a cache inserted at step k
+	// is warm when step k+1 traces; stale entries are invalidated by the
+	// engine when a rewrite touches the chain below them.
+	Caches *engine.CacheStore
+}
+
+func (o Options) withDefaults() Options {
+	if o.Machine.Name == "" {
+		o.Machine.Name = "plumber"
+	}
+	if o.Machine.Cores == 0 {
+		o.Machine.Cores = runtime.NumCPU()
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = defaultMaxSteps
+	}
+	return o
+}
+
+// defaultMaxSteps is the baseline Optimize iteration cap; Optimize raises
+// it when the core budget implies a longer parallelism ramp.
+const defaultMaxSteps = 32
+
+// Trace instantiates the graph on the engine with tracing attached, drains
+// it (to EOF, or MaxMinibatches root elements if set), and returns the
+// joined snapshot of the serialized program and every Dataset's counters.
+func Trace(g *pipeline.Graph, opts Options) (*trace.Snapshot, error) {
+	if opts.FS == nil {
+		return nil, errors.New("plumber: Options.FS is required")
+	}
+	opts = opts.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	col, err := trace.NewCollector(g, opts.Machine)
+	if err != nil {
+		return nil, err
+	}
+	opts.FS.AddObserver(col)
+	defer opts.FS.RemoveObserver(col)
+	p, err := engine.New(g, engine.Options{
+		FS:        opts.FS,
+		UDFs:      opts.UDFs,
+		Collector: col,
+		WorkScale: opts.WorkScale,
+		Spin:      opts.Spin,
+		Seed:      opts.Seed,
+		Caches:    opts.Caches,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	if _, _, err := p.Drain(opts.MaxMinibatches); err != nil {
+		return nil, fmt.Errorf("plumber: trace drain: %w", err)
+	}
+	// Close before snapshotting: sequential iterators flush their buffered
+	// counter shards on Close, and a snapshot taken earlier would undercount
+	// every node by up to one flush interval.
+	if err := p.Close(); err != nil {
+		return nil, fmt.Errorf("plumber: trace close: %w", err)
+	}
+	totalFiles := 0
+	if cat, err := sourceCatalog(g); err == nil {
+		totalFiles = cat.NumFiles
+	}
+	return col.Snapshot(0, totalFiles), nil
+}
+
+// Analyze operationalizes a snapshot: visit ratios, per-core rates, scaled
+// capacities, I/O and materialization costs, and cache legality. reg may be
+// nil, in which case all UDFs are treated as deterministic.
+func Analyze(snap *trace.Snapshot, reg *udf.Registry) (*ops.Analysis, error) {
+	return ops.Analyze(snap, reg)
+}
+
+// sourceCatalog resolves the catalog read by the graph's source node.
+func sourceCatalog(g *pipeline.Graph) (data.Catalog, error) {
+	chain, err := g.Chain()
+	if err != nil {
+		return data.Catalog{}, err
+	}
+	return data.CatalogByName(chain[0].Catalog)
+}

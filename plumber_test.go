@@ -1,0 +1,228 @@
+package plumber
+
+import (
+	"encoding/json"
+	"testing"
+
+	"plumber/internal/data"
+	"plumber/internal/pipeline"
+	"plumber/internal/rewrite"
+	"plumber/internal/simfs"
+	"plumber/internal/udf"
+)
+
+var facadeCatalog = data.Catalog{
+	Name:                  "facade-test",
+	NumFiles:              4,
+	RecordsPerFile:        64,
+	MeanRecordBytes:       256,
+	RecordBytesStddevFrac: 0.2,
+	DecodeAmplification:   1,
+}
+
+func facadeSetup(t *testing.T) (*simfs.FS, *udf.Registry) {
+	t.Helper()
+	if err := data.RegisterCatalog(facadeCatalog); err != nil {
+		t.Fatal(err)
+	}
+	fs := simfs.New(simfs.Device{Name: "facade-mem"}, false)
+	fs.AddCatalog(facadeCatalog, 11)
+	reg := udf.NewRegistry()
+	if err := reg.Register(udf.UDF{
+		Name: "facade_decode",
+		Cost: udf.Cost{CPUPerElement: 20e-6, SizeFactor: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return fs, reg
+}
+
+func sequentialGraph(t *testing.T) *pipeline.Graph {
+	t.Helper()
+	g, err := pipeline.NewBuilder().
+		Interleave(facadeCatalog.Name, 1).
+		Map("facade_decode", 1).
+		Batch(8).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTraceAndAnalyze(t *testing.T) {
+	fs, reg := facadeSetup(t)
+	g := sequentialGraph(t)
+	snap, err := Trace(g, Options{FS: fs, UDFs: reg, WorkScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.TotalFiles != facadeCatalog.NumFiles {
+		t.Fatalf("TotalFiles = %d, want %d", snap.TotalFiles, facadeCatalog.NumFiles)
+	}
+	if len(snap.Files) != facadeCatalog.NumFiles {
+		t.Fatalf("observed %d files, want %d", len(snap.Files), facadeCatalog.NumFiles)
+	}
+	// Counts must be exact, not short by a tracker flush interval: Trace
+	// closes the pipeline (flushing every counter shard) before snapshotting.
+	total := int64(facadeCatalog.NumFiles * facadeCatalog.RecordsPerFile)
+	for _, name := range []string{"interleave_1", "map_1"} {
+		if got := snap.Nodes[name].ElementsProduced; got != total {
+			t.Fatalf("%s produced %d, want exactly %d", name, got, total)
+		}
+	}
+	if got := snap.Nodes["batch_1"].ElementsProduced; got != total/8 {
+		t.Fatalf("batch_1 produced %d, want exactly %d", got, total/8)
+	}
+	an, err := Analyze(snap, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.ObservedRate <= 0 {
+		t.Fatalf("observed rate = %v, want > 0", an.ObservedRate)
+	}
+	mp, err := an.Node("map_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.CPUSeconds <= 0 {
+		t.Fatal("map accumulated no modeled CPU under WorkScale 1")
+	}
+	bn := an.Bottleneck()
+	if bn.Name != "map_1" {
+		t.Fatalf("bottleneck = %q, want the costly map_1", bn.Name)
+	}
+}
+
+func TestOptimizeClosesTheLoop(t *testing.T) {
+	fs, reg := facadeSetup(t)
+	g := sequentialGraph(t)
+	before, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	budget := Budget{Cores: 4, MemoryBytes: 64 << 20}
+	res, err := Optimize(g, budget, Options{FS: fs, UDFs: reg, WorkScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	after, _ := json.Marshal(g)
+	if string(before) != string(after) {
+		t.Fatal("Optimize mutated the caller's graph")
+	}
+	if !res.Converged {
+		t.Fatalf("tuner did not converge in %d steps", len(res.Steps))
+	}
+	if err := res.Final.Validate(); err != nil {
+		t.Fatalf("final graph invalid: %v", err)
+	}
+	if !res.Trail.Has(rewrite.NameRaiseParallelism) {
+		t.Fatal("audit trail missing raise-parallelism")
+	}
+	if !res.Trail.Has(rewrite.NameInsertPrefetch) {
+		t.Fatal("audit trail missing insert-prefetch")
+	}
+	if !res.Trail.Has(rewrite.NameInsertCache) {
+		t.Fatal("audit trail missing insert-cache (dataset fits the memory budget)")
+	}
+
+	// The costly map must have been raised within the core budget.
+	mp, err := res.Final.Node("map_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Parallelism < 2 {
+		t.Fatalf("map parallelism = %d, want raised above 1", mp.Parallelism)
+	}
+	if cores := rewrite.ParallelCoresInUse(res.Final); cores > budget.Cores {
+		t.Fatalf("final program claims %d cores, budget %d", cores, budget.Cores)
+	}
+
+	// The root must now be a prefetch decoupling the consumer.
+	root, err := res.Final.Node(res.Final.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Kind != pipeline.KindPrefetch {
+		t.Fatalf("final root is %s, want prefetch", root.Kind)
+	}
+
+	// Step reports: one per iteration, the converged step applied nothing.
+	if len(res.Steps) != len(res.Trail)+1 {
+		t.Fatalf("%d steps for %d applied rewrites, want one extra converged step",
+			len(res.Steps), len(res.Trail))
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if last.Applied != nil {
+		t.Fatal("converged step still applied a rewrite")
+	}
+	for i, s := range res.Steps[:len(res.Steps)-1] {
+		if s.Applied == nil {
+			t.Fatalf("step %d applied nothing but the loop continued", i)
+		}
+		if s.ObservedMinibatchesPerSec <= 0 {
+			t.Fatalf("step %d observed no throughput", i)
+		}
+	}
+
+	// The whole result must serialize (the CLI emits it as JSON).
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("result not serializable: %v", err)
+	}
+}
+
+// TestOptimizeUnboundedBudgetConverges pins the zero-budget path: with no
+// core budget given, the tuner allocates against the machine and still
+// converges instead of ramping parallelism until the step cap.
+func TestOptimizeUnboundedBudgetConverges(t *testing.T) {
+	fs, reg := facadeSetup(t)
+	res, err := Optimize(sequentialGraph(t), Budget{}, Options{FS: fs, UDFs: reg, WorkScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("unbounded-budget tuner did not converge in %d steps", len(res.Steps))
+	}
+	if res.Budget.Cores <= 0 {
+		t.Fatalf("reported budget cores = %d, want the machine default", res.Budget.Cores)
+	}
+}
+
+// TestOptimizeHonorsExplicitMaxSteps pins that a caller-chosen step cap is
+// never silently raised, even when it equals the package default.
+func TestOptimizeHonorsExplicitMaxSteps(t *testing.T) {
+	fs, reg := facadeSetup(t)
+	res, err := Optimize(sequentialGraph(t), Budget{Cores: 64}, Options{
+		FS: fs, UDFs: reg, WorkScale: 1, MaxSteps: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 rewrite steps + the final measurement trace.
+	if got := len(res.Steps); got > 3 {
+		t.Fatalf("explicit MaxSteps 2 produced %d steps", got)
+	}
+	if res.Converged {
+		t.Fatal("a 64-core ramp cannot converge in 2 steps")
+	}
+}
+
+// TestOptimizeRespectsZeroMemoryBudget pins the budget-binding path: with no
+// cache memory, the tuner must not insert a cache.
+func TestOptimizeRespectsZeroMemoryBudget(t *testing.T) {
+	fs, reg := facadeSetup(t)
+	res, err := Optimize(sequentialGraph(t), Budget{Cores: 2}, Options{FS: fs, UDFs: reg, WorkScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trail.Has(rewrite.NameInsertCache) {
+		t.Fatal("cache inserted despite a zero memory budget")
+	}
+	for _, n := range res.Final.Nodes {
+		if n.Kind == pipeline.KindCache {
+			t.Fatal("final graph contains a cache despite a zero memory budget")
+		}
+	}
+}
