@@ -6,16 +6,19 @@
 //
 //	plumber trace    [-graph graph.json] [-out snapshot.json] [workload flags]
 //	plumber analyze  -snap snapshot.json [-out analysis.json]
-//	plumber optimize [-graph graph.json] [-out tuner.json] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
+//	plumber plan     [-graph graph.json] [-out plan.json] [-apply planned-graph.json] [budget flags] [workload flags]
+//	plumber optimize [-graph graph.json] [-out tuner.json] [-mode plan-first|greedy] [budget flags] [workload flags]
 //
-// Without -graph, the commands build the demo program — an all-sequential
-// interleave → map → batch chain over a synthetic catalog — whose shape is
-// controlled by the workload flags (-files, -records-per-file,
-// -record-bytes, -batch, -udf-cpu-us). A walkthrough:
+// Budget flags are -cores N, -memory-mb M, -bw-mbps B. Without -graph, the
+// commands build the demo program — an all-sequential interleave → map →
+// batch chain over a synthetic catalog — whose shape is controlled by the
+// workload flags (-files, -records-per-file, -record-bytes, -batch,
+// -udf-cpu-us). A walkthrough:
 //
 //	plumber trace -out snap.json            # run instrumented, dump counters + program
 //	plumber analyze -snap snap.json         # rates, capacities, cache legality
-//	plumber optimize -out tuner.json        # trace/analyze/rewrite until converged
+//	plumber plan -out plan.json             # 1 trace -> one-shot joint allocation + prediction
+//	plumber optimize -out tuner.json        # plan-first tuning (or -mode greedy for the loop)
 //
 // UDF names in a loaded graph that the demo registry does not know are
 // registered automatically as cost-model UDFs costing -udf-cpu-us
@@ -35,6 +38,8 @@ import (
 	"plumber/internal/data"
 	"plumber/internal/ops"
 	"plumber/internal/pipeline"
+	"plumber/internal/plan"
+	"plumber/internal/rewrite"
 	"plumber/internal/simfs"
 	"plumber/internal/trace"
 	"plumber/internal/udf"
@@ -160,6 +165,8 @@ func main() {
 		err = runTrace(os.Args[2:])
 	case "analyze":
 		err = runAnalyze(os.Args[2:])
+	case "plan":
+		err = runPlan(os.Args[2:])
 	case "optimize":
 		err = runOptimize(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -180,7 +187,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   plumber trace    [-graph graph.json] [-out snapshot.json] [workload flags]
   plumber analyze  -snap snapshot.json [-out analysis.json]
-  plumber optimize [-graph graph.json] [-out tuner.json] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
+  plumber plan     [-graph graph.json] [-out plan.json] [-apply planned-graph.json] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
+  plumber optimize [-graph graph.json] [-out tuner.json] [-mode plan-first|greedy] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
 
 run "plumber <subcommand> -h" for the full flag list`)
 }
@@ -305,20 +313,107 @@ func printAnalysis(an *ops.Analysis) {
 	tw.Flush()
 }
 
-func runOptimize(args []string) error {
-	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+// budgetFlags registers the shared resource-budget flags.
+func budgetFlags(fs *flag.FlagSet) (cores *int, memoryMB *int64, bwMBps *float64) {
+	cores = fs.Int("cores", 4, "core budget")
+	memoryMB = fs.Int64("memory-mb", 256, "cache memory budget in MiB (0 disables caching)")
+	bwMBps = fs.Float64("bw-mbps", 0, "disk bandwidth budget in MB/s (0 = unbounded)")
+	return
+}
+
+func runPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
 	var w workload
 	w.register(fs)
-	out := fs.String("out", "tuner.json", "output path for the tuner report JSON")
-	cores := fs.Int("cores", 4, "core budget")
-	memoryMB := fs.Int64("memory-mb", 256, "cache memory budget in MiB (0 disables caching)")
-	bwMBps := fs.Float64("bw-mbps", 0, "disk bandwidth budget in MB/s (0 = unbounded)")
+	out := fs.String("out", "plan.json", "output path for the plan JSON")
+	applyOut := fs.String("apply", "", "optional output path for the planned (rewritten) graph JSON")
+	cores, memoryMB, bwMBps := budgetFlags(fs)
 	fs.Parse(args)
 
 	g, opts, err := w.setup()
 	if err != nil {
 		return err
 	}
+	budget := plumber.Budget{
+		Cores:         *cores,
+		MemoryBytes:   *memoryMB << 20,
+		DiskBandwidth: *bwMBps * 1e6,
+	}
+	snap, err := plumber.Trace(g, opts)
+	if err != nil {
+		return err
+	}
+	an, err := plumber.Analyze(snap, opts.UDFs)
+	if err != nil {
+		return err
+	}
+	pl, err := plan.Solve(an, budget)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("observed %.1f minibatches/s; planned allocation (budget: %d cores, %d MiB, efficiency %.2f):\n",
+		an.ObservedRate, budget.Cores, *memoryMB, pl.Efficiency)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\tkind\tparallelism\tplanned")
+	for _, n := range an.Nodes {
+		cur := n.Parallelism
+		planned := pl.ParallelismFor(n.Name, cur)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\n", n.Name, n.Kind, cur, planned)
+	}
+	tw.Flush()
+	if pl.CacheAbove != "" {
+		fmt.Printf("cache above %q (%.0f bytes/replica)\n", pl.CacheAbove, pl.CacheBytes)
+	}
+	if pl.PrefetchBuffer > 0 {
+		fmt.Printf("prefetch(%d) at the root\n", pl.PrefetchBuffer)
+	}
+	if pl.OuterParallelism > 1 {
+		fmt.Printf("outer parallelism %d\n", pl.OuterParallelism)
+	}
+	fmt.Printf("predicted: %.1f minibatches/s steady state, %.1f first epoch (0 = not pipeline-bound)\n",
+		pl.PredictedMinibatchesPerSec, pl.PredictedFillMinibatchesPerSec)
+
+	j, err := json.MarshalIndent(pl, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFile(*out, j); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *applyOut != "" {
+		planned, trail, err := rewrite.ApplyPlan(g, pl)
+		if err != nil {
+			return err
+		}
+		b, err := planned.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := writeFile(*applyOut, b); err != nil {
+			return err
+		}
+		fmt.Printf("applied %d knob changes; wrote %s\n", len(trail), *applyOut)
+	}
+	return nil
+}
+
+func runOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	var w workload
+	w.register(fs)
+	out := fs.String("out", "tuner.json", "output path for the tuner report JSON")
+	mode := fs.String("mode", string(plumber.ModePlanFirst), "tuning strategy: plan-first or greedy")
+	cores, memoryMB, bwMBps := budgetFlags(fs)
+	fs.Parse(args)
+
+	g, opts, err := w.setup()
+	if err != nil {
+		return err
+	}
+	opts.Mode = plumber.Mode(*mode)
 	budget := plumber.Budget{
 		Cores:         *cores,
 		MemoryBytes:   *memoryMB << 20,
@@ -338,6 +433,13 @@ func runOptimize(args []string) error {
 		}
 		fmt.Println(line)
 	}
+	if res.Mode == plumber.ModePlanFirst && res.PredictedMinibatchesPerSec > 0 {
+		fmt.Printf("predicted %.1f minibatches/s, verifying trace observed %.1f (error %.1f%%)\n",
+			res.PredictedMinibatchesPerSec, res.VerifyObservedMinibatchesPerSec, 100*res.PredictionError)
+		if res.FinalObservedMinibatchesPerSec != res.VerifyObservedMinibatchesPerSec {
+			fmt.Printf("after refinement: %.1f minibatches/s observed\n", res.FinalObservedMinibatchesPerSec)
+		}
+	}
 	if !res.Converged {
 		fmt.Println("stopped: step budget exhausted before convergence")
 	}
@@ -349,7 +451,7 @@ func runOptimize(args []string) error {
 	if err := writeFile(*out, j); err != nil {
 		return err
 	}
-	fmt.Printf("applied %d rewrites; wrote %s\n", len(res.Trail), *out)
+	fmt.Printf("mode %s: applied %d rewrites over %d traces; wrote %s\n", res.Mode, len(res.Trail), res.TracesUsed, *out)
 	return nil
 }
 

@@ -2,12 +2,15 @@
 //
 // Usage:
 //
-//	plumberbench [-quick] [-out BENCH_engine.json]          # engine hot path
-//	plumberbench -tuner [-quick] [-out BENCH_tuner.json]    # closed-loop tuner
+//	plumberbench [-quick] [-json BENCH_engine.json]           # engine hot path
+//	plumberbench -tuner [-quick] [-json BENCH_tuner.json]     # closed-loop tuner
+//	plumberbench -planner [-quick] [-json BENCH_planner.json] # planner vs greedy
 //
-// The default suite runs the engine hot-path configurations (per-element
-// baseline, chunked+pooled untraced and traced, parallelism sweep) and
-// writes BENCH_engine.json with two acceptance ratios:
+// -json sets the output path; each suite has a default filename (-out is a
+// deprecated alias). The default suite runs the engine hot-path
+// configurations (per-element baseline, chunked+pooled untraced and traced,
+// parallelism sweep) and writes BENCH_engine.json with two acceptance
+// ratios:
 //
 //   - chunked_pooled_speedup_over_baseline: >= 2.0 is the target
 //   - traced_fraction_of_untraced: >= 0.85 is the target
@@ -18,6 +21,14 @@
 // throughput of sequential vs tuned vs hand-tuned:
 //
 //   - tuned_fraction_of_hand_tuned: >= 0.8 is the target
+//
+// With -planner it runs the one-shot predictive planner head-to-head
+// against the greedy re-trace loop on the same catalog and budget and
+// writes BENCH_planner.json — traces used, wall-clock to capacity, final
+// measured rate, and the what-if prediction error:
+//
+//   - planner_fraction_of_greedy_capacity: >= 0.95 is the target,
+//     with planner_traces_used <= 3
 package main
 
 import (
@@ -32,14 +43,25 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced CI smoke suite")
 	tuner := flag.Bool("tuner", false, "run the closed-loop tuner benchmark instead of the engine suite")
-	out := flag.String("out", "", "output path (default BENCH_engine.json, or BENCH_tuner.json with -tuner)")
+	planner := flag.Bool("planner", false, "run the planner-vs-greedy comparison instead of the engine suite")
+	jsonOut := flag.String("json", "", "output path (default BENCH_engine.json, BENCH_tuner.json, or BENCH_planner.json per suite)")
+	out := flag.String("out", "", "deprecated alias for -json")
 	flag.Parse()
 
-	if *tuner {
-		runTuner(*quick, *out)
-		return
+	path := *jsonOut
+	if path == "" {
+		path = *out
 	}
-	runEngine(*quick, *out)
+	switch {
+	case *tuner && *planner:
+		fatal(fmt.Errorf("-tuner and -planner are mutually exclusive"))
+	case *tuner:
+		runTuner(*quick, path)
+	case *planner:
+		runPlanner(*quick, path)
+	default:
+		runEngine(*quick, path)
+	}
 }
 
 func runEngine(quick bool, out string) {
@@ -83,6 +105,30 @@ func runTuner(quick bool, out string) {
 	fmt.Printf("sequential  %10.0f examples/sec\n", rep.SequentialExamplesPerSec)
 	fmt.Printf("tuned       %10.0f examples/sec\n", rep.TunedExamplesPerSec)
 	fmt.Printf("hand-tuned  %10.0f examples/sec\n", rep.HandTunedExamplesPerSec)
+	for k, v := range rep.Comparisons {
+		fmt.Printf("%s = %.3f\n", k, v)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+func runPlanner(quick bool, out string) {
+	if out == "" {
+		out = "BENCH_planner.json"
+	}
+	rep, err := bench.RunPlanner(quick)
+	if err != nil {
+		fatal(err)
+	}
+	writeJSON(out, rep)
+	for _, m := range []bench.ModeRun{rep.Planner, rep.Greedy} {
+		fmt.Printf("%-10s %2d traces  %8.1f ms to capacity  %10.0f examples/sec measured\n",
+			m.Mode, m.TracesUsed, m.WallClockMS, m.MeasuredExamplesPerSec)
+	}
+	if rep.Planner.PredictedMinibatchesPerSec > 0 {
+		fmt.Printf("planner predicted %.1f minibatches/s, verifying trace observed %.1f (error %.1f%%)\n",
+			rep.Planner.PredictedMinibatchesPerSec, rep.Planner.VerifyObservedMinibatchesPerSec,
+			100*rep.Planner.PredictionError)
+	}
 	for k, v := range rep.Comparisons {
 		fmt.Printf("%s = %.3f\n", k, v)
 	}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"testing"
+
+	"plumber/internal/data"
+	"plumber/internal/pipeline"
+	"plumber/internal/simfs"
+	"plumber/internal/trace"
+)
+
+// TestPipelineCloseIdempotent pins the Close contract the plumber façade
+// relies on: after a drain, the first Close tears the tree down and every
+// later call is a no-op returning nil — including when a trace collector's
+// counter shards were flushed by the first Close (double-flushing would
+// double-count).
+func TestPipelineCloseIdempotent(t *testing.T) {
+	cat := data.Catalog{
+		Name:                  "close-test",
+		NumFiles:              2,
+		RecordsPerFile:        32,
+		MeanRecordBytes:       128,
+		RecordBytesStddevFrac: 0.2,
+		DecodeAmplification:   1,
+	}
+	if err := data.RegisterCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+	fs := simfs.New(simfs.Device{Name: "close-mem"}, false)
+	fs.AddCatalog(cat, 7)
+	g, err := pipeline.NewBuilder().
+		Interleave(cat.Name, 2).
+		Batch(8).
+		Prefetch(4).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := trace.NewCollector(g, trace.Machine{Name: "close-test", Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(g, Options{FS: fs, Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elements, _, err := p.Drain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elements != int64(cat.NumFiles*cat.RecordsPerFile/8) {
+		t.Fatalf("drained %d elements, want %d", elements, cat.NumFiles*cat.RecordsPerFile/8)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	snap := col.Snapshot(0, cat.NumFiles)
+	for i := 0; i < 3; i++ {
+		if err := p.Close(); err != nil {
+			t.Fatalf("Close call %d after close: %v", i+2, err)
+		}
+	}
+	// Repeated closes must not re-flush counters into the collector.
+	again := col.Snapshot(0, cat.NumFiles)
+	for name, ns := range snap.Nodes {
+		if got := again.Nodes[name].ElementsProduced; got != ns.ElementsProduced {
+			t.Fatalf("%s produced %d after extra Closes, want %d (double flush)", name, got, ns.ElementsProduced)
+		}
+	}
+}

@@ -170,7 +170,11 @@ func (p *Pipeline) Next() (data.Element, error) {
 	return p.root.Next()
 }
 
-// Close shuts down all workers and releases resources.
+// Close shuts down all workers and releases resources. Close is
+// idempotent: the first call tears the iterator tree down (flushing every
+// buffered counter shard), and every later call is a no-op returning nil,
+// so callers may safely combine a deferred Close with an explicit
+// error-checked one.
 func (p *Pipeline) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -1,0 +1,115 @@
+package ops
+
+import "math"
+
+// Hypothetical describes a what-if knob configuration over an analyzed
+// pipeline: the shape the planner intends to deploy, expressed relative to
+// the traced program. The zero value describes the traced shape itself
+// (except OuterParallelism, which defaults to the traced graph's value only
+// in Efficiency's baseline — set it explicitly when predicting).
+type Hypothetical struct {
+	// Parallelism overrides the parallelism knob of the named Datasets;
+	// absent (or non-positive) entries keep the traced value. Overrides on
+	// non-parallelizable Datasets are ignored.
+	Parallelism map[string]int
+	// CacheAbove names the Dataset whose output a newly inserted cache
+	// would materialize; empty means no new cache.
+	CacheAbove string
+	// WarmCache, with CacheAbove set, predicts the steady state in which
+	// the cache serves from memory: every Dataset at or below the cache
+	// point drops out of the model. False predicts the fill epoch, where
+	// the whole chain still runs.
+	WarmCache bool
+	// OuterParallelism is the hypothetical whole-pipeline replica count
+	// (0 and 1 both mean a single instance).
+	OuterParallelism int
+	// Cores bounds the aggregate CPU work-conservation ceiling; 0 means
+	// unbounded. For predictions that a trace on this host will verify,
+	// pass the cores the host can actually deliver, not the deployment
+	// budget.
+	Cores int
+	// DiskBandwidth bounds source I/O in bytes/second; 0 means unbounded.
+	DiskBandwidth float64
+}
+
+// PredictRate returns the modeled throughput ceiling, in root
+// minibatches/second, of the hypothetical shape: the minimum of every
+// active node's capacity (parallelism × resource-accounted rate, times
+// outer parallelism), the aggregate CPU work-conservation bound, and the
+// disk-bandwidth bound. +Inf means no active node has measurable cost
+// under the model — the pipeline is predicted to no longer bound the
+// consumer (e.g. everything is served from a warm cache).
+//
+// This is the paper's LP objective evaluated at one candidate allocation:
+// rates come from a single trace, so no re-run is needed to score a shape.
+func (a *Analysis) PredictRate(h Hypothetical) float64 {
+	outer := h.OuterParallelism
+	if outer < 1 {
+		outer = 1
+	}
+	cacheIdx := -1
+	if h.CacheAbove != "" {
+		for i, n := range a.Nodes {
+			if n.Name == h.CacheAbove {
+				cacheIdx = i
+			}
+		}
+	}
+	bound := math.Inf(1)
+	var cpuPerMB float64
+	for i, n := range a.Nodes {
+		if h.WarmCache && cacheIdx >= 0 && i <= cacheIdx {
+			continue // served from the cache in steady state
+		}
+		p := n.Parallelism
+		if v, ok := h.Parallelism[n.Name]; ok && v > 0 && n.Parallelizable {
+			p = v
+		}
+		if !math.IsInf(n.Rate, 1) && n.Rate > 0 {
+			cpuPerMB += 1 / n.Rate
+			if cap := float64(p) * n.Rate * float64(outer); cap < bound {
+				bound = cap
+			}
+		}
+		if n.IOBytesPerMinibatch > 0 && h.DiskBandwidth > 0 {
+			if db := h.DiskBandwidth / n.IOBytesPerMinibatch; db < bound {
+				bound = db
+			}
+		}
+	}
+	if h.Cores > 0 && cpuPerMB > 0 {
+		if cb := float64(h.Cores) / cpuPerMB; cb < bound {
+			bound = cb
+		}
+	}
+	return bound
+}
+
+// Efficiency is the calibration factor relating the model to this host:
+// ObservedRate divided by PredictRate of the as-traced shape under the
+// given resource bounds. Engine overhead, scheduling, and cores the host
+// cannot actually deliver all land in this single scalar, which
+// PredictObservedRate multiplies back in. Returns 1 when the as-traced
+// shape has no finite modeled bound to calibrate against.
+func (a *Analysis) Efficiency(cores int, diskBandwidth float64) float64 {
+	base := a.PredictRate(Hypothetical{
+		OuterParallelism: a.Snapshot.Graph.OuterParallelism,
+		Cores:            cores,
+		DiskBandwidth:    diskBandwidth,
+	})
+	if math.IsInf(base, 1) || base <= 0 {
+		return 1
+	}
+	return a.ObservedRate / base
+}
+
+// PredictObservedRate is the what-if prediction a verifying trace should
+// reproduce: PredictRate scaled by the Efficiency calibration. +Inf (an
+// unbounded model) passes through unscaled.
+func (a *Analysis) PredictObservedRate(h Hypothetical) float64 {
+	r := a.PredictRate(h)
+	if math.IsInf(r, 1) {
+		return r
+	}
+	return a.Efficiency(h.Cores, h.DiskBandwidth) * r
+}

@@ -1,0 +1,316 @@
+// Package plan implements Plumber's predictive one-shot planner: the
+// LP-style extension (§4.4's operational model driven to an allocation,
+// rather than the greedy sequential tuner) that turns a single traced
+// analysis plus a resource budget into a joint assignment of cores, cache
+// memory, prefetching, and outer parallelism across every Dataset at once
+// — with a predicted end-to-end rate, so no re-trace is needed per step.
+//
+// The solver is a water-filling relaxation of the paper's LP: the
+// fractional optimum equalizes scaled capacity across parallelizable
+// Datasets at the resource ceiling (cores are split in proportion to
+// 1/R_i), and the integral plan is recovered by granting whole cores one
+// at a time to the node with the lowest resulting capacity. Cache
+// placement maximizes predicted benefit per materialized byte under the
+// memory budget; outer parallelism is raised only when a fundamentally
+// sequential Dataset caps the pipeline below the resource ceiling.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"plumber/internal/ops"
+	"plumber/internal/pipeline"
+)
+
+// Budget is the resource envelope the planner (and the greedy tuner —
+// package rewrite aliases this type) allocates against: the paper's nc
+// cores, memory for caches, and disk bandwidth.
+type Budget struct {
+	// Cores bounds total intra-operator parallelism (and, multiplied by the
+	// per-replica cost, outer parallelism). Zero allocates against the
+	// traced machine's core count instead — like the paper's nc-core tuner
+	// — falling back to a 64-core safety cap when that is unknown too.
+	Cores int `json:"cores"`
+	// MemoryBytes bounds cache materialization; zero disables caching.
+	MemoryBytes int64 `json:"memory_bytes"`
+	// DiskBandwidth is available read bandwidth in bytes/second; zero means
+	// unbounded (in-memory source).
+	DiskBandwidth float64 `json:"disk_bandwidth,omitempty"`
+}
+
+// Plan is one joint allocation: every knob the planner would set, plus the
+// predicted throughput of the planned shape. Rate fields encode "no finite
+// model bound" (the pipeline is predicted to stop being the bottleneck) as
+// 0, since JSON cannot carry +Inf.
+type Plan struct {
+	// Parallelism is the planned knob value for every parallelizable
+	// Dataset with a measurable rate (absent nodes keep their current
+	// value).
+	Parallelism map[string]int `json:"parallelism"`
+	// CacheAbove names the Dataset whose output the plan materializes in a
+	// new cache; empty means no cache is planned.
+	CacheAbove string `json:"cache_above,omitempty"`
+	// CacheBytes is the projected materialization (n_i × b_i) of the chosen
+	// cache point, per pipeline replica.
+	CacheBytes float64 `json:"cache_bytes,omitempty"`
+	// PrefetchBuffer, when positive, plans a root prefetch of that depth.
+	PrefetchBuffer int `json:"prefetch_buffer,omitempty"`
+	// OuterParallelism is the planned whole-pipeline replica count (0 and 1
+	// both mean a single instance).
+	OuterParallelism int `json:"outer_parallelism,omitempty"`
+
+	// CoresPlanned is the total core claim of the planned knobs: the sum of
+	// planned parallelism over parallelizable Datasets times the replica
+	// count.
+	CoresPlanned int `json:"cores_planned"`
+	// Efficiency is the observed/modeled calibration factor measured on the
+	// planning trace; predictions below are already scaled by it.
+	Efficiency float64 `json:"efficiency"`
+	// PredictedMinibatchesPerSec is the calibrated steady-state prediction
+	// for the planned shape under the budget (warm cache, if one is
+	// planned). 0 encodes an unbounded model: the planned pipeline is not
+	// predicted to limit the consumer.
+	PredictedMinibatchesPerSec float64 `json:"predicted_minibatches_per_sec,omitempty"`
+	// PredictedFillMinibatchesPerSec is the calibrated first-epoch
+	// prediction (cache still filling) — what a single verifying trace of
+	// the planned shape should observe.
+	PredictedFillMinibatchesPerSec float64 `json:"predicted_fill_minibatches_per_sec,omitempty"`
+	// Notes is the human-readable allocation rationale, one line per
+	// decision.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// ParallelismFor returns the planned knob for the named node, or def when
+// the plan leaves it alone.
+func (p *Plan) ParallelismFor(name string, def int) int {
+	if v, ok := p.Parallelism[name]; ok && v > 0 {
+		return v
+	}
+	return def
+}
+
+// Hypothetical converts the plan into the ops what-if shape it predicts,
+// bounded by cores physical CPU cores (pass the deployment budget for a
+// deployment prediction, or the verifying host's core count for a
+// prediction a local trace should reproduce).
+func (p *Plan) Hypothetical(warm bool, cores int, diskBandwidth float64) ops.Hypothetical {
+	return ops.Hypothetical{
+		Parallelism:      p.Parallelism,
+		CacheAbove:       p.CacheAbove,
+		WarmCache:        warm,
+		OuterParallelism: p.OuterParallelism,
+		Cores:            cores,
+		DiskBandwidth:    diskBandwidth,
+	}
+}
+
+// solveCaps bounds the solver's search when the budget leaves a dimension
+// unbounded, mirroring rewrite.DefaultRewrites' safety caps.
+const (
+	unboundedCores = 64
+	maxOuter       = 16
+	prefetchDepth  = 8
+)
+
+// Solve computes the joint allocation for the analyzed pipeline under the
+// budget in one shot. The returned plan is advisory: materialize it with
+// rewrite.ApplyPlan and verify with one trace.
+func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
+	if len(a.Nodes) == 0 {
+		return nil, fmt.Errorf("plan: analysis has no nodes")
+	}
+	cores := b.Cores
+	if cores <= 0 {
+		cores = a.Snapshot.Machine.Cores
+	}
+	if cores <= 0 {
+		cores = unboundedCores
+	}
+	g := a.Snapshot.Graph
+	p := &Plan{Parallelism: make(map[string]int)}
+
+	// Hard bounds no core assignment can beat: the disk ceiling, the
+	// aggregate CPU work-conservation ceiling, and (before replication) the
+	// slowest fundamentally sequential Dataset.
+	diskBound := math.Inf(1)
+	if b.DiskBandwidth > 0 {
+		diskBound = a.DiskBoundMinibatchesPerSec(b.DiskBandwidth)
+	}
+	cpuBound := a.CPUBoundMinibatchesPerSec(cores)
+	seqBound := math.Inf(1)
+	seqName := ""
+	for _, n := range a.Nodes {
+		if !n.Parallelizable && !math.IsInf(n.ScaledCapacity, 1) && n.ScaledCapacity < seqBound {
+			seqBound = n.ScaledCapacity
+			seqName = n.Name
+		}
+	}
+	resourceCeiling := math.Min(diskBound, cpuBound)
+
+	// Outer parallelism: replication is the only remedy for a sequential
+	// bound (§5.1's NLP pipelines). Plan just enough replicas to lift the
+	// sequential capacity to the resource ceiling, within the core budget.
+	outer := g.OuterParallelism
+	if outer < 1 {
+		outer = 1
+	}
+	if seqBound < resourceCeiling && !math.IsInf(resourceCeiling, 1) {
+		need := int(math.Ceil(resourceCeiling / seqBound))
+		perReplica := 0
+		for _, n := range a.Nodes {
+			if n.Parallelizable {
+				perReplica++ // each replica runs every parallel stage at >= 1 core
+			}
+		}
+		if perReplica < 1 {
+			perReplica = 1
+		}
+		if max := cores / perReplica; need > max {
+			need = max
+		}
+		if need > maxOuter {
+			need = maxOuter
+		}
+		if need > outer {
+			outer = need
+			p.Notes = append(p.Notes, fmt.Sprintf(
+				"outer parallelism %d: sequential %q (%.1f minibatches/s) caps the pipeline below the resource ceiling (%.1f)",
+				outer, seqName, seqBound, resourceCeiling))
+		}
+	}
+
+	// Water-filling core assignment across parallelizable Datasets with a
+	// measurable rate. Fractionally the optimum equalizes p_i·R_i at the
+	// ceiling (p_i ∝ 1/R_i); integrally, grant one core at a time to the
+	// lowest-capacity node until the budget binds or every node clears the
+	// target (raising past the ceiling cannot improve end-to-end rate).
+	target := math.Min(resourceCeiling, seqBound*float64(outer))
+	type cand struct {
+		name string
+		rate float64
+		p    int
+	}
+	var cands []cand
+	coresUsed := 0
+	for _, n := range a.Nodes {
+		if !n.Parallelizable {
+			continue
+		}
+		if math.IsInf(n.Rate, 1) || n.Rate <= 0 {
+			// No measurable cost: the model cannot rank this knob, so keep
+			// the current value rather than churn it.
+			p.Parallelism[n.Name] = n.Parallelism
+			coresUsed += n.Parallelism
+			continue
+		}
+		coresUsed++ // every measurable parallel stage starts at one core per replica
+		cands = append(cands, cand{name: n.Name, rate: n.Rate, p: 1})
+	}
+	for (coresUsed+1)*outer <= cores { // each grant costs one core in every replica
+		best := -1
+		for i, c := range cands {
+			if float64(c.p)*c.rate*float64(outer) >= target {
+				continue // already clears the ceiling
+			}
+			if best < 0 || float64(c.p)*c.rate < float64(cands[best].p)*cands[best].rate {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cands[best].p++
+		coresUsed++
+	}
+	for _, c := range cands {
+		p.Parallelism[c.name] = c.p
+		if cur, err := g.Node(c.name); err == nil && cur.EffectiveParallelism() != c.p {
+			p.Notes = append(p.Notes, fmt.Sprintf(
+				"parallelism %q: %d -> %d (rate %.1f minibatches/s/core, water-filled toward ceiling %.1f)",
+				c.name, cur.EffectiveParallelism(), c.p, c.rate, target))
+		}
+	}
+	p.OuterParallelism = outer
+	p.CoresPlanned = coresUsed * outer
+
+	// Cache placement: among legal materialization points that fit the
+	// memory budget (every replica fills its own copy), choose the one with
+	// the best predicted steady-state benefit per materialized byte.
+	hasCache := false
+	for _, n := range g.Nodes {
+		if n.Kind == pipeline.KindCache {
+			hasCache = true
+		}
+	}
+	if b.MemoryBytes > 0 && !hasCache {
+		noCache := a.PredictRate(ops.Hypothetical{
+			Parallelism:      p.Parallelism,
+			OuterParallelism: outer,
+			Cores:            cores,
+			DiskBandwidth:    b.DiskBandwidth,
+		})
+		bestScore := math.Inf(-1)
+		for _, n := range a.Nodes { // source -> root: later wins ties, caching as far downstream as legal
+			if !n.Cacheable || !(n.MaterializedBytes > 0) || math.IsInf(n.MaterializedBytes, 1) {
+				continue
+			}
+			if n.MaterializedBytes*float64(outer) > float64(b.MemoryBytes) {
+				continue
+			}
+			steady := a.PredictRate(ops.Hypothetical{
+				Parallelism:      p.Parallelism,
+				CacheAbove:       n.Name,
+				WarmCache:        true,
+				OuterParallelism: outer,
+				Cores:            cores,
+				DiskBandwidth:    b.DiskBandwidth,
+			})
+			benefit := steady - noCache
+			if math.IsInf(steady, 1) {
+				benefit = math.Inf(1)
+			}
+			if benefit <= 0 {
+				continue
+			}
+			score := benefit / n.MaterializedBytes
+			if math.IsInf(benefit, 1) {
+				score = math.Inf(1)
+			}
+			if score >= bestScore {
+				bestScore = score
+				p.CacheAbove = n.Name
+				p.CacheBytes = n.MaterializedBytes
+			}
+		}
+		if p.CacheAbove != "" {
+			p.Notes = append(p.Notes, fmt.Sprintf(
+				"cache above %q: %.0f bytes/replica materialized within the %d-byte budget (best predicted benefit per byte)",
+				p.CacheAbove, p.CacheBytes, b.MemoryBytes))
+		}
+	}
+
+	// Prefetch: always decouple the consumer at the root, once.
+	if root, err := g.Node(g.Output); err == nil && root.Kind != pipeline.KindPrefetch {
+		p.PrefetchBuffer = prefetchDepth
+		p.Notes = append(p.Notes, fmt.Sprintf(
+			"prefetch(%d) at the root to overlap production with consumption", prefetchDepth))
+	}
+
+	// Predictions, calibrated by the planning trace's observed efficiency.
+	p.Efficiency = a.Efficiency(cores, b.DiskBandwidth)
+	p.PredictedMinibatchesPerSec = finiteOrZero(
+		a.PredictObservedRate(p.Hypothetical(true, cores, b.DiskBandwidth)))
+	p.PredictedFillMinibatchesPerSec = finiteOrZero(
+		a.PredictObservedRate(p.Hypothetical(false, cores, b.DiskBandwidth)))
+	return p, nil
+}
+
+// finiteOrZero maps an unbounded (+Inf) or undefined model value to the
+// JSON encoding 0.
+func finiteOrZero(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

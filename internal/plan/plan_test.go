@@ -1,0 +1,190 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"plumber/internal/ops"
+	"plumber/internal/pipeline"
+	"plumber/internal/trace"
+)
+
+// testAnalysis hand-builds the operational view of an interleave -> map ->
+// batch chain: a cheap source (1000 minibatches/s/core), a costly map
+// (100/s/core), and a free batch, with both source and batch output
+// cacheable within a few MiB.
+func testAnalysis(observed float64) *ops.Analysis {
+	g := pipeline.NewBuilder().
+		Interleave("cat", 1).
+		Map("decode", 1).
+		Batch(4).
+		MustBuild()
+	return &ops.Analysis{
+		Snapshot:     &trace.Snapshot{Graph: g, Machine: trace.Machine{Cores: 8}},
+		ObservedRate: observed,
+		Nodes: []ops.NodeAnalysis{
+			{Name: "interleave_1", Kind: pipeline.KindInterleave, Parallelism: 1, Parallelizable: true,
+				Rate: 1000, ScaledCapacity: 1000, Cacheable: true, MaterializedBytes: 2 << 20},
+			{Name: "map_1", Kind: pipeline.KindMap, Parallelism: 1, Parallelizable: true,
+				Rate: 100, ScaledCapacity: 100, Cacheable: true, MaterializedBytes: 4 << 20},
+			{Name: "batch_1", Kind: pipeline.KindBatch, Parallelism: 1,
+				Rate: math.Inf(1), ScaledCapacity: math.Inf(1), Cacheable: true, MaterializedBytes: 4 << 20},
+		},
+	}
+}
+
+func TestSolveWaterFillsCoresTowardTheSlowNode(t *testing.T) {
+	a := testAnalysis(90)
+	p, err := Solve(a, Budget{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joint allocation: the 10x-slower map gets every spare core in one
+	// shot, the cheap interleave stays at 1.
+	if got := p.Parallelism["map_1"]; got != 3 {
+		t.Fatalf("map cores = %d, want 3 (water-filled)", got)
+	}
+	if got := p.Parallelism["interleave_1"]; got != 1 {
+		t.Fatalf("interleave cores = %d, want 1", got)
+	}
+	if p.CoresPlanned > 4 {
+		t.Fatalf("plan claims %d cores, budget 4", p.CoresPlanned)
+	}
+	if p.PrefetchBuffer <= 0 {
+		t.Fatal("no root prefetch planned")
+	}
+}
+
+func TestSolveStopsAtTheResourceCeiling(t *testing.T) {
+	a := testAnalysis(90)
+	// 16 cores available, but the disk ceiling is ~everything above 250
+	// minibatches/s is wasted: the map should stop near 250/100 -> 3, not
+	// absorb all 15 spare cores.
+	b := Budget{Cores: 16, DiskBandwidth: 250 << 20}
+	a.Nodes[0].IOBytesPerMinibatch = 1 << 20
+	p, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Parallelism["map_1"]; got != 3 {
+		t.Fatalf("map cores = %d, want 3 (disk ceiling 250/s over rate 100/s/core)", got)
+	}
+}
+
+func TestSolveCachePlacement(t *testing.T) {
+	a := testAnalysis(90)
+	p, err := Solve(a, Budget{Cores: 4, MemoryBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything fits; the downstream-most legal point (the batch output)
+	// skips the most recomputation.
+	if p.CacheAbove != "batch_1" {
+		t.Fatalf("cache above %q, want batch_1", p.CacheAbove)
+	}
+	// A budget only the small source materialization fits: with unbounded
+	// disk the map still binds either way, so caching the cheap source has
+	// no predicted benefit and the planner refuses it.
+	p, err = Solve(a, Budget{Cores: 4, MemoryBytes: 3 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CacheAbove != "" {
+		t.Fatalf("cache above %q planned with no predicted benefit", p.CacheAbove)
+	}
+	// But when a disk bound binds below the map's capacity, the source
+	// cache eliminates the I/O bound and becomes worth its bytes.
+	a2 := testAnalysis(40)
+	a2.Nodes[0].IOBytesPerMinibatch = 1 << 20
+	p, err = Solve(a2, Budget{Cores: 4, MemoryBytes: 3 << 20, DiskBandwidth: 50 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CacheAbove != "interleave_1" {
+		t.Fatalf("cache above %q, want interleave_1 to lift the 50/s disk bound", p.CacheAbove)
+	}
+	// No memory, no cache.
+	p, err = Solve(a, Budget{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CacheAbove != "" {
+		t.Fatalf("cache above %q planned despite a zero memory budget", p.CacheAbove)
+	}
+}
+
+func TestSolveOuterParallelismForSequentialBottleneck(t *testing.T) {
+	a := testAnalysis(40)
+	// Make the batch a measurable sequential bottleneck at 50/s, well below
+	// the 8-core CPU ceiling; replication is the only remedy.
+	a.Nodes[2].Rate = 50
+	a.Nodes[2].ScaledCapacity = 50
+	p, err := Solve(a, Budget{Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OuterParallelism < 2 {
+		t.Fatalf("outer parallelism = %d, want >= 2 for the sequential 50/s batch", p.OuterParallelism)
+	}
+	if p.CoresPlanned > 8 {
+		t.Fatalf("plan claims %d cores, budget 8", p.CoresPlanned)
+	}
+}
+
+// TestSolveHonorsIndivisibleCoreBudgetUnderReplication pins the rounding
+// bug where each water-fill grant costs one core per replica: with outer
+// parallelism 2 and an odd core budget, the plan must not overshoot the
+// envelope by the remainder.
+func TestSolveHonorsIndivisibleCoreBudgetUnderReplication(t *testing.T) {
+	a := testAnalysis(30)
+	// Slow parallel map (20/s/core) under a sequential 60/s batch: the
+	// 5-core budget forces 2 replicas and leaves no whole per-replica core
+	// to grant.
+	a.Nodes[1].Rate = 20
+	a.Nodes[1].ScaledCapacity = 20
+	a.Nodes[2].Rate = 60
+	a.Nodes[2].ScaledCapacity = 60
+	for _, cores := range []int{5, 7, 11} {
+		p, err := Solve(a, Budget{Cores: cores})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.CoresPlanned > cores {
+			t.Fatalf("budget %d: plan claims %d cores (outer %d, knobs %v)",
+				cores, p.CoresPlanned, p.OuterParallelism, p.Parallelism)
+		}
+	}
+}
+
+func TestSolvePredictionsAreCalibrated(t *testing.T) {
+	// Observed 50 against the traced bound 100 -> efficiency 0.5; the fill
+	// prediction for map@3 must be 0.5 * min(300, ...) = 150.
+	a := testAnalysis(50)
+	p, err := Solve(a, Budget{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Efficiency != 0.5 {
+		t.Fatalf("efficiency = %v, want 0.5", p.Efficiency)
+	}
+	if p.PredictedFillMinibatchesPerSec != 150 {
+		t.Fatalf("fill prediction = %v, want 150", p.PredictedFillMinibatchesPerSec)
+	}
+}
+
+func TestSolveKeepsUnmeasuredKnobs(t *testing.T) {
+	// A parallelizable node with no measurable rate keeps its current knob
+	// instead of being churned to 1.
+	a := testAnalysis(90)
+	a.Snapshot.Graph.Nodes[0].Parallelism = 2
+	a.Nodes[0].Parallelism = 2
+	a.Nodes[0].Rate = math.Inf(1)
+	a.Nodes[0].ScaledCapacity = math.Inf(1)
+	p, err := Solve(a, Budget{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Parallelism["interleave_1"]; got != 2 {
+		t.Fatalf("unmeasured interleave planned to %d, want kept at 2", got)
+	}
+}

@@ -1,0 +1,119 @@
+package rewrite
+
+import (
+	"encoding/json"
+	"testing"
+
+	"plumber/internal/pipeline"
+	"plumber/internal/plan"
+)
+
+func applyPlanGraph(t *testing.T) *pipeline.Graph {
+	t.Helper()
+	g, err := pipeline.NewBuilder().
+		Interleave("cat", 1).
+		Map("decode", 1).
+		Batch(8).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestApplyPlanMaterializesEveryKnob(t *testing.T) {
+	g := applyPlanGraph(t)
+	before, _ := json.Marshal(g)
+	p := &plan.Plan{
+		Parallelism:      map[string]int{"map_1": 3, "interleave_1": 2},
+		CacheAbove:       "batch_1",
+		CacheBytes:       1 << 20,
+		PrefetchBuffer:   8,
+		OuterParallelism: 2,
+	}
+	out, trail, err := ApplyPlan(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := json.Marshal(g); string(before) != string(after) {
+		t.Fatal("ApplyPlan mutated the input graph")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("ApplyPlan output fails Validate: %v", err)
+	}
+
+	// Every knob change must be recorded, one audit step each: two
+	// parallelism raises, one cache, one prefetch, one outer parallelism.
+	if len(trail) != 5 {
+		t.Fatalf("trail has %d steps, want 5: %+v", len(trail), trail)
+	}
+	for _, name := range []string{NameRaiseParallelism, NameInsertPrefetch, NameInsertCache, NameOuterParallelism} {
+		if !trail.Has(name) {
+			t.Fatalf("trail missing %s", name)
+		}
+	}
+
+	mp, err := out.Node("map_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Parallelism != 3 {
+		t.Fatalf("map parallelism = %d, want 3", mp.Parallelism)
+	}
+	root, err := out.Node(out.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Kind != pipeline.KindPrefetch {
+		t.Fatalf("output is %s, want the planned prefetch", root.Kind)
+	}
+	// The prefetch must sit above the cache, which sits above the batch.
+	cache, err := out.Node(root.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Kind != pipeline.KindCache || cache.Input != "batch_1" {
+		t.Fatalf("below the root: %s over %q, want cache over batch_1", cache.Kind, cache.Input)
+	}
+	if out.OuterParallelism != 2 {
+		t.Fatalf("outer parallelism = %d, want 2", out.OuterParallelism)
+	}
+}
+
+func TestApplyPlanNoOpYieldsCloneAndEmptyTrail(t *testing.T) {
+	g := applyPlanGraph(t)
+	out, trail, err := ApplyPlan(g, &plan.Plan{
+		Parallelism: map[string]int{"map_1": 1}, // already 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trail) != 0 {
+		t.Fatalf("no-op plan produced %d trail steps", len(trail))
+	}
+	if out == g {
+		t.Fatal("no-op plan returned the input graph instead of a clone")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyPlanRejectsSequentialParallelism(t *testing.T) {
+	g := applyPlanGraph(t)
+	_, _, err := ApplyPlan(g, &plan.Plan{Parallelism: map[string]int{"batch_1": 4}})
+	if err == nil {
+		t.Fatal("plan setting parallelism on a sequential batch was accepted")
+	}
+}
+
+func TestApplyPlanRejectsDoubleCache(t *testing.T) {
+	g := applyPlanGraph(t)
+	cached, err := g.InsertAbove("batch_1", pipeline.Node{Name: "c", Kind: pipeline.KindCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ApplyPlan(cached, &plan.Plan{CacheAbove: "map_1"}); err == nil {
+		t.Fatal("plan adding a second cache was accepted")
+	}
+}

@@ -17,20 +17,14 @@ import (
 
 	"plumber/internal/ops"
 	"plumber/internal/pipeline"
+	"plumber/internal/plan"
 )
 
 // Budget is the resource envelope the tuner allocates against — the
-// paper's nc cores, memory for caches, and disk bandwidth.
-type Budget struct {
-	// Cores bounds total intra-operator parallelism (and, multiplied by the
-	// per-replica cost, outer parallelism). Zero means unbounded.
-	Cores int `json:"cores"`
-	// MemoryBytes bounds cache materialization; zero disables caching.
-	MemoryBytes int64 `json:"memory_bytes"`
-	// DiskBandwidth is available read bandwidth in bytes/second; zero means
-	// unbounded (in-memory source).
-	DiskBandwidth float64 `json:"disk_bandwidth,omitempty"`
-}
+// paper's nc cores, memory for caches, and disk bandwidth. It aliases
+// plan.Budget (the planner is the leaf of the dependency chain), so the
+// greedy rewrites and the one-shot planner share one envelope type.
+type Budget = plan.Budget
 
 // Step is one entry in the audit trail of applied rewrites.
 type Step struct {

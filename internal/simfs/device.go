@@ -33,9 +33,13 @@ type Device struct {
 }
 
 // SaturatingParallelism returns the minimum number of concurrent streams
-// needed to reach the device's total bandwidth.
+// needed to reach the device's total bandwidth. Degenerate devices —
+// non-positive or infinite bandwidths, as on the Unlimited profile —
+// saturate with a single stream (the Inf/Inf ratio would otherwise
+// overflow the int conversion).
 func (d Device) SaturatingParallelism() int {
-	if d.PerStreamBandwidth <= 0 || d.TotalBandwidth <= 0 {
+	if d.PerStreamBandwidth <= 0 || d.TotalBandwidth <= 0 ||
+		math.IsInf(d.PerStreamBandwidth, 1) || math.IsInf(d.TotalBandwidth, 1) {
 		return 1
 	}
 	return int(math.Ceil(d.TotalBandwidth / d.PerStreamBandwidth))

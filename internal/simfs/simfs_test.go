@@ -1,0 +1,168 @@
+package simfs
+
+import (
+	"io"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"plumber/internal/data"
+)
+
+func TestDeviceBandwidthAccounting(t *testing.T) {
+	d := Device{Name: "test", TotalBandwidth: 200 * mb, PerStreamBandwidth: 50 * mb}
+	// One stream is per-stream bound; enough streams saturate the device.
+	cases := []struct {
+		p    int
+		want float64
+	}{
+		{0, 50 * mb}, // clamped to 1 stream
+		{1, 50 * mb},
+		{2, 100 * mb},
+		{4, 200 * mb},
+		{8, 200 * mb}, // capped by the device total
+	}
+	for _, c := range cases {
+		if got := d.EffectiveBandwidth(c.p); got != c.want {
+			t.Errorf("EffectiveBandwidth(%d) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := d.SaturatingParallelism(); got != 4 {
+		t.Errorf("SaturatingParallelism = %d, want 4", got)
+	}
+	// Degenerate devices saturate with one stream and serve at the total.
+	unl := Device{Name: "u", TotalBandwidth: math.Inf(1), PerStreamBandwidth: math.Inf(1)}
+	if got := unl.SaturatingParallelism(); got != 1 {
+		t.Errorf("unlimited SaturatingParallelism = %d, want 1", got)
+	}
+}
+
+func TestTokenBucketDelaysDeficit(t *testing.T) {
+	tb := NewTokenBucket(100, 100) // 100 bytes/s, 100-byte burst
+	// The burst is free...
+	if wait := tb.Take(0, 100); wait != 0 {
+		t.Fatalf("burst take delayed %v, want 0", wait)
+	}
+	// ...the next 50 bytes must be repaid at the rate: 0.5s.
+	if wait := tb.Take(0, 50); wait != 500*time.Millisecond {
+		t.Fatalf("deficit take delayed %v, want 500ms", wait)
+	}
+	// After a second of virtual time the bucket refills (capped at burst).
+	if wait := tb.Take(2*time.Second, 100); wait != 0 {
+		t.Fatalf("refilled take delayed %v, want 0", wait)
+	}
+	// Unlimited or nil buckets never delay.
+	if wait := NewTokenBucket(0, 0).Take(0, 1<<30); wait != 0 {
+		t.Fatalf("unlimited bucket delayed %v", wait)
+	}
+	var nilBucket *TokenBucket
+	if wait := nilBucket.Take(0, 1<<30); wait != 0 {
+		t.Fatalf("nil bucket delayed %v", wait)
+	}
+}
+
+func testCatalogFS(t *testing.T) (*FS, data.Catalog) {
+	t.Helper()
+	cat := data.Catalog{
+		Name:                  "simfs-test",
+		NumFiles:              2,
+		RecordsPerFile:        16,
+		MeanRecordBytes:       256,
+		RecordBytesStddevFrac: 0.2,
+		DecodeAmplification:   1,
+	}
+	fs := New(Device{Name: "mem"}, false)
+	fs.AddCatalog(cat, 5)
+	return fs, cat
+}
+
+// countingObserver is a pointer-typed observer, so RemoveObserver can match
+// it by identity.
+type countingObserver struct {
+	mu    sync.Mutex
+	bytes int64
+}
+
+func (o *countingObserver) ObserveRead(path string, n int64) {
+	o.mu.Lock()
+	o.bytes += n
+	o.mu.Unlock()
+}
+
+func (o *countingObserver) total() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.bytes
+}
+
+func drainFile(t *testing.T, fs *FS, path string) int64 {
+	t.Helper()
+	r, err := fs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	n, err := io.Copy(io.Discard, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestReadAccountingAndObservers(t *testing.T) {
+	fs, _ := testCatalogFS(t)
+	paths := fs.List()
+	if len(paths) != 2 {
+		t.Fatalf("List returned %d paths, want 2", len(paths))
+	}
+
+	obs := &countingObserver{}
+	fs.AddObserver(obs)
+	n := drainFile(t, fs, paths[0])
+	size, err := fs.Stat(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != size {
+		t.Fatalf("drained %d bytes, Stat says %d", n, size)
+	}
+	if got := obs.total(); got != n {
+		t.Fatalf("observer saw %d bytes, want exactly %d (batched observation must flush at EOF)", got, n)
+	}
+	if got := fs.TotalBytesRead(); got != n {
+		t.Fatalf("TotalBytesRead = %d, want %d", got, n)
+	}
+	if fs.ReadCalls() == 0 {
+		t.Fatal("ReadCalls not accounted")
+	}
+
+	// A removed observer stops receiving reads; filesystem totals continue.
+	fs.RemoveObserver(obs)
+	n2 := drainFile(t, fs, paths[1])
+	if got := obs.total(); got != n {
+		t.Fatalf("removed observer still received %d bytes", got-n)
+	}
+	if got := fs.TotalBytesRead(); got != n+n2 {
+		t.Fatalf("TotalBytesRead = %d after second drain, want %d", got, n+n2)
+	}
+}
+
+func TestContentIsDeterministic(t *testing.T) {
+	fsA, _ := testCatalogFS(t)
+	fsB, _ := testCatalogFS(t)
+	path := fsA.List()[0]
+	ra, err := fsA.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := fsB.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := io.ReadAll(ra)
+	bb, _ := io.ReadAll(rb)
+	if string(ba) != string(bb) {
+		t.Fatal("same spec and seed produced different shard content")
+	}
+}

@@ -3,16 +3,35 @@ package plumber
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"plumber/internal/engine"
 	"plumber/internal/ops"
 	"plumber/internal/pipeline"
+	"plumber/internal/plan"
 	"plumber/internal/rewrite"
+	"plumber/internal/stats"
 )
 
 // Budget is the resource envelope the tuner allocates against; it aliases
-// rewrite.Budget so callers can stay entirely within the façade.
+// rewrite.Budget (itself plan.Budget) so callers can stay entirely within
+// the façade.
 type Budget = rewrite.Budget
+
+// Mode selects Optimize's tuning strategy.
+type Mode string
+
+const (
+	// ModePlanFirst is the paper's predictive path and the default: one
+	// trace, a one-shot LP-style joint allocation (internal/plan), one
+	// rewrite materializing the whole plan, one verifying trace, and
+	// bounded greedy refinement only if the observed rate misses the
+	// prediction by more than Options.RefineTolerance.
+	ModePlanFirst Mode = "plan-first"
+	// ModeGreedy is the sequential closed loop (trace -> analyze -> apply
+	// the first applicable remedy -> re-trace) kept for A/B comparison.
+	ModeGreedy Mode = "greedy"
+)
 
 // StepReport records the state the tuner observed at one trace/analyze
 // iteration, before (possibly) applying a rewrite — the per-step capacity
@@ -39,31 +58,57 @@ type StepReport struct {
 // Result is the outcome of one Optimize run: the rewritten program, the
 // audit trail of applied remedies, and the per-step capacity trajectory.
 type Result struct {
+	// Mode is the strategy that produced this result.
+	Mode Mode `json:"mode"`
 	// Initial and Final are the program before and after tuning; Initial is
 	// a clone, the caller's graph is never modified.
 	Initial *pipeline.Graph `json:"initial"`
 	Final   *pipeline.Graph `json:"final"`
 	// Budget echoes the resource envelope the tuner ran under.
 	Budget Budget `json:"budget"`
-	// Trail is the ordered audit of every applied rewrite.
+	// Trail is the ordered audit of every applied rewrite. In plan-first
+	// mode every knob change the plan materialized appears here too, under
+	// the same canonical rewrite names the greedy loop uses.
 	Trail rewrite.Trail `json:"trail"`
-	// Steps is the per-iteration capacity trajectory; the last entry with
+	// Steps is the per-trace capacity trajectory; the last entry with
 	// Applied == nil describes the converged program.
 	Steps []StepReport `json:"steps"`
 	// Converged is true when no remedy applied (capacity converged or the
-	// budget bound); false means MaxSteps was exhausted first.
+	// budget bound); false means the step budget was exhausted first.
 	Converged bool `json:"converged"`
 	// FinalObservedMinibatchesPerSec is the last trace's observed rate.
 	FinalObservedMinibatchesPerSec float64 `json:"final_observed_minibatches_per_sec"`
+
+	// Plan is the one-shot joint allocation (plan-first mode only).
+	Plan *plan.Plan `json:"plan,omitempty"`
+	// PredictedMinibatchesPerSec is the calibrated what-if prediction for
+	// the verifying trace of the planned shape (plan-first mode only; the
+	// plan's fill-epoch prediction evaluated with the cores this host can
+	// actually deliver). 0 encodes an unbounded model.
+	PredictedMinibatchesPerSec float64 `json:"predicted_minibatches_per_sec,omitempty"`
+	// VerifyObservedMinibatchesPerSec is the verifying trace's observed
+	// rate (plan-first only) — the observation PredictionError is computed
+	// against. It equals FinalObservedMinibatchesPerSec unless greedy
+	// refinement ran afterwards.
+	VerifyObservedMinibatchesPerSec float64 `json:"verify_observed_minibatches_per_sec,omitempty"`
+	// PredictionError is |observed - predicted| / predicted between the
+	// verifying trace and PredictedMinibatchesPerSec (plan-first only).
+	PredictionError float64 `json:"prediction_error,omitempty"`
+	// TracesUsed counts full pipeline drains this run consumed — the cost
+	// the predictive planner exists to minimize.
+	TracesUsed int `json:"traces_used"`
 }
 
-// Optimize runs the paper's closed loop on the graph: trace it on the real
-// engine, operationalize the counters, apply the first applicable remedy
-// (raise the parallelizable bottleneck, insert a root prefetch, materialize
-// the best cacheable Dataset, replicate past a sequential bottleneck), and
-// re-instantiate — repeating until no remedy applies or MaxSteps is hit.
-// A zero Budget.Cores allocates against the machine's core count, like the
-// paper's nc-core tuner. The caller's graph is never modified.
+// Optimize tunes the graph under the budget. The default ModePlanFirst
+// runs the paper's predictive path: trace once, solve the LP-style joint
+// allocation of cores, cache memory, prefetching, and outer parallelism in
+// one shot, materialize it as a single validated rewrite, and verify with
+// one more trace — falling back to a bounded greedy refinement only when
+// the observation misses the prediction by more than RefineTolerance.
+// ModeGreedy is the sequential closed loop (up to MaxSteps re-traces) kept
+// for A/B comparison. A zero Budget.Cores allocates against the machine's
+// core count, like the paper's nc-core tuner. The caller's graph is never
+// modified.
 func Optimize(g *pipeline.Graph, budget Budget, opts Options) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -84,32 +129,140 @@ func Optimize(g *pipeline.Graph, budget Budget, opts Options) (*Result, error) {
 		// against the machine instead, like the paper's nc-core tuner.
 		budget.Cores = opts.Machine.Cores
 	}
-	if !userSetMaxSteps && 2*budget.Cores+8 > opts.MaxSteps {
+	if !userSetMaxSteps && opts.Mode == ModeGreedy && 2*budget.Cores+8 > opts.MaxSteps {
 		// The parallelism ramp alone can take ~cores steps per parallel
 		// Dataset; leave the default step cap comfortably above it.
 		opts.MaxSteps = 2*budget.Cores + 8
 	}
 	if opts.Caches == nil {
-		// One store per run: caches inserted at step k are warm at step
-		// k+1, and the engine invalidates entries whose below-cache chain a
-		// later rewrite touches.
+		// One store per run: caches inserted (or planned) at one trace are
+		// warm at the next, and the engine invalidates entries whose
+		// below-cache chain a later rewrite touches.
 		opts.Caches = engine.NewCacheStore()
 	}
+
+	res := &Result{Mode: opts.Mode, Initial: g.Clone(), Budget: budget}
+	var err error
+	switch opts.Mode {
+	case ModePlanFirst:
+		err = optimizePlanFirst(res, g.Clone(), budget, opts)
+	case ModeGreedy:
+		err = optimizeGreedy(res, g.Clone(), budget, opts)
+	default:
+		err = fmt.Errorf("plumber: unknown optimize mode %q", opts.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// optimizePlanFirst implements ModePlanFirst: 1 trace -> plan -> apply ->
+// 1 verifying trace -> bounded greedy refinement only on a prediction miss.
+func optimizePlanFirst(res *Result, cur *pipeline.Graph, budget Budget, opts Options) error {
+	an, err := traceAnalyze(res, cur, opts)
+	if err != nil {
+		return fmt.Errorf("plumber: plan trace: %w", err)
+	}
+	res.Steps = append(res.Steps, stepReport(0, an, budget))
+	res.FinalObservedMinibatchesPerSec = an.ObservedRate
+
+	pl, err := plan.Solve(an, budget)
+	if err != nil {
+		return fmt.Errorf("plumber: plan solve: %w", err)
+	}
+	res.Plan = pl
+	next, trail, err := rewrite.ApplyPlan(cur, pl)
+	if err != nil {
+		return fmt.Errorf("plumber: plan apply: %w", err)
+	}
+	res.Trail = append(res.Trail, trail...)
+	cur = next
+
+	// The verifying trace runs on THIS host. With Spin the modeled CPU is
+	// actually burned, so predict with the cores the host can deliver, not
+	// the deployment budget — a laptop verifying a 64-core plan must not
+	// spuriously trigger refinement. Without Spin the modeled CPU is
+	// virtual (only accounted), real work is the per-element engine
+	// overhead that parallelizes with the knobs, and the budget's cores
+	// are the honest predictor. The verify trace is a fill epoch (any
+	// planned cache starts cold, and — sharing the run's CacheStore — is
+	// warm afterwards).
+	verifyCores := budget.Cores
+	if opts.Spin {
+		if n := runtime.NumCPU(); n > 0 && n < verifyCores {
+			verifyCores = n
+		}
+	}
+	predicted := an.PredictObservedRate(pl.Hypothetical(false, verifyCores, budget.DiskBandwidth))
+	if math.IsInf(predicted, 1) {
+		predicted = 0 // unbounded model: nothing to verify against
+	}
+	res.PredictedMinibatchesPerSec = predicted
+
+	if len(trail) == 0 {
+		// Nothing to apply: the traced shape already is the plan.
+		res.Converged = true
+		res.Final = cur
+		return nil
+	}
+	an2, err := traceAnalyze(res, cur, opts)
+	if err != nil {
+		return fmt.Errorf("plumber: plan verify trace: %w", err)
+	}
+	res.VerifyObservedMinibatchesPerSec = an2.ObservedRate
+	if predicted > 0 {
+		res.PredictionError = stats.RelErr(an2.ObservedRate, predicted)
+	}
+	if predicted > 0 && res.PredictionError > opts.RefineTolerance {
+		// Observation missed the prediction: fall back to the greedy loop
+		// for a bounded number of steps, reusing the verify trace's
+		// analysis as its first step.
+		cur, err = greedyLoop(res, cur, budget, opts, opts.MaxRefineSteps, an2)
+		if err != nil {
+			return fmt.Errorf("plumber: plan refine: %w", err)
+		}
+		res.Final = cur
+		return nil
+	}
+	report := stepReport(len(res.Steps), an2, budget)
+	res.FinalObservedMinibatchesPerSec = an2.ObservedRate
+	res.Steps = append(res.Steps, report)
+	res.Converged = true
+	res.Final = cur
+	return nil
+}
+
+// optimizeGreedy implements ModeGreedy, the sequential closed loop.
+func optimizeGreedy(res *Result, cur *pipeline.Graph, budget Budget, opts Options) error {
+	cur, err := greedyLoop(res, cur, budget, opts, opts.MaxSteps, nil)
+	if err != nil {
+		return err
+	}
+	res.Final = cur
+	return nil
+}
+
+// greedyLoop runs up to maxSteps trace -> analyze -> first-applicable-
+// rewrite iterations starting from cur, appending to res.Steps/res.Trail.
+// A non-nil initial analysis (from a trace the caller already ran on cur)
+// is consumed as the first iteration's input without re-tracing. When the
+// step budget is exhausted with the last rewrite unmeasured, one final
+// trace reports the returned program's rate.
+func greedyLoop(res *Result, cur *pipeline.Graph, budget Budget, opts Options, maxSteps int, initial *ops.Analysis) (*pipeline.Graph, error) {
 	rewrites := opts.Rewrites
 	if rewrites == nil {
 		rewrites = rewrite.DefaultRewrites(budget)
 	}
-
-	res := &Result{Initial: g.Clone(), Budget: budget}
-	cur := g.Clone()
-	for step := 0; step < opts.MaxSteps; step++ {
-		snap, err := Trace(cur, opts)
-		if err != nil {
-			return nil, fmt.Errorf("plumber: optimize step %d: %w", step, err)
-		}
-		an, err := Analyze(snap, opts.UDFs)
-		if err != nil {
-			return nil, fmt.Errorf("plumber: optimize step %d: %w", step, err)
+	an := initial
+	for i := 0; i < maxSteps; i++ {
+		step := len(res.Steps)
+		if an == nil {
+			var err error
+			an, err = traceAnalyze(res, cur, opts)
+			if err != nil {
+				return nil, fmt.Errorf("plumber: optimize step %d: %w", step, err)
+			}
 		}
 		report := stepReport(step, an, budget)
 		res.FinalObservedMinibatchesPerSec = report.ObservedMinibatchesPerSec
@@ -130,28 +283,32 @@ func Optimize(g *pipeline.Graph, budget Budget, opts Options) (*Result, error) {
 			break
 		}
 		res.Steps = append(res.Steps, report)
+		an = nil
 		if !applied {
 			res.Converged = true
-			break
+			return cur, nil
 		}
 	}
-	if !res.Converged {
-		// MaxSteps exhausted with the last rewrite unmeasured: one final
-		// trace so Final's reported rate matches the returned program.
-		snap, err := Trace(cur, opts)
-		if err != nil {
-			return nil, fmt.Errorf("plumber: optimize final trace: %w", err)
-		}
-		an, err := Analyze(snap, opts.UDFs)
-		if err != nil {
-			return nil, fmt.Errorf("plumber: optimize final analysis: %w", err)
-		}
-		report := stepReport(len(res.Steps), an, budget)
-		res.FinalObservedMinibatchesPerSec = report.ObservedMinibatchesPerSec
-		res.Steps = append(res.Steps, report)
+	// Step budget exhausted with the last rewrite unmeasured: one final
+	// trace so the reported rate matches the returned program.
+	an, err := traceAnalyze(res, cur, opts)
+	if err != nil {
+		return nil, fmt.Errorf("plumber: optimize final trace: %w", err)
 	}
-	res.Final = cur
-	return res, nil
+	report := stepReport(len(res.Steps), an, budget)
+	res.FinalObservedMinibatchesPerSec = report.ObservedMinibatchesPerSec
+	res.Steps = append(res.Steps, report)
+	return cur, nil
+}
+
+// traceAnalyze runs one accounted trace of cur and operationalizes it.
+func traceAnalyze(res *Result, cur *pipeline.Graph, opts Options) (*ops.Analysis, error) {
+	snap, err := Trace(cur, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.TracesUsed++
+	return Analyze(snap, opts.UDFs)
 }
 
 func stepReport(step int, an *ops.Analysis, budget Budget) StepReport {

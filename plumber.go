@@ -49,10 +49,22 @@ type Options struct {
 	// MaxMinibatches bounds each trace drain; 0 drains to EOF (one pass
 	// over a finite pipeline).
 	MaxMinibatches int64
-	// MaxSteps caps Optimize's rewrite iterations (default 32).
+	// Mode selects Optimize's strategy; the zero value means ModePlanFirst
+	// (one trace, one-shot joint allocation, one verifying trace).
+	// ModeGreedy is the sequential per-step re-trace loop, kept for A/B.
+	Mode Mode
+	// RefineTolerance is the relative prediction miss that makes
+	// ModePlanFirst fall back to greedy refinement: refinement runs only
+	// when |observed - predicted| / predicted exceeds it (default 0.25).
+	RefineTolerance float64
+	// MaxRefineSteps caps ModePlanFirst's post-verification greedy
+	// refinement (default 4).
+	MaxRefineSteps int
+	// MaxSteps caps ModeGreedy's rewrite iterations (default 32, raised to
+	// cover the parallelism ramp implied by the core budget).
 	MaxSteps int
-	// Rewrites overrides Optimize's remedy sequence; nil uses
-	// rewrite.DefaultRewrites(budget).
+	// Rewrites overrides the greedy remedy sequence (ModeGreedy and
+	// plan-first refinement); nil uses rewrite.DefaultRewrites(budget).
 	Rewrites []rewrite.Rewrite
 	// Caches, when non-nil, carries warm cache contents across Optimize's
 	// re-instantiations (and across separate Trace calls). Optimize
@@ -72,8 +84,24 @@ func (o Options) withDefaults() Options {
 	if o.MaxSteps <= 0 {
 		o.MaxSteps = defaultMaxSteps
 	}
+	if o.Mode == "" {
+		o.Mode = ModePlanFirst
+	}
+	if o.RefineTolerance <= 0 {
+		o.RefineTolerance = defaultRefineTolerance
+	}
+	if o.MaxRefineSteps <= 0 {
+		o.MaxRefineSteps = defaultMaxRefineSteps
+	}
 	return o
 }
+
+// defaultRefineTolerance is the prediction-miss fraction beyond which
+// plan-first falls back to greedy refinement.
+const defaultRefineTolerance = 0.25
+
+// defaultMaxRefineSteps caps that refinement.
+const defaultMaxRefineSteps = 4
 
 // defaultMaxSteps is the baseline Optimize iteration cap; Optimize raises
 // it when the core budget implies a longer parallelism ramp.
@@ -108,8 +136,8 @@ func Trace(g *pipeline.Graph, opts Options) (*trace.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer p.Close()
 	if _, _, err := p.Drain(opts.MaxMinibatches); err != nil {
+		p.Close() // Close is idempotent and error-swallowing here is fine: the drain error wins
 		return nil, fmt.Errorf("plumber: trace drain: %w", err)
 	}
 	// Close before snapshotting: sequential iterators flush their buffered
@@ -118,11 +146,15 @@ func Trace(g *pipeline.Graph, opts Options) (*trace.Snapshot, error) {
 	if err := p.Close(); err != nil {
 		return nil, fmt.Errorf("plumber: trace close: %w", err)
 	}
-	totalFiles := 0
-	if cat, err := sourceCatalog(g); err == nil {
-		totalFiles = cat.NumFiles
+	// A missing catalog would leave TotalFiles at 0 and silently skew the
+	// §A dataset-size rescale — propagate instead. (engine.New resolved the
+	// same catalog already, so this fails only if it was unregistered
+	// mid-trace.)
+	cat, err := sourceCatalog(g)
+	if err != nil {
+		return nil, fmt.Errorf("plumber: trace source catalog: %w", err)
 	}
-	return col.Snapshot(0, totalFiles), nil
+	return col.Snapshot(0, cat.NumFiles), nil
 }
 
 // Analyze operationalizes a snapshot: visit ratios, per-core rates, scaled

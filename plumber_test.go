@@ -103,7 +103,7 @@ func TestOptimizeClosesTheLoop(t *testing.T) {
 	}
 
 	budget := Budget{Cores: 4, MemoryBytes: 64 << 20}
-	res, err := Optimize(g, budget, Options{FS: fs, UDFs: reg, WorkScale: 1})
+	res, err := Optimize(g, budget, Options{FS: fs, UDFs: reg, WorkScale: 1, Mode: ModeGreedy})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestOptimizeUnboundedBudgetConverges(t *testing.T) {
 func TestOptimizeHonorsExplicitMaxSteps(t *testing.T) {
 	fs, reg := facadeSetup(t)
 	res, err := Optimize(sequentialGraph(t), Budget{Cores: 64}, Options{
-		FS: fs, UDFs: reg, WorkScale: 1, MaxSteps: 2,
+		FS: fs, UDFs: reg, WorkScale: 1, MaxSteps: 2, Mode: ModeGreedy,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -209,20 +209,129 @@ func TestOptimizeHonorsExplicitMaxSteps(t *testing.T) {
 	}
 }
 
-// TestOptimizeRespectsZeroMemoryBudget pins the budget-binding path: with no
-// cache memory, the tuner must not insert a cache.
+// TestOptimizeRespectsZeroMemoryBudget pins the budget-binding path in both
+// modes: with no cache memory, the tuner must not insert a cache.
 func TestOptimizeRespectsZeroMemoryBudget(t *testing.T) {
+	for _, mode := range []Mode{ModePlanFirst, ModeGreedy} {
+		t.Run(string(mode), func(t *testing.T) {
+			fs, reg := facadeSetup(t)
+			res, err := Optimize(sequentialGraph(t), Budget{Cores: 2}, Options{
+				FS: fs, UDFs: reg, WorkScale: 1, Mode: mode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Trail.Has(rewrite.NameInsertCache) {
+				t.Fatal("cache inserted despite a zero memory budget")
+			}
+			for _, n := range res.Final.Nodes {
+				if n.Kind == pipeline.KindCache {
+					t.Fatal("final graph contains a cache despite a zero memory budget")
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizePlanFirst pins the predictive path end to end: the default
+// mode solves one joint allocation from a single trace, materializes it as
+// one audited rewrite, verifies with one more trace, and — when the
+// prediction holds — stops at two traces total, reaching the same shape
+// the greedy loop needs a re-trace per step for.
+func TestOptimizePlanFirst(t *testing.T) {
 	fs, reg := facadeSetup(t)
-	res, err := Optimize(sequentialGraph(t), Budget{Cores: 2}, Options{FS: fs, UDFs: reg, WorkScale: 1})
+	g := sequentialGraph(t)
+	budget := Budget{Cores: 4, MemoryBytes: 64 << 20}
+	res, err := Optimize(g, budget, Options{FS: fs, UDFs: reg, WorkScale: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Trail.Has(rewrite.NameInsertCache) {
-		t.Fatal("cache inserted despite a zero memory budget")
+	if res.Mode != ModePlanFirst {
+		t.Fatalf("default mode = %q, want %q", res.Mode, ModePlanFirst)
 	}
+	if res.Plan == nil {
+		t.Fatal("plan-first result carries no plan")
+	}
+	if err := res.Final.Validate(); err != nil {
+		t.Fatalf("final graph invalid: %v", err)
+	}
+	if res.TracesUsed > 3 {
+		t.Fatalf("plan-first used %d traces, want <= 3 (prediction error %.3f)",
+			res.TracesUsed, res.PredictionError)
+	}
+
+	// The joint allocation must reach the same shape the greedy loop finds:
+	// decode raised within the core budget, a root prefetch, and a cache.
+	mp, err := res.Final.Node("map_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Parallelism < 2 {
+		t.Fatalf("map parallelism = %d, want raised above 1", mp.Parallelism)
+	}
+	if cores := rewrite.ParallelCoresInUse(res.Final); cores > budget.Cores {
+		t.Fatalf("final program claims %d cores, budget %d", cores, budget.Cores)
+	}
+	root, err := res.Final.Node(res.Final.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Kind != pipeline.KindPrefetch {
+		t.Fatalf("final root is %s, want prefetch", root.Kind)
+	}
+	hasCache := false
 	for _, n := range res.Final.Nodes {
 		if n.Kind == pipeline.KindCache {
-			t.Fatal("final graph contains a cache despite a zero memory budget")
+			hasCache = true
+		}
+	}
+	if !hasCache {
+		t.Fatal("plan-first inserted no cache although the dataset fits the memory budget")
+	}
+
+	// Every knob change must be audited under the canonical rewrite names.
+	for _, name := range []string{rewrite.NameRaiseParallelism, rewrite.NameInsertPrefetch, rewrite.NameInsertCache} {
+		if !res.Trail.Has(name) {
+			t.Fatalf("audit trail missing %s", name)
+		}
+	}
+	if res.PredictedMinibatchesPerSec <= 0 {
+		t.Fatal("plan-first reported no verifiable prediction")
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("result not serializable: %v", err)
+	}
+}
+
+// TestOptimizePlanFirstMatchesGreedyShape pins the acceptance bar's
+// substance at unit scale: plan-first's final knobs equal greedy's
+// converged knobs on the synthetic catalog, in far fewer traces.
+func TestOptimizePlanFirstMatchesGreedyShape(t *testing.T) {
+	fs, reg := facadeSetup(t)
+	budget := Budget{Cores: 4, MemoryBytes: 64 << 20}
+	greedy, err := Optimize(sequentialGraph(t), budget, Options{FS: fs, UDFs: reg, WorkScale: 1, Mode: ModeGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := Optimize(sequentialGraph(t), budget, Options{FS: fs, UDFs: reg, WorkScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.TracesUsed >= greedy.TracesUsed {
+		t.Fatalf("plan-first used %d traces, greedy %d — the planner must be cheaper",
+			planned.TracesUsed, greedy.TracesUsed)
+	}
+	for _, name := range []string{"interleave_1", "map_1"} {
+		gn, err := greedy.Final.Node(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pn, err := planned.Final.Node(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gn.EffectiveParallelism() != pn.EffectiveParallelism() {
+			t.Errorf("%s parallelism: plan %d, greedy %d", name, pn.EffectiveParallelism(), gn.EffectiveParallelism())
 		}
 	}
 }
