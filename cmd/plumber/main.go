@@ -8,6 +8,13 @@
 //	plumber analyze  -snap snapshot.json [-out analysis.json]
 //	plumber plan     [-graph graph.json] [-out plan.json] [-apply planned-graph.json] [budget flags] [workload flags]
 //	plumber optimize [-graph graph.json] [-out tuner.json] [-mode plan-first|greedy] [budget flags] [workload flags]
+//	plumber arbitrate [-tenants vision,tiny-files] [-weights 1,1] [-out arbiter.json] [budget flags]
+//
+// arbitrate admits canonical scenario workloads (internal/scenario) as
+// tenants of one shared resource envelope, traces each once, solves the
+// cross-tenant core/memory split by water-filling on predicted rate curves,
+// and reports each tenant's materialized share next to the static
+// even-split baseline.
 //
 // Budget flags are -cores N, -memory-mb M, -bw-mbps B. Without -graph, the
 // commands build the demo program — an all-sequential interleave → map →
@@ -32,6 +39,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"plumber"
@@ -40,7 +50,9 @@ import (
 	"plumber/internal/pipeline"
 	"plumber/internal/plan"
 	"plumber/internal/rewrite"
+	"plumber/internal/scenario"
 	"plumber/internal/simfs"
+	"plumber/internal/stats"
 	"plumber/internal/trace"
 	"plumber/internal/udf"
 )
@@ -169,6 +181,8 @@ func main() {
 		err = runPlan(os.Args[2:])
 	case "optimize":
 		err = runOptimize(os.Args[2:])
+	case "arbitrate":
+		err = runArbitrate(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -189,6 +203,7 @@ func usage() {
   plumber analyze  -snap snapshot.json [-out analysis.json]
   plumber plan     [-graph graph.json] [-out plan.json] [-apply planned-graph.json] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
   plumber optimize [-graph graph.json] [-out tuner.json] [-mode plan-first|greedy] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
+  plumber arbitrate [-tenants vision,tiny-files] [-weights 1,1] [-out arbiter.json] [-quick] [-cores N] [-memory-mb M] [-bw-mbps B]
 
 run "plumber <subcommand> -h" for the full flag list`)
 }
@@ -282,9 +297,9 @@ func analysisDoc(an *ops.Analysis) map[string]any {
 			Kind:              string(n.Kind),
 			Parallelism:       n.Parallelism,
 			VisitRatio:        n.VisitRatio,
-			RatePerCore:       finiteOrZero(n.Rate),
-			ScaledCapacity:    finiteOrZero(n.ScaledCapacity),
-			MaterializedBytes: finiteOrZero(n.MaterializedBytes),
+			RatePerCore:       stats.FiniteOrZero(n.Rate),
+			ScaledCapacity:    stats.FiniteOrZero(n.ScaledCapacity),
+			MaterializedBytes: stats.FiniteOrZero(n.MaterializedBytes),
 			Cacheable:         n.Cacheable,
 			CacheVeto:         n.CacheVeto,
 		})
@@ -455,15 +470,111 @@ func runOptimize(args []string) error {
 	return nil
 }
 
-func writeFile(path string, b []byte) error {
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+// runArbitrate admits the named canonical scenarios as tenants of one
+// global budget and prints the arbitrated shares next to the static
+// even-split baseline.
+func runArbitrate(args []string) error {
+	fs := flag.NewFlagSet("arbitrate", flag.ExitOnError)
+	tenantsFlag := fs.String("tenants", "vision,tiny-files", "comma-separated scenario names to admit as tenants")
+	weightsFlag := fs.String("weights", "", "comma-separated tenant weights (default: all 1)")
+	quick := fs.Bool("quick", false, "use the reduced scenario catalogs")
+	out := fs.String("out", "arbiter.json", "output path for the arbitration decision JSON")
+	cores, memoryMB, bwMBps := budgetFlags(fs)
+	fs.Parse(args)
+
+	names := strings.Split(*tenantsFlag, ",")
+	var weights []float64
+	if *weightsFlag != "" {
+		for _, w := range strings.Split(*weightsFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(w), 64)
+			if err != nil {
+				return fmt.Errorf("-weights: %w", err)
+			}
+			weights = append(weights, v)
+		}
+		if len(weights) != len(names) {
+			return fmt.Errorf("-weights lists %d values for %d tenants", len(weights), len(names))
+		}
+	}
+
+	specs := map[string]scenario.Spec{}
+	for _, s := range scenario.Suite(*quick) {
+		specs[s.Name] = s
+	}
+	var tenants []plumber.Tenant
+	for i, raw := range names {
+		name := strings.TrimSpace(raw)
+		spec, ok := specs[name]
+		if !ok {
+			known := make([]string, 0, len(specs))
+			for n := range specs {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return fmt.Errorf("unknown scenario %q (have: %s)", name, strings.Join(known, ", "))
+		}
+		w, err := scenario.Build(spec)
+		if err != nil {
+			return err
+		}
+		weight := 1.0
+		if weights != nil {
+			weight = weights[i]
+		}
+		tenants = append(tenants, plumber.Tenant{
+			Name:          name,
+			Weight:        weight,
+			Graph:         w.Graph,
+			FS:            w.FS,
+			UDFs:          w.Registry,
+			Seed:          w.Spec.Seed,
+			WorkScale:     1,
+			DiskBandwidth: w.DiskBandwidth,
+		})
+	}
+
+	budget := plumber.Budget{
+		Cores:         *cores,
+		MemoryBytes:   *memoryMB << 20,
+		DiskBandwidth: *bwMBps * 1e6,
+	}
+	dec, err := plumber.OptimizeAll(tenants, budget)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("arbitrated %d tenants under %d cores, %d MiB (%d planning traces):\n",
+		len(dec.Shares), budget.Cores, *memoryMB, dec.TracesUsed)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tenant\tweight\tcores\tmemory MiB\tobserved mb/s\tpredicted mb/s\trewrites")
+	for _, s := range dec.Shares {
+		fmt.Fprintf(tw, "%s\t%.1f\t%d\t%d\t%.1f\t%.1f\t%d\n",
+			s.Tenant, s.Weight, s.Budget.Cores, s.Budget.MemoryBytes>>20,
+			s.ObservedMinibatchesPerSec, s.PredictedMinibatchesPerSec, len(s.Trail))
+	}
+	tw.Flush()
+	if dec.EvenSplitPredictedAggregate > 0 {
+		fmt.Printf("predicted aggregate: %.1f minibatches/s (even split: %.1f, %+.1f%%)\n",
+			dec.PredictedAggregateMinibatchesPerSec, dec.EvenSplitPredictedAggregate,
+			100*(dec.PredictedAggregateMinibatchesPerSec/dec.EvenSplitPredictedAggregate-1))
+	} else {
+		fmt.Printf("predicted aggregate: %.1f minibatches/s (even-split baseline not pipeline-bound)\n",
+			dec.PredictedAggregateMinibatchesPerSec)
+	}
+
+	j, err := json.MarshalIndent(dec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFile(*out, j); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
 }
 
-func finiteOrZero(v float64) float64 {
-	if math.IsInf(v, 0) || math.IsNaN(v) {
-		return 0
-	}
-	return v
+func writeFile(path string, b []byte) error {
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func fmtRate(v float64) string {

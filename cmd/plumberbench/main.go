@@ -2,9 +2,10 @@
 //
 // Usage:
 //
-//	plumberbench [-quick] [-json BENCH_engine.json]           # engine hot path
-//	plumberbench -tuner [-quick] [-json BENCH_tuner.json]     # closed-loop tuner
-//	plumberbench -planner [-quick] [-json BENCH_planner.json] # planner vs greedy
+//	plumberbench [-quick] [-json BENCH_engine.json]               # engine hot path
+//	plumberbench -tuner [-quick] [-json BENCH_tuner.json]         # closed-loop tuner
+//	plumberbench -planner [-quick] [-json BENCH_planner.json]     # planner vs greedy
+//	plumberbench -scenarios [-quick] [-json BENCH_scenarios.json] # scenario matrix + arbiter
 //
 // -json sets the output path; each suite has a default filename (-out is a
 // deprecated alias). The default suite runs the engine hot-path
@@ -29,6 +30,15 @@
 //
 //   - planner_fraction_of_greedy_capacity: >= 0.95 is the target,
 //     with planner_traces_used <= 3
+//
+// With -scenarios it runs the planner-vs-greedy head-to-head across the
+// whole canonical scenario suite (vision, nlp, tiny-files, skewed,
+// random-augment, cold-storage) plus one multi-tenant arbitration of an
+// asymmetric mix against the static even-split baseline, and writes
+// BENCH_scenarios.json:
+//
+//   - <scenario>_planner_fraction_of_greedy: >= 0.9 per scenario
+//   - arbitrated_fraction_of_even_split_predicted: >= 1.0
 package main
 
 import (
@@ -44,7 +54,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run the reduced CI smoke suite")
 	tuner := flag.Bool("tuner", false, "run the closed-loop tuner benchmark instead of the engine suite")
 	planner := flag.Bool("planner", false, "run the planner-vs-greedy comparison instead of the engine suite")
-	jsonOut := flag.String("json", "", "output path (default BENCH_engine.json, BENCH_tuner.json, or BENCH_planner.json per suite)")
+	scenarios := flag.Bool("scenarios", false, "run the scenario matrix + multi-tenant arbitration instead of the engine suite")
+	jsonOut := flag.String("json", "", "output path (default BENCH_<suite>.json)")
 	out := flag.String("out", "", "deprecated alias for -json")
 	flag.Parse()
 
@@ -52,16 +63,53 @@ func main() {
 	if path == "" {
 		path = *out
 	}
+	picked := 0
+	for _, b := range []bool{*tuner, *planner, *scenarios} {
+		if b {
+			picked++
+		}
+	}
 	switch {
-	case *tuner && *planner:
-		fatal(fmt.Errorf("-tuner and -planner are mutually exclusive"))
+	case picked > 1:
+		fatal(fmt.Errorf("-tuner, -planner, and -scenarios are mutually exclusive"))
 	case *tuner:
 		runTuner(*quick, path)
 	case *planner:
 		runPlanner(*quick, path)
+	case *scenarios:
+		runScenarios(*quick, path)
 	default:
 		runEngine(*quick, path)
 	}
+}
+
+func runScenarios(quick bool, out string) {
+	if out == "" {
+		out = "BENCH_scenarios.json"
+	}
+	rep, err := bench.RunScenarios(quick)
+	if err != nil {
+		fatal(err)
+	}
+	writeJSON(out, rep)
+	fmt.Printf("%-16s %8s %8s %14s %14s\n", "scenario", "pl trc", "gr trc", "planner ex/s", "greedy ex/s")
+	for _, s := range rep.Scenarios {
+		fmt.Printf("%-16s %8d %8d %14.0f %14.0f\n",
+			s.Spec.Name, s.Planner.TracesUsed, s.Greedy.TracesUsed,
+			s.Planner.MeasuredExamplesPerSec, s.Greedy.MeasuredExamplesPerSec)
+	}
+	mt := rep.MultiTenant
+	fmt.Printf("multi-tenant (%d tenants, %d cores): predicted %.1f vs even-split %.1f minibatches/s\n",
+		len(mt.Tenants), mt.Budget.Cores, mt.PredictedAggregate, mt.EvenSplitPredictedAggregate)
+	for _, tr := range mt.Tenants {
+		fmt.Printf("  %-12s %d cores  predicted %8.1f mb/s  measured %8.0f ex/s (even split: %8.1f, %8.0f)\n",
+			tr.Tenant, tr.ShareCores, tr.PredictedMinibatchesPerSec, tr.MeasuredExamplesPerSec,
+			tr.EvenSplitPredictedMinibatchesPerSec, tr.EvenSplitMeasuredExamplesPerSec)
+	}
+	for k, v := range rep.Comparisons {
+		fmt.Printf("%s = %.3f\n", k, v)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 func runEngine(quick bool, out string) {

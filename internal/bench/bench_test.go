@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestEngineReportRoundTrip pins the checked-in BENCH_engine.json shape: a
+// report marshals, unmarshals, and survives with its numbers intact, so
+// tooling reading the perf trajectory can rely on the field names.
+func TestEngineReportRoundTrip(t *testing.T) {
+	rep := &Report{
+		Schema:    "plumber/bench-engine/v1",
+		Cores:     8,
+		GoVersion: "go1.22",
+		Results: []Result{{
+			Spec:             Spec{Name: "chunked_pooled", Catalog: Catalog.Name, Parallelism: 4}.normalized(),
+			Elements:         1024,
+			Examples:         65536,
+			Seconds:          1.5,
+			ExamplesPerSec:   43690.7,
+			AllocsPerExample: 2.25,
+		}},
+		Comparisons: map[string]float64{"chunked_pooled_speedup_over_baseline": 2.6},
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != rep.Schema || len(back.Results) != 1 {
+		t.Fatalf("round trip lost shape: %+v", back)
+	}
+	r := back.Results[0]
+	if r.Spec.Name != "chunked_pooled" || r.Examples != 65536 || r.ExamplesPerSec != 43690.7 {
+		t.Fatalf("round trip lost numbers: %+v", r)
+	}
+	if back.Comparisons["chunked_pooled_speedup_over_baseline"] != 2.6 {
+		t.Fatalf("round trip lost comparisons: %v", back.Comparisons)
+	}
+	// Spec normalization fills every zero field with its documented default.
+	n := Spec{}.normalized()
+	if n.Catalog != Catalog.Name || n.BatchSize != 64 || n.Reps != 3 {
+		t.Fatalf("Spec normalization defaults wrong: %+v", n)
+	}
+}
+
+// TestScenarioReportRoundTrip does the same for BENCH_scenarios.json.
+func TestScenarioReportRoundTrip(t *testing.T) {
+	rep := &ScenarioReport{
+		Schema:    "plumber/bench-scenarios/v1",
+		HostCores: 8,
+		MultiTenant: MultiTenantRun{
+			PredictedAggregate:          120.5,
+			EvenSplitPredictedAggregate: 81.4,
+			Tenants: []TenantRun{{
+				Tenant: "vision", ShareCores: 6, MeasuredExamplesPerSec: 1234,
+			}},
+			TracesUsed: 2,
+		},
+		Comparisons: map[string]float64{"arbitrated_fraction_of_even_split_predicted": 1.48},
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ScenarioReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.MultiTenant.Tenants[0].ShareCores != 6 || back.MultiTenant.TracesUsed != 2 {
+		t.Fatalf("round trip lost multi-tenant shape: %+v", back.MultiTenant)
+	}
+	if back.Comparisons["arbitrated_fraction_of_even_split_predicted"] != 1.48 {
+		t.Fatalf("round trip lost comparisons: %v", back.Comparisons)
+	}
+}

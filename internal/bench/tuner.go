@@ -146,6 +146,10 @@ func measureThroughput(g *pipeline.Graph, fs *simfs.FS, reg *udf.Registry, epoch
 		if err != nil {
 			return 0, err
 		}
+		// Collect before timing: a preceding Optimize can leave tens of MB
+		// of dead cache stores whose collection would otherwise land in
+		// (and skew) the first measured drains.
+		runtime.GC()
 		start := time.Now()
 		_, examples, err := p.Drain(0)
 		elapsed := time.Since(start)

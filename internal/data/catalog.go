@@ -26,6 +26,12 @@ type Catalog struct {
 	// DecodeAmplification multiplies example size after decode (e.g. JPEG
 	// decode amplifies ImageNet ~6x per the paper, 10x is the JPEG folklore).
 	DecodeAmplification float64
+	// FileSizeSkew, when positive, draws a per-file lognormal multiplier
+	// exp(Normal(-skew²/2, skew)) on the mean record size, producing the
+	// heavy-tailed (Zipf-like) file-size distributions of web-scraped
+	// corpora while preserving the catalog-wide expected size. Zero keeps
+	// every file at the same mean.
+	FileSizeSkew float64
 }
 
 // TotalBytes returns the expected stored size of the dataset including
@@ -71,10 +77,14 @@ func (c Catalog) GenerateFileSpecs(seed uint64) []FileSpec {
 	specs := make([]FileSpec, c.NumFiles)
 	for i := range specs {
 		frng := rng.Split()
+		mean := float64(c.MeanRecordBytes)
+		if c.FileSizeSkew > 0 {
+			mean *= frng.LogNormal(-c.FileSizeSkew*c.FileSizeSkew/2, c.FileSizeSkew)
+		}
 		sizes := make([]int64, c.RecordsPerFile)
 		var total int64
 		for j := range sizes {
-			sz := frng.Normal(float64(c.MeanRecordBytes), c.RecordBytesStddevFrac*float64(c.MeanRecordBytes))
+			sz := frng.Normal(mean, c.RecordBytesStddevFrac*mean)
 			if sz < 64 {
 				sz = 64
 			}

@@ -1,0 +1,408 @@
+// Package host implements Plumber's multi-tenant budget arbiter: N tenant
+// pipelines sharing one physical resource envelope (a global plan.Budget of
+// cores, cache memory, and disk bandwidth), arbitrated to maximize weighted
+// aggregate throughput.
+//
+// The arbiter extends the paper's single-pipeline planner one level up.
+// Each tenant is traced exactly once (the planner's whole point is that one
+// trace suffices); the cross-tenant core split is then solved by
+// water-filling on every tenant's predicted rate curve — the marginal value
+// of one more core for tenant t at share c is w_t·(X_t(c+1) − X_t(c)),
+// where X_t is ops.PredictObservedRate evaluated on the plan that
+// plan.Solve produces for that share — and cores are granted one at a time
+// to the highest marginal bidder. Rate curves are min-of-linear-caps and
+// hence concave, so the greedy grant sequence reaches the weighted
+// water-filling optimum. Memory and disk bandwidth are split in proportion
+// to tenant weight. Every tenant's final share is materialized with
+// rewrite.SolveShare into a validated program, and adding or removing a
+// tenant re-arbitrates without re-tracing incumbents.
+package host
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"plumber/internal/data"
+	"plumber/internal/engine"
+	"plumber/internal/ops"
+	"plumber/internal/pipeline"
+	"plumber/internal/plan"
+	"plumber/internal/rewrite"
+	"plumber/internal/simfs"
+	"plumber/internal/stats"
+	"plumber/internal/trace"
+	"plumber/internal/udf"
+)
+
+// Tenant is one pipeline sharing the arbitrated envelope, together with
+// everything needed to trace it.
+type Tenant struct {
+	// Name identifies the tenant; must be unique within an Arbiter.
+	Name string
+	// Weight is the tenant's relative importance in the weighted aggregate
+	// objective; zero and negative values mean 1.
+	Weight float64
+	// Graph is the tenant's pipeline program.
+	Graph *pipeline.Graph
+	// FS serves the tenant's source shards.
+	FS *simfs.FS
+	// UDFs resolves the tenant's UDF names and randomness closure.
+	UDFs *udf.Registry
+	// Seed drives shuffles and randomized UDFs during the planning trace.
+	Seed uint64
+	// WorkScale converts modeled UDF CPU-seconds into accounted CPU time.
+	WorkScale float64
+	// Spin makes trace workers burn modeled CPU for real.
+	Spin bool
+	// MaxMinibatches bounds the planning trace; 0 drains one full pass.
+	MaxMinibatches int64
+	// DiskBandwidth is the tenant's own storage ceiling in bytes/second
+	// (e.g. the simulated device's total bandwidth); 0 means unbounded.
+	// The tenant's share is clamped to it, so a bandwidth-starved tenant is
+	// never priced as if it could absorb cores its disk cannot feed.
+	DiskBandwidth float64
+}
+
+// Share is one tenant's arbitrated slice of the global budget and the
+// program materialized for it.
+type Share struct {
+	// Tenant and Weight echo the tenant this share belongs to.
+	Tenant string  `json:"tenant"`
+	Weight float64 `json:"weight"`
+	// Budget is the tenant's slice of the global envelope.
+	Budget plan.Budget `json:"budget"`
+	// Plan is the one-shot allocation solved under that slice.
+	Plan *plan.Plan `json:"plan"`
+	// Program is the ApplyPlan-materialized tenant pipeline.
+	Program *pipeline.Graph `json:"program"`
+	// Trail audits every knob change the share's plan materialized.
+	Trail rewrite.Trail `json:"trail"`
+	// ObservedMinibatchesPerSec is the tenant's rate from its one planning
+	// trace (the pre-arbitration baseline shape).
+	ObservedMinibatchesPerSec float64 `json:"observed_minibatches_per_sec"`
+	// PredictedMinibatchesPerSec is the calibrated fill-epoch prediction
+	// for the materialized program under the share (0 = not pipeline-bound).
+	// The fill epoch is the arbitration currency: a warm-cache steady state
+	// is unbounded whenever a cache is planned and cannot price a share.
+	PredictedMinibatchesPerSec float64 `json:"predicted_minibatches_per_sec"`
+}
+
+// Decision is one arbitration outcome over the current tenant set.
+type Decision struct {
+	// Budget is the global envelope the shares partition.
+	Budget plan.Budget `json:"budget"`
+	// Shares holds one entry per tenant, in tenant-registration order.
+	Shares []Share `json:"shares"`
+	// PredictedAggregateMinibatchesPerSec sums every share's prediction.
+	PredictedAggregateMinibatchesPerSec float64 `json:"predicted_aggregate_minibatches_per_sec"`
+	// PredictedWeightedAggregate sums weight × prediction — the objective
+	// the water-filling maximizes.
+	PredictedWeightedAggregate float64 `json:"predicted_weighted_aggregate"`
+	// EvenSplitPredictedAggregate is the same sum under a static 1/N split
+	// of every resource — the baseline the arbiter must beat (or match) —
+	// and EvenSplitPredictedWeightedAggregate its weighted counterpart.
+	EvenSplitPredictedAggregate         float64 `json:"even_split_predicted_aggregate"`
+	EvenSplitPredictedWeightedAggregate float64 `json:"even_split_predicted_weighted_aggregate"`
+	// TracesUsed counts planning traces consumed so far across the
+	// arbiter's lifetime (one per tenant, ever).
+	TracesUsed int `json:"traces_used"`
+}
+
+// Arbiter owns the global budget and the tenant set. It is safe for
+// concurrent use; arbitration is serialized.
+type Arbiter struct {
+	mu      sync.Mutex
+	budget  plan.Budget
+	tenants []*tenantState
+	traces  int
+}
+
+type tenantState struct {
+	Tenant
+	analysis *ops.Analysis
+}
+
+// NewArbiter returns an arbiter over the global envelope. A non-positive
+// core budget allocates against this machine's core count.
+func NewArbiter(budget plan.Budget) *Arbiter {
+	if budget.Cores <= 0 {
+		budget.Cores = runtime.NumCPU()
+	}
+	return &Arbiter{budget: budget}
+}
+
+// Budget returns the global envelope the arbiter partitions.
+func (a *Arbiter) Budget() plan.Budget {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget
+}
+
+// Add traces the new tenant once, admits it, and re-arbitrates the whole
+// set. Incumbent tenants are not re-traced. It fails when the name is
+// taken, the trace fails, or admission would leave fewer than one core per
+// tenant.
+func (a *Arbiter) Add(t Tenant) (*Decision, error) {
+	if t.Name == "" {
+		return nil, fmt.Errorf("host: tenant needs a name")
+	}
+	if t.Graph == nil || t.FS == nil {
+		return nil, fmt.Errorf("host: tenant %q needs a graph and a filesystem", t.Name)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, ts := range a.tenants {
+		if ts.Name == t.Name {
+			return nil, fmt.Errorf("host: tenant %q already admitted", t.Name)
+		}
+	}
+	if len(a.tenants)+1 > a.budget.Cores {
+		return nil, fmt.Errorf("host: %d tenants need at least one core each, budget has %d",
+			len(a.tenants)+1, a.budget.Cores)
+	}
+	an, err := a.traceTenant(t)
+	if err != nil {
+		return nil, fmt.Errorf("host: trace tenant %q: %w", t.Name, err)
+	}
+	a.tenants = append(a.tenants, &tenantState{Tenant: t, analysis: an})
+	return a.arbitrateLocked()
+}
+
+// Remove evicts the named tenant and re-arbitrates the remainder. Removing
+// the last tenant yields an empty decision.
+func (a *Arbiter) Remove(name string) (*Decision, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	kept := a.tenants[:0]
+	found := false
+	for _, ts := range a.tenants {
+		if ts.Name == name {
+			found = true
+			continue
+		}
+		kept = append(kept, ts)
+	}
+	if !found {
+		return nil, fmt.Errorf("host: no tenant %q", name)
+	}
+	a.tenants = kept
+	if len(a.tenants) == 0 {
+		return &Decision{Budget: a.budget, TracesUsed: a.traces}, nil
+	}
+	return a.arbitrateLocked()
+}
+
+// Arbitrate re-solves the cross-tenant split for the current tenant set
+// without tracing anything.
+func (a *Arbiter) Arbitrate() (*Decision, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.tenants) == 0 {
+		return nil, fmt.Errorf("host: no tenants admitted")
+	}
+	return a.arbitrateLocked()
+}
+
+// weight returns the tenant's effective (defaulted) weight.
+func (t *tenantState) weight() float64 {
+	if t.Weight <= 0 {
+		return 1
+	}
+	return t.Weight
+}
+
+// shareBudget carves tenant t's slice of the envelope for a given core
+// count: memory and disk bandwidth are split in proportion to weight, which
+// water-filling on cores then takes as fixed. A tenant's own device ceiling
+// caps its disk slice — shared bandwidth it cannot physically draw must not
+// inflate its rate curve.
+func (a *Arbiter) shareBudget(t *tenantState, cores int, weightSum float64) plan.Budget {
+	frac := t.weight() / weightSum
+	b := plan.Budget{
+		Cores:         cores,
+		MemoryBytes:   int64(float64(a.budget.MemoryBytes) * frac),
+		DiskBandwidth: a.budget.DiskBandwidth * frac,
+	}
+	if t.DiskBandwidth > 0 && (b.DiskBandwidth == 0 || b.DiskBandwidth > t.DiskBandwidth) {
+		b.DiskBandwidth = t.DiskBandwidth
+	}
+	return b
+}
+
+// predictedRate is X_t(c): the calibrated fill-epoch prediction for tenant
+// t planned under c cores (and its fixed memory/disk slice). The fill
+// epoch — the whole chain running, any planned cache still cold — is what
+// prices the share: a warm-cache steady state is unbounded whenever a cache
+// is planned (the tenant stops consuming the pipeline's resources at all),
+// which would make every core allocation look equally worthless. +Inf
+// still means the planned pipeline never binds; additional cores then have
+// zero marginal value.
+func (a *Arbiter) predictedRate(t *tenantState, share plan.Budget) (float64, error) {
+	p, err := plan.Solve(t.analysis, share)
+	if err != nil {
+		return 0, err
+	}
+	return t.analysis.PredictObservedRate(
+		p.Hypothetical(false, share.Cores, share.DiskBandwidth)), nil
+}
+
+func (a *Arbiter) arbitrateLocked() (*Decision, error) {
+	n := len(a.tenants)
+	if a.budget.Cores < n {
+		return nil, fmt.Errorf("host: %d tenants need at least one core each, budget has %d", n, a.budget.Cores)
+	}
+	var weightSum float64
+	for _, t := range a.tenants {
+		weightSum += t.weight()
+	}
+
+	// Water-filling on cores: seed every tenant at one core, then grant the
+	// remaining cores one at a time to the highest weighted marginal rate
+	// gain. Rate evaluations are memoized per (tenant, cores).
+	cores := make([]int, n)
+	memo := make([]map[int]float64, n)
+	rate := func(i, c int) (float64, error) {
+		if memo[i] == nil {
+			memo[i] = make(map[int]float64)
+		}
+		if v, ok := memo[i][c]; ok {
+			return v, nil
+		}
+		v, err := a.predictedRate(a.tenants[i], a.shareBudget(a.tenants[i], c, weightSum))
+		if err != nil {
+			return 0, err
+		}
+		memo[i][c] = v
+		return v, nil
+	}
+	for i := range cores {
+		cores[i] = 1
+	}
+	// Rate curves are staircase-shaped at integer granularity: a tenant's
+	// first extra core can be worthless (it only part-fills a water-filling
+	// step) while two help, so single-core greedy would stall on the flat
+	// step. Grants therefore go out in blocks: the (tenant, block) pair
+	// with the best weighted average gain per core wins the whole block.
+	for granted := n; granted < a.budget.Cores; {
+		remaining := a.budget.Cores - granted
+		best, bestBlock, bestAvg := -1, 0, 0.0
+		for i, t := range a.tenants {
+			cur, err := rate(i, cores[i])
+			if err != nil {
+				return nil, err
+			}
+			if math.IsInf(cur, 1) {
+				continue // already unbounded: more cores are worthless
+			}
+			for h := 1; h <= remaining; h++ {
+				next, err := rate(i, cores[i]+h)
+				if err != nil {
+					return nil, err
+				}
+				if math.IsInf(next, 1) {
+					next = cur // an unbounded prediction cannot price the grant
+				}
+				if avg := t.weight() * (next - cur) / float64(h); avg > bestAvg {
+					best, bestBlock, bestAvg = i, h, avg
+				}
+			}
+		}
+		if best < 0 {
+			break // no tenant gains from any grant; leave the rest idle
+		}
+		cores[best] += bestBlock
+		granted += bestBlock
+	}
+
+	dec := &Decision{Budget: a.budget, TracesUsed: a.traces}
+	for i, t := range a.tenants {
+		share := a.shareBudget(t, cores[i], weightSum)
+		program, trail, p, err := rewrite.SolveShare(t.analysis, share)
+		if err != nil {
+			return nil, fmt.Errorf("host: solve share for tenant %q: %w", t.Name, err)
+		}
+		predicted := stats.FiniteOrZero(p.PredictedFillMinibatchesPerSec)
+		dec.Shares = append(dec.Shares, Share{
+			Tenant:                     t.Name,
+			Weight:                     t.weight(),
+			Budget:                     share,
+			Plan:                       p,
+			Program:                    program,
+			Trail:                      trail,
+			ObservedMinibatchesPerSec:  stats.FiniteOrZero(t.analysis.ObservedRate),
+			PredictedMinibatchesPerSec: predicted,
+		})
+		dec.PredictedAggregateMinibatchesPerSec += predicted
+		dec.PredictedWeightedAggregate += t.weight() * predicted
+	}
+
+	// Baseline: a static even split of every resource dimension. Remainder
+	// cores are handed out one per tenant in registration order, so the
+	// baseline uses the whole budget — a baseline idling Cores%N cores
+	// would flatter the arbitration for free.
+	for i, t := range a.tenants {
+		evenCores := a.budget.Cores / n
+		if i < a.budget.Cores%n {
+			evenCores++
+		}
+		even := plan.Budget{
+			Cores:         evenCores,
+			MemoryBytes:   a.budget.MemoryBytes / int64(n),
+			DiskBandwidth: a.budget.DiskBandwidth / float64(n),
+		}
+		if t.DiskBandwidth > 0 && (even.DiskBandwidth == 0 || even.DiskBandwidth > t.DiskBandwidth) {
+			even.DiskBandwidth = t.DiskBandwidth
+		}
+		r, err := a.predictedRate(a.tenants[i], even)
+		if err != nil {
+			return nil, fmt.Errorf("host: even-split baseline for tenant %q: %w", t.Name, err)
+		}
+		dec.EvenSplitPredictedAggregate += stats.FiniteOrZero(r)
+		dec.EvenSplitPredictedWeightedAggregate += t.weight() * stats.FiniteOrZero(r)
+	}
+	return dec, nil
+}
+
+// traceTenant runs the tenant's one planning trace and operationalizes it,
+// mirroring the façade's Trace + Analyze without importing it.
+func (a *Arbiter) traceTenant(t Tenant) (*ops.Analysis, error) {
+	if err := t.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	col, err := trace.NewCollector(t.Graph, trace.Machine{Name: "host", Cores: a.budget.Cores})
+	if err != nil {
+		return nil, err
+	}
+	t.FS.AddObserver(col)
+	defer t.FS.RemoveObserver(col)
+	p, err := engine.New(t.Graph, engine.Options{
+		FS:        t.FS,
+		UDFs:      t.UDFs,
+		Collector: col,
+		WorkScale: t.WorkScale,
+		Spin:      t.Spin,
+		Seed:      t.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := p.Drain(t.MaxMinibatches); err != nil {
+		p.Close()
+		return nil, err
+	}
+	if err := p.Close(); err != nil {
+		return nil, err
+	}
+	chain, err := t.Graph.Chain()
+	if err != nil {
+		return nil, err
+	}
+	cat, err := data.CatalogByName(chain[0].Catalog)
+	if err != nil {
+		return nil, err
+	}
+	a.traces++
+	return ops.Analyze(col.Snapshot(0, cat.NumFiles), t.UDFs)
+}

@@ -21,6 +21,7 @@ import (
 
 	"plumber/internal/ops"
 	"plumber/internal/pipeline"
+	"plumber/internal/stats"
 )
 
 // Budget is the resource envelope the planner (and the greedy tuner —
@@ -62,7 +63,9 @@ type Plan struct {
 
 	// CoresPlanned is the total core claim of the planned knobs: the sum of
 	// planned parallelism over parallelizable Datasets times the replica
-	// count.
+	// count. It never exceeds the budget's core count — when the budget is
+	// below one core per parallel stage (the knob floor), the stages
+	// time-share and CoresPlanned reports the budget itself.
 	CoresPlanned int `json:"cores_planned"`
 	// Efficiency is the observed/modeled calibration factor measured on the
 	// planning trace; predictions below are already scaled by it.
@@ -111,6 +114,13 @@ const (
 	unboundedCores = 64
 	maxOuter       = 16
 	prefetchDepth  = 8
+	// cacheWorkSavedFraction gates the work-saved cache fallback: with no
+	// predicted ceiling lift, a cache is still planned when the chain it
+	// skips costs at least this fraction of the pipeline's per-minibatch
+	// CPU — saved core-seconds are throughput on any host that is actually
+	// core-constrained. Below it, the materialization isn't worth the
+	// memory pressure.
+	cacheWorkSavedFraction = 0.25
 )
 
 // Solve computes the joint allocation for the analyzed pipeline under the
@@ -185,13 +195,13 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 	// ceiling (p_i ∝ 1/R_i); integrally, grant one core at a time to the
 	// lowest-capacity node until the budget binds or every node clears the
 	// target (raising past the ceiling cannot improve end-to-end rate).
-	target := math.Min(resourceCeiling, seqBound*float64(outer))
 	type cand struct {
 		name string
 		rate float64
 		p    int
 	}
 	var cands []cand
+	var kept []cand // unmeasurable knobs kept at their current value
 	coresUsed := 0
 	for _, n := range a.Nodes {
 		if !n.Parallelizable {
@@ -199,14 +209,52 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 		}
 		if math.IsInf(n.Rate, 1) || n.Rate <= 0 {
 			// No measurable cost: the model cannot rank this knob, so keep
-			// the current value rather than churn it.
-			p.Parallelism[n.Name] = n.Parallelism
-			coresUsed += n.Parallelism
+			// the current value rather than churn it (degraded below only
+			// when the budget cannot cover the seeded claim).
+			cur := n.Parallelism
+			if cur < 1 {
+				cur = 1
+			}
+			kept = append(kept, cand{name: n.Name, p: cur})
+			coresUsed += cur
 			continue
 		}
 		coresUsed++ // every measurable parallel stage starts at one core per replica
 		cands = append(cands, cand{name: n.Name, rate: n.Rate, p: 1})
 	}
+
+	// The seeded claim must already fit the budget, or the grant loop below
+	// never runs and the plan overcommits. Shed replicas first (replication
+	// was sized against a per-stage minimum that the kept knobs may exceed),
+	// then degrade kept knobs toward 1. Below one core per parallel stage
+	// there is nothing left to shed; CoresPlanned is capped at the end.
+	if prev := outer; coresUsed*outer > cores {
+		for outer > 1 && coresUsed*outer > cores {
+			outer--
+		}
+		if outer != prev {
+			p.Notes = append(p.Notes, fmt.Sprintf(
+				"outer parallelism degraded %d -> %d: %d seeded cores per replica exceed the %d-core budget",
+				prev, outer, coresUsed, cores))
+		}
+	}
+	for i := range kept {
+		prev := kept[i].p
+		for kept[i].p > 1 && coresUsed*outer > cores {
+			kept[i].p--
+			coresUsed--
+		}
+		if kept[i].p != prev {
+			p.Notes = append(p.Notes, fmt.Sprintf(
+				"parallelism %q degraded %d -> %d (unmeasured knob, %d-core budget binds)",
+				kept[i].name, prev, kept[i].p, cores))
+		}
+	}
+	for _, k := range kept {
+		p.Parallelism[k.name] = k.p
+	}
+
+	target := math.Min(resourceCeiling, seqBound*float64(outer))
 	for (coresUsed+1)*outer <= cores { // each grant costs one core in every replica
 		best := -1
 		for i, c := range cands {
@@ -233,6 +281,15 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 	}
 	p.OuterParallelism = outer
 	p.CoresPlanned = coresUsed * outer
+	if p.CoresPlanned > cores {
+		// One core per parallel stage is the knob floor; when the budget is
+		// below even that, the stages time-share cores and the plan claims
+		// exactly the budget, never more.
+		p.Notes = append(p.Notes, fmt.Sprintf(
+			"core floor: %d parallel stages need %d cores at parallelism 1 against a %d-core budget; stages time-share",
+			len(cands)+len(kept), p.CoresPlanned, cores))
+		p.CoresPlanned = cores
+	}
 
 	// Cache placement: among legal materialization points that fit the
 	// memory budget (every replica fills its own copy), choose the one with
@@ -250,8 +307,21 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 			Cores:            cores,
 			DiskBandwidth:    b.DiskBandwidth,
 		})
+		// Total CPU cost per minibatch, for the work-saved fallback below.
+		var cpuPerMB float64
+		for _, n := range a.Nodes {
+			if !math.IsInf(n.Rate, 1) && n.Rate > 0 {
+				cpuPerMB += 1 / n.Rate
+			}
+		}
 		bestScore := math.Inf(-1)
+		savedScore := math.Inf(-1)
+		savedAbove, savedBytes := "", 0.0
+		var cpuBelow float64
 		for _, n := range a.Nodes { // source -> root: later wins ties, caching as far downstream as legal
+			if !math.IsInf(n.Rate, 1) && n.Rate > 0 {
+				cpuBelow += 1 / n.Rate // includes n itself: a cache above n skips it
+			}
 			if !n.Cacheable || !(n.MaterializedBytes > 0) || math.IsInf(n.MaterializedBytes, 1) {
 				continue
 			}
@@ -271,6 +341,17 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 				benefit = math.Inf(1)
 			}
 			if benefit <= 0 {
+				// No predicted ceiling lift — but on a work-conserving host
+				// (fewer physical cores than budgeted) the CPU-seconds the
+				// warm cache skips are throughput all the same. Remember the
+				// candidate saving the most work per byte, as a fallback,
+				// when the skipped chain is a substantial fraction of the
+				// pipeline's CPU cost.
+				if cpuPerMB > 0 && cpuBelow/cpuPerMB >= cacheWorkSavedFraction {
+					if s := cpuBelow / n.MaterializedBytes; s >= savedScore {
+						savedScore, savedAbove, savedBytes = s, n.Name, n.MaterializedBytes
+					}
+				}
 				continue
 			}
 			score := benefit / n.MaterializedBytes
@@ -283,10 +364,16 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 				p.CacheBytes = n.MaterializedBytes
 			}
 		}
-		if p.CacheAbove != "" {
+		switch {
+		case p.CacheAbove != "":
 			p.Notes = append(p.Notes, fmt.Sprintf(
 				"cache above %q: %.0f bytes/replica materialized within the %d-byte budget (best predicted benefit per byte)",
 				p.CacheAbove, p.CacheBytes, b.MemoryBytes))
+		case savedAbove != "":
+			p.CacheAbove, p.CacheBytes = savedAbove, savedBytes
+			p.Notes = append(p.Notes, fmt.Sprintf(
+				"cache above %q: no predicted ceiling lift, but the warm cache skips %.0f%% of the pipeline's CPU cost (%.0f bytes/replica)",
+				p.CacheAbove, 100*savedScore*savedBytes/cpuPerMB, p.CacheBytes))
 		}
 	}
 
@@ -298,19 +385,10 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 	}
 
 	// Predictions, calibrated by the planning trace's observed efficiency.
-	p.Efficiency = a.Efficiency(cores, b.DiskBandwidth)
-	p.PredictedMinibatchesPerSec = finiteOrZero(
+	p.Efficiency = stats.FiniteOrZero(a.Efficiency(cores, b.DiskBandwidth))
+	p.PredictedMinibatchesPerSec = stats.FiniteOrZero(
 		a.PredictObservedRate(p.Hypothetical(true, cores, b.DiskBandwidth)))
-	p.PredictedFillMinibatchesPerSec = finiteOrZero(
+	p.PredictedFillMinibatchesPerSec = stats.FiniteOrZero(
 		a.PredictObservedRate(p.Hypothetical(false, cores, b.DiskBandwidth)))
 	return p, nil
-}
-
-// finiteOrZero maps an unbounded (+Inf) or undefined model value to the
-// JSON encoding 0.
-func finiteOrZero(v float64) float64 {
-	if math.IsInf(v, 0) || math.IsNaN(v) {
-		return 0
-	}
-	return v
 }

@@ -113,6 +113,44 @@ func TestSolveCachePlacement(t *testing.T) {
 	}
 }
 
+// TestSolveCacheWorkSavedFallback pins the work-conserving cache path: when
+// a downstream stage bounds the steady-state ceiling either way (zero
+// predicted benefit), a cache that skips a substantial fraction of the
+// pipeline's CPU cost is still planned — saved core-seconds are throughput
+// on a core-constrained host.
+func TestSolveCacheWorkSavedFallback(t *testing.T) {
+	g := pipeline.NewBuilder().
+		Interleave("cat", 1).
+		Map("decode", 1).
+		Map("augment", 1).
+		Batch(4).
+		MustBuild()
+	a := &ops.Analysis{
+		Snapshot:     &trace.Snapshot{Graph: g, Machine: trace.Machine{Cores: 4}},
+		ObservedRate: 90,
+		Nodes: []ops.NodeAnalysis{
+			{Name: "interleave_1", Kind: pipeline.KindInterleave, Parallelism: 1, Parallelizable: true,
+				Rate: 1000, ScaledCapacity: 1000, Cacheable: true, MaterializedBytes: 2 << 20},
+			// The decode is half the pipeline's CPU cost and cacheable...
+			{Name: "map_1", Kind: pipeline.KindMap, Parallelism: 1, Parallelizable: true,
+				Rate: 100, ScaledCapacity: 100, Cacheable: true, MaterializedBytes: 4 << 20},
+			// ...but the randomized augment above it binds the ceiling
+			// either way and vetoes every cache at or above itself.
+			{Name: "map_2", Kind: pipeline.KindMap, Parallelism: 1, Parallelizable: true,
+				Rate: 100, ScaledCapacity: 100, Cacheable: false, CacheVeto: "random"},
+			{Name: "batch_1", Kind: pipeline.KindBatch, Parallelism: 1,
+				Rate: math.Inf(1), ScaledCapacity: math.Inf(1), Cacheable: false, CacheVeto: "random"},
+		},
+	}
+	p, err := Solve(a, Budget{Cores: 4, MemoryBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CacheAbove != "map_1" {
+		t.Fatalf("cache above %q, want map_1 (skips >25%% of per-minibatch CPU)", p.CacheAbove)
+	}
+}
+
 func TestSolveOuterParallelismForSequentialBottleneck(t *testing.T) {
 	a := testAnalysis(40)
 	// Make the batch a measurable sequential bottleneck at 50/s, well below
@@ -169,6 +207,99 @@ func TestSolvePredictionsAreCalibrated(t *testing.T) {
 	}
 	if p.PredictedFillMinibatchesPerSec != 150 {
 		t.Fatalf("fill prediction = %v, want 150", p.PredictedFillMinibatchesPerSec)
+	}
+}
+
+// TestSolveNeverOvercommitsSeededCores pins the core-budget overcommit bug:
+// every measurable parallel stage is seeded at one core before any budget
+// check, so a budget below (#stages × outer) used to yield CoresPlanned >
+// Budget.Cores. The plan must instead degrade outer parallelism and kept
+// knobs, and below the one-core-per-stage floor report at most the budget.
+func TestSolveNeverOvercommitsSeededCores(t *testing.T) {
+	// Three measurable parallel stages against a 2-core budget: even the
+	// seeded minimum (3 cores) exceeds the envelope.
+	a := testAnalysis(90)
+	a.Nodes[2].Parallelizable = true
+	a.Nodes[2].Rate = 200
+	a.Nodes[2].ScaledCapacity = 200
+	p, err := Solve(a, Budget{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CoresPlanned > 2 {
+		t.Fatalf("plan claims %d cores, budget 2 (knobs %v, outer %d)", p.CoresPlanned, p.Parallelism, p.OuterParallelism)
+	}
+	for name, v := range p.Parallelism {
+		if v != 1 {
+			t.Fatalf("knob %q = %d under a sub-floor budget, want 1", name, v)
+		}
+	}
+
+	// A sequential bottleneck that wants replicas: with 2 measurable stages
+	// and a 3-core budget, outer parallelism must degrade to 1 rather than
+	// claim 2 stages x 2 replicas = 4 cores.
+	a = testAnalysis(40)
+	a.Nodes[2].Rate = 50 // sequential batch at 50/s drives replication
+	a.Nodes[2].ScaledCapacity = 50
+	p, err = Solve(a, Budget{Cores: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CoresPlanned > 3 {
+		t.Fatalf("plan claims %d cores, budget 3 (outer %d)", p.CoresPlanned, p.OuterParallelism)
+	}
+
+	// An unmeasured knob kept at 8 must be degraded when the budget cannot
+	// cover it alongside the measurable stage's seed.
+	a = testAnalysis(90)
+	a.Snapshot.Graph.Nodes[0].Parallelism = 8
+	a.Nodes[0].Parallelism = 8
+	a.Nodes[0].Rate = math.Inf(1)
+	a.Nodes[0].ScaledCapacity = math.Inf(1)
+	p, err = Solve(a, Budget{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CoresPlanned > 4 {
+		t.Fatalf("plan claims %d cores, budget 4 (knobs %v)", p.CoresPlanned, p.Parallelism)
+	}
+	if got := p.Parallelism["interleave_1"]; got > 3 {
+		t.Fatalf("unmeasured interleave kept at %d cores under a 4-core budget", got)
+	}
+}
+
+// TestSolveCoresPlannedWithinBudgetSweep asserts the invariant the
+// multi-tenant arbiter leans on: across budgets and shapes, Solve never
+// emits CoresPlanned > Budget.Cores.
+func TestSolveCoresPlannedWithinBudgetSweep(t *testing.T) {
+	shapes := []func() *ops.Analysis{
+		func() *ops.Analysis { return testAnalysis(90) },
+		func() *ops.Analysis { // sequential bottleneck forcing replication
+			a := testAnalysis(40)
+			a.Nodes[2].Rate = 50
+			a.Nodes[2].ScaledCapacity = 50
+			return a
+		},
+		func() *ops.Analysis { // unmeasured knob kept high
+			a := testAnalysis(90)
+			a.Snapshot.Graph.Nodes[0].Parallelism = 6
+			a.Nodes[0].Parallelism = 6
+			a.Nodes[0].Rate = math.Inf(1)
+			a.Nodes[0].ScaledCapacity = math.Inf(1)
+			return a
+		},
+	}
+	for si, mk := range shapes {
+		for cores := 1; cores <= 12; cores++ {
+			p, err := Solve(mk(), Budget{Cores: cores})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.CoresPlanned > cores {
+				t.Fatalf("shape %d budget %d: CoresPlanned %d exceeds budget (knobs %v, outer %d)",
+					si, cores, p.CoresPlanned, p.Parallelism, p.OuterParallelism)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,26 @@
+package rewrite
+
+import (
+	"plumber/internal/ops"
+	"plumber/internal/pipeline"
+	"plumber/internal/plan"
+)
+
+// SolveShare is the share-constrained planning entry point the multi-tenant
+// arbiter drives: solve the one-shot joint allocation for an analyzed
+// tenant under its share of a global budget, and materialize it as one
+// validated rewritten program in the same step. The returned trail audits
+// every knob change under the canonical rewrite names, exactly as a
+// single-tenant plan-first Optimize would; the solved plan rides along so
+// the caller can read the share's predicted rate without re-deriving it.
+func SolveShare(a *ops.Analysis, share Budget) (*pipeline.Graph, Trail, *plan.Plan, error) {
+	p, err := plan.Solve(a, share)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g, trail, err := ApplyPlan(a.Snapshot.Graph, p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, trail, p, nil
+}

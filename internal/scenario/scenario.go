@@ -1,0 +1,320 @@
+// Package scenario is a parameterized generator of diverse input-pipeline
+// workloads: one Spec yields a registered catalog, a simulated filesystem,
+// a pipeline graph, and a UDF registry, ready to trace, plan, and tune.
+//
+// The canonical Suite covers the workload families the paper's planner must
+// generalize across (§5: vision, NLP, detection) plus the shapes a
+// production fleet serves that the paper's catalogs do not isolate:
+//
+//   - vision: few large files, a heavy parallelizable per-byte decode —
+//     CPU-bound, water-filling territory.
+//   - nlp: a fundamentally sequential parse stage ahead of a cheap
+//     tokenizer — the outer-parallelism remedy's home turf (§5.1).
+//   - tiny-files: hundreds of small shards with a handful of records each —
+//     metadata/visit-ratio bound rather than CPU bound.
+//   - skewed: heavy-tailed (Zipf-like) per-file sizes via the catalog's
+//     FileSizeSkew, stressing size estimation from subsamples (§A).
+//   - random-augment: a randomized augmentation UDF whose transitive seed
+//     access makes everything downstream uncacheable (§B.1).
+//   - cold-storage: a bandwidth-starved device, so the disk bound (not the
+//     CPU bound) is the binding resource ceiling (§5.2).
+//
+// Every draw is seeded, so a (Spec, Seed) pair reproduces bit-identical
+// workloads across hosts — the reusable experiment matrix the benchmark
+// suite and the multi-tenant arbiter both build on.
+package scenario
+
+import (
+	"fmt"
+
+	"plumber/internal/data"
+	"plumber/internal/pipeline"
+	"plumber/internal/simfs"
+	"plumber/internal/udf"
+)
+
+// Canonical UDF names registered per workload; each Workload carries its own
+// Registry, so names do not collide across scenarios.
+const (
+	DecodeUDF   = "scenario_decode"
+	ParseUDF    = "scenario_parse"
+	TokenizeUDF = "scenario_tokenize"
+	AugmentUDF  = "scenario_augment"
+
+	// augmentSeedHelper is the helper function AugmentUDF calls that touches
+	// a random seed — the §B.1 transitive relation that vetoes caching.
+	augmentSeedHelper = "scenario_random_crop"
+)
+
+// Spec parameterizes one generated workload. The zero value of most fields
+// means "absent": a zero cost omits that stage, a zero Device means an
+// unthrottled in-memory store.
+type Spec struct {
+	// Name labels the scenario; the generated catalog is registered under
+	// CatalogName(), which suffixes Name with a shape hash.
+	Name string `json:"name"`
+
+	// Catalog shape.
+	Files               int     `json:"files"`
+	RecordsPerFile      int     `json:"records_per_file"`
+	MeanRecordBytes     int64   `json:"mean_record_bytes"`
+	SizeStddevFrac      float64 `json:"size_stddev_frac"`
+	FileSizeSkew        float64 `json:"file_size_skew,omitempty"`
+	DecodeAmplification float64 `json:"decode_amplification,omitempty"`
+
+	// Pipeline shape. BatchSize defaults to 32.
+	BatchSize int `json:"batch_size"`
+
+	// DecodeCPUPerByte and DecodeCPUPerElement cost the parallelizable
+	// decode Map; both zero omits the stage.
+	DecodeCPUPerByte    float64 `json:"decode_cpu_per_byte,omitempty"`
+	DecodeCPUPerElement float64 `json:"decode_cpu_per_element,omitempty"`
+	// ParseCPUPerElement costs a sequential Filter ahead of the decode (the
+	// NLP parse bottleneck); zero omits it.
+	ParseCPUPerElement float64 `json:"parse_cpu_per_element,omitempty"`
+	// TokenizeCPUPerElement costs a cheap parallelizable Map after the
+	// parse; zero omits it.
+	TokenizeCPUPerElement float64 `json:"tokenize_cpu_per_element,omitempty"`
+	// RandomAugment appends an augmentation Map whose UDF transitively
+	// touches a random seed, vetoing caches at and above it.
+	RandomAugment bool `json:"random_augment,omitempty"`
+	// AugmentCPUPerElement costs that augmentation (default 10µs when
+	// RandomAugment is set).
+	AugmentCPUPerElement float64 `json:"augment_cpu_per_element,omitempty"`
+
+	// Device models the storage the shards live on; a zero Device is an
+	// unthrottled in-memory store. The device's TotalBandwidth doubles as
+	// the scenario's disk-bandwidth budget hint. It serializes with the
+	// rest of the spec so a recorded matrix (BENCH_scenarios.json) rebuilds
+	// the same workload, device model included.
+	Device simfs.Device `json:"device"`
+
+	// Seed drives shard content and any randomized UDFs.
+	Seed uint64 `json:"seed"`
+}
+
+// Workload is one fully materialized scenario: everything a Trace/Optimize
+// call (or a multi-tenant arbiter slot) needs.
+type Workload struct {
+	Spec     Spec
+	Catalog  data.Catalog
+	FS       *simfs.FS
+	Graph    *pipeline.Graph
+	Registry *udf.Registry
+	// DiskBandwidth is the budget hint for bandwidth-starved scenarios: the
+	// device's total bandwidth in bytes/second, 0 when unbounded.
+	DiskBandwidth float64
+}
+
+func (s Spec) normalized() Spec {
+	if s.Files < 1 {
+		s.Files = 4
+	}
+	if s.RecordsPerFile < 1 {
+		s.RecordsPerFile = 128
+	}
+	if s.MeanRecordBytes < 1 {
+		s.MeanRecordBytes = 1024
+	}
+	if s.SizeStddevFrac == 0 {
+		s.SizeStddevFrac = 0.25
+	}
+	if s.DecodeAmplification == 0 {
+		s.DecodeAmplification = 1
+	}
+	if s.BatchSize < 1 {
+		s.BatchSize = 32
+	}
+	if s.RandomAugment && s.AugmentCPUPerElement == 0 {
+		s.AugmentCPUPerElement = 10e-6
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	return s
+}
+
+// CatalogName returns the registered catalog name for the spec:
+// "scenario-<Name>-<shape hash>". The hash covers every catalog-shaping
+// field, so two specs that share a Name but describe different datasets
+// register distinct catalogs instead of silently overwriting each other —
+// data.RegisterCatalog replaces on collision, and a tenant traced against a
+// replaced catalog would rescale its dataset-size estimate from the wrong
+// file count.
+func (s Spec) CatalogName() string {
+	shape := fmt.Sprintf("%d/%d/%d/%g/%g/%g/%d",
+		s.Files, s.RecordsPerFile, s.MeanRecordBytes, s.SizeStddevFrac,
+		s.FileSizeSkew, s.DecodeAmplification, s.Seed)
+	var h uint64 = 0xcbf29ce484222325 // FNV-1a
+	for i := 0; i < len(shape); i++ {
+		h ^= uint64(shape[i])
+		h *= 0x100000001b3
+	}
+	return fmt.Sprintf("scenario-%s-%08x", s.Name, uint32(h^h>>32))
+}
+
+// Build materializes the spec: it registers the catalog, loads it into a
+// fresh simulated filesystem, registers the costed UDFs (with the §B.1
+// randomness call graph for the augmentation), and assembles the pipeline
+// graph source -> [parse] -> [decode] -> [tokenize] -> [augment] -> batch.
+func Build(spec Spec) (*Workload, error) {
+	s := spec.normalized()
+	if s.Name == "" {
+		return nil, fmt.Errorf("scenario: spec needs a name")
+	}
+	cat := data.Catalog{
+		Name:                  s.CatalogName(),
+		NumFiles:              s.Files,
+		RecordsPerFile:        s.RecordsPerFile,
+		MeanRecordBytes:       s.MeanRecordBytes,
+		RecordBytesStddevFrac: s.SizeStddevFrac,
+		DecodeAmplification:   s.DecodeAmplification,
+		FileSizeSkew:          s.FileSizeSkew,
+	}
+	if err := data.RegisterCatalog(cat); err != nil {
+		return nil, err
+	}
+
+	dev := s.Device
+	if dev.Name == "" {
+		dev = simfs.Device{Name: "scenario-mem"}
+	}
+	fs := simfs.New(dev, false)
+	fs.AddCatalog(cat, s.Seed)
+
+	reg := udf.NewRegistry()
+	b := pipeline.NewBuilder().Interleave(cat.Name, 1)
+	if s.ParseCPUPerElement > 0 {
+		if err := reg.Register(udf.UDF{
+			Name: ParseUDF,
+			Cost: udf.Cost{CPUPerElement: s.ParseCPUPerElement, SizeFactor: 1},
+		}); err != nil {
+			return nil, err
+		}
+		b = b.Filter(ParseUDF)
+	}
+	if s.DecodeCPUPerByte > 0 || s.DecodeCPUPerElement > 0 {
+		if err := reg.Register(udf.UDF{
+			Name: DecodeUDF,
+			Cost: udf.Cost{
+				CPUPerByte:    s.DecodeCPUPerByte,
+				CPUPerElement: s.DecodeCPUPerElement,
+				SizeFactor:    s.DecodeAmplification,
+			},
+		}); err != nil {
+			return nil, err
+		}
+		b = b.Map(DecodeUDF, 1)
+	}
+	if s.TokenizeCPUPerElement > 0 {
+		if err := reg.Register(udf.UDF{
+			Name: TokenizeUDF,
+			Cost: udf.Cost{CPUPerElement: s.TokenizeCPUPerElement, SizeFactor: 0.5},
+		}); err != nil {
+			return nil, err
+		}
+		b = b.Map(TokenizeUDF, 1)
+	}
+	if s.RandomAugment {
+		reg.RegisterHelper(augmentSeedHelper, nil, true)
+		if err := reg.Register(udf.UDF{
+			Name:  AugmentUDF,
+			Cost:  udf.Cost{CPUPerElement: s.AugmentCPUPerElement, SizeFactor: 1},
+			Calls: []string{augmentSeedHelper},
+		}); err != nil {
+			return nil, err
+		}
+		b = b.Map(AugmentUDF, 1)
+	}
+	g, err := b.Batch(s.BatchSize).Build()
+	if err != nil {
+		return nil, err
+	}
+
+	w := &Workload{Spec: s, Catalog: cat, FS: fs, Graph: g, Registry: reg}
+	if dev.TotalBandwidth > 0 {
+		w.DiskBandwidth = dev.TotalBandwidth
+	}
+	return w, nil
+}
+
+// Suite returns the canonical scenario matrix. quick shrinks every catalog
+// for CI smoke runs while preserving each scenario's defining shape.
+func Suite(quick bool) []Spec {
+	scale := 1
+	if quick {
+		scale = 4
+	}
+	const mb = 1e6
+	return []Spec{
+		{
+			// Few large files, decode dominates and parallelizes.
+			Name:                "vision",
+			Files:               6,
+			RecordsPerFile:      256 / scale,
+			MeanRecordBytes:     8 << 10,
+			DecodeAmplification: 4,
+			DecodeCPUPerByte:    5e-9, // ~40µs per 8KB record
+			BatchSize:           16,
+		},
+		{
+			// Sequential parse caps the pipeline; outer parallelism is the
+			// only remedy.
+			Name:                  "nlp",
+			Files:                 4,
+			RecordsPerFile:        2048 / scale,
+			MeanRecordBytes:       256,
+			ParseCPUPerElement:    20e-6,
+			TokenizeCPUPerElement: 5e-6,
+			BatchSize:             64,
+		},
+		{
+			// Hundreds of tiny shards, a handful of records each: per-file
+			// overhead, not CPU, is the cost.
+			Name:                "tiny-files",
+			Files:               256 / scale,
+			RecordsPerFile:      4,
+			MeanRecordBytes:     256,
+			DecodeCPUPerElement: 2e-6,
+			BatchSize:           32,
+		},
+		{
+			// Heavy-tailed per-file sizes stress subsampled size estimation
+			// and make water-filling targets noisy.
+			Name:                "skewed",
+			Files:               16,
+			RecordsPerFile:      256 / scale,
+			MeanRecordBytes:     2 << 10,
+			FileSizeSkew:        0.9,
+			DecodeCPUPerByte:    8e-9,
+			DecodeCPUPerElement: 5e-6,
+			BatchSize:           16,
+		},
+		{
+			// Randomized augmentation: nothing at or above it may be cached.
+			Name:                 "random-augment",
+			Files:                6,
+			RecordsPerFile:       256 / scale,
+			MeanRecordBytes:      4 << 10,
+			DecodeCPUPerByte:     4e-9,
+			RandomAugment:        true,
+			AugmentCPUPerElement: 15e-6,
+			BatchSize:            16,
+		},
+		{
+			// Cold storage: an 8MB/s device makes the disk bound the binding
+			// ceiling well before the CPU bound.
+			Name:                "cold-storage",
+			Files:               8,
+			RecordsPerFile:      256 / scale,
+			MeanRecordBytes:     8 << 10,
+			DecodeCPUPerElement: 4e-6,
+			Device: simfs.Device{
+				Name:               "scenario-cold",
+				TotalBandwidth:     8 * mb,
+				PerStreamBandwidth: 2 * mb,
+			},
+			BatchSize: 16,
+		},
+	}
+}

@@ -101,6 +101,18 @@ func CDF(xs []float64, thresholds []float64) []CDFPoint {
 	return out
 }
 
+// FiniteOrZero maps a non-finite value (±Inf or NaN) to 0, the repo-wide
+// JSON encoding for "no finite model bound": encoding/json refuses to
+// marshal non-finite floats, so every rate field that can carry an
+// unbounded or undefined model value must pass through here before being
+// serialized.
+func FiniteOrZero(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
 // RelErr returns |got-want| / |want|. A zero want with nonzero got returns
 // +Inf; zero/zero returns 0.
 func RelErr(got, want float64) float64 {

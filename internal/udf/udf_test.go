@@ -1,0 +1,95 @@
+package udf
+
+import "testing"
+
+func TestRegistryResolution(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(UDF{}); err == nil {
+		t.Fatal("registered a UDF with no name")
+	}
+	if _, err := r.Lookup("missing"); err == nil {
+		t.Fatal("lookup of an unregistered UDF succeeded")
+	}
+	if _, err := r.IsRandom("missing"); err == nil {
+		t.Fatal("IsRandom of an unregistered UDF succeeded")
+	}
+	if err := r.Register(UDF{Name: "decode", Cost: Cost{CPUPerElement: 10e-6}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(UDF{Name: "augment"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Lookup("decode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registration normalizes the cost model's zero-means-default fields.
+	if got.Cost.SizeFactor != 1 || got.Cost.KeepFraction != 1 {
+		t.Fatalf("cost not normalized on register: %+v", got.Cost)
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "augment" || names[1] != "decode" {
+		t.Fatalf("Names() = %v, want sorted [augment decode]", names)
+	}
+	// Re-registering replaces.
+	if err := r.Register(UDF{Name: "decode", Cost: Cost{CPUPerElement: 99e-6}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = r.Lookup("decode")
+	if got.Cost.CPUPerElement != 99e-6 {
+		t.Fatalf("re-registration did not replace: %+v", got.Cost)
+	}
+}
+
+// TestRandomnessClosureGatesCacheability pins the §B.1 transitive relation:
+// a UDF is random iff some chain of helper calls reaches a function that
+// touches a random seed, including through cycles.
+func TestRandomnessClosureGatesCacheability(t *testing.T) {
+	r := NewRegistry()
+	// helper graph: crop -> jitter -> seed (touches), resize -> resize
+	// (cycle, no seed), parse -> lower (no seed).
+	r.RegisterHelper("jitter", []string{"seed_access"}, false)
+	r.RegisterHelper("seed_access", nil, true)
+	r.RegisterHelper("crop", []string{"jitter"}, false)
+	r.RegisterHelper("resize", []string{"resize"}, false) // self-cycle must terminate
+	r.RegisterHelper("parse", []string{"lower"}, false)
+	r.RegisterHelper("lower", nil, false)
+
+	must := func(u UDF) {
+		t.Helper()
+		if err := r.Register(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(UDF{Name: "augment", Calls: []string{"resize", "crop"}}) // reaches seed via crop->jitter
+	must(UDF{Name: "tokenize", Calls: []string{"parse"}})
+	must(UDF{Name: "rescale", Calls: []string{"resize"}})
+	must(UDF{Name: "direct", Calls: []string{"seed_access"}})
+
+	for name, want := range map[string]bool{
+		"augment":  true,
+		"tokenize": false,
+		"rescale":  false,
+		"direct":   true,
+	} {
+		got, err := r.IsRandom(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("IsRandom(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestCostModelArithmetic(t *testing.T) {
+	c := Cost{CPUPerByte: 1e-9, CPUPerElement: 5e-6, HiddenParallelism: 3}
+	// 1000 bytes: (1e-6 + 5e-6) * 3 hidden cores.
+	if got, want := c.CPUSeconds(1000), 18e-6; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("CPUSeconds(1000) = %v, want %v", got, want)
+	}
+	// Zero-valued fields behave as their documented defaults.
+	z := Cost{}
+	if z.CPUSeconds(1<<20) != 0 {
+		t.Fatalf("zero cost burned CPU: %v", z.CPUSeconds(1<<20))
+	}
+}

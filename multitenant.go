@@ -1,0 +1,50 @@
+package plumber
+
+import (
+	"fmt"
+
+	"plumber/internal/host"
+)
+
+// Multi-tenant arbitration types, re-exported so callers can stay entirely
+// within the façade: a Tenant is one pipeline sharing the global envelope,
+// an Arbiter owns the envelope and the tenant set, and a Decision is one
+// arbitration outcome (per-tenant budget slices, solved plans, materialized
+// programs, and the even-split baseline).
+type (
+	Tenant   = host.Tenant
+	Arbiter  = host.Arbiter
+	Decision = host.Decision
+	Share    = host.Share
+)
+
+// NewArbiter returns a multi-tenant arbiter over the global envelope, for
+// callers that admit and evict tenants incrementally: Add traces the new
+// tenant once and re-arbitrates, Remove re-arbitrates the remainder, and
+// incumbents are never re-traced. A non-positive core budget allocates
+// against this machine's core count.
+func NewArbiter(budget Budget) *Arbiter {
+	return host.NewArbiter(budget)
+}
+
+// OptimizeAll is the one-shot multi-tenant entry point: admit every tenant
+// into a fresh arbiter under the global budget and return the final
+// arbitration. Each tenant is traced exactly once; the cross-tenant core
+// split is solved by water-filling on the tenants' predicted rate curves,
+// memory and disk bandwidth are split by weight, and every share is
+// materialized as a validated per-tenant program (Decision.Shares[i].Program).
+func OptimizeAll(tenants []Tenant, budget Budget) (*Decision, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("plumber: OptimizeAll needs at least one tenant")
+	}
+	arb := host.NewArbiter(budget)
+	var dec *Decision
+	for _, t := range tenants {
+		var err error
+		dec, err = arb.Add(t)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dec, nil
+}

@@ -2,7 +2,6 @@ package plumber
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 
 	"plumber/internal/engine"
@@ -165,7 +164,7 @@ func optimizePlanFirst(res *Result, cur *pipeline.Graph, budget Budget, opts Opt
 		return fmt.Errorf("plumber: plan trace: %w", err)
 	}
 	res.Steps = append(res.Steps, stepReport(0, an, budget))
-	res.FinalObservedMinibatchesPerSec = an.ObservedRate
+	res.FinalObservedMinibatchesPerSec = stats.FiniteOrZero(an.ObservedRate)
 
 	pl, err := plan.Solve(an, budget)
 	if err != nil {
@@ -194,14 +193,21 @@ func optimizePlanFirst(res *Result, cur *pipeline.Graph, budget Budget, opts Opt
 			verifyCores = n
 		}
 	}
-	predicted := an.PredictObservedRate(pl.Hypothetical(false, verifyCores, budget.DiskBandwidth))
-	if math.IsInf(predicted, 1) {
-		predicted = 0 // unbounded model: nothing to verify against
-	}
+	// FiniteOrZero also covers the unbounded (+Inf) model: nothing to
+	// verify against, encoded as 0.
+	predicted := stats.FiniteOrZero(
+		an.PredictObservedRate(pl.Hypothetical(false, verifyCores, budget.DiskBandwidth)))
 	res.PredictedMinibatchesPerSec = predicted
 
 	if len(trail) == 0 {
-		// Nothing to apply: the traced shape already is the plan.
+		// Nothing to apply: the traced shape already is the plan, so the
+		// planning trace doubles as the verifying observation — leaving the
+		// verify fields at 0 would read as "prediction unverified" to JSON
+		// consumers even though a prediction was published.
+		res.VerifyObservedMinibatchesPerSec = stats.FiniteOrZero(an.ObservedRate)
+		if predicted > 0 {
+			res.PredictionError = stats.FiniteOrZero(stats.RelErr(an.ObservedRate, predicted))
+		}
 		res.Converged = true
 		res.Final = cur
 		return nil
@@ -210,11 +216,12 @@ func optimizePlanFirst(res *Result, cur *pipeline.Graph, budget Budget, opts Opt
 	if err != nil {
 		return fmt.Errorf("plumber: plan verify trace: %w", err)
 	}
-	res.VerifyObservedMinibatchesPerSec = an2.ObservedRate
+	res.VerifyObservedMinibatchesPerSec = stats.FiniteOrZero(an2.ObservedRate)
 	if predicted > 0 {
-		res.PredictionError = stats.RelErr(an2.ObservedRate, predicted)
+		res.PredictionError = stats.FiniteOrZero(stats.RelErr(an2.ObservedRate, predicted))
 	}
-	if predicted > 0 && res.PredictionError > opts.RefineTolerance {
+	if predicted > 0 && opts.RefineTolerance > 0 && opts.MaxRefineSteps > 0 &&
+		res.PredictionError > opts.RefineTolerance {
 		// Observation missed the prediction: fall back to the greedy loop
 		// for a bounded number of steps, reusing the verify trace's
 		// analysis as its first step.
@@ -226,7 +233,7 @@ func optimizePlanFirst(res *Result, cur *pipeline.Graph, budget Budget, opts Opt
 		return nil
 	}
 	report := stepReport(len(res.Steps), an2, budget)
-	res.FinalObservedMinibatchesPerSec = an2.ObservedRate
+	res.FinalObservedMinibatchesPerSec = report.ObservedMinibatchesPerSec
 	res.Steps = append(res.Steps, report)
 	res.Converged = true
 	res.Final = cur
@@ -313,20 +320,15 @@ func traceAnalyze(res *Result, cur *pipeline.Graph, opts Options) (*ops.Analysis
 
 func stepReport(step int, an *ops.Analysis, budget Budget) StepReport {
 	bn := an.Bottleneck()
-	r := StepReport{
+	// JSON cannot carry +Inf or NaN; encode "no measurable bound" as 0 for
+	// every rate field (stats.FiniteOrZero), so a degenerate trace never
+	// makes json.Marshal fail downstream.
+	return StepReport{
 		Step:                      step,
-		ObservedMinibatchesPerSec: an.ObservedRate,
+		ObservedMinibatchesPerSec: stats.FiniteOrZero(an.ObservedRate),
 		Bottleneck:                bn.Name,
-		BottleneckCapacity:        bn.ScaledCapacity,
-		CapacityCeiling:           rewrite.CapacityCeiling(an, budget),
+		BottleneckCapacity:        stats.FiniteOrZero(bn.ScaledCapacity),
+		CapacityCeiling:           stats.FiniteOrZero(rewrite.CapacityCeiling(an, budget)),
 		ParallelCores:             rewrite.ParallelCoresInUse(an.Snapshot.Graph),
 	}
-	// JSON cannot carry +Inf; encode "no measurable bottleneck" as 0.
-	if math.IsInf(r.BottleneckCapacity, 1) {
-		r.BottleneckCapacity = 0
-	}
-	if math.IsInf(r.CapacityCeiling, 1) {
-		r.CapacityCeiling = 0
-	}
-	return r
 }

@@ -55,10 +55,13 @@ type Options struct {
 	Mode Mode
 	// RefineTolerance is the relative prediction miss that makes
 	// ModePlanFirst fall back to greedy refinement: refinement runs only
-	// when |observed - predicted| / predicted exceeds it (default 0.25).
+	// when |observed - predicted| / predicted exceeds it. Zero means the
+	// default (0.25); any negative value disables refinement entirely, so
+	// plan-first is strictly one plan trace plus one verifying trace.
 	RefineTolerance float64
 	// MaxRefineSteps caps ModePlanFirst's post-verification greedy
-	// refinement (default 4).
+	// refinement. Zero means the default (4); any negative value disables
+	// refinement, equivalent to a negative RefineTolerance.
 	MaxRefineSteps int
 	// MaxSteps caps ModeGreedy's rewrite iterations (default 32, raised to
 	// cover the parallelism ramp implied by the core budget).
@@ -87,10 +90,13 @@ func (o Options) withDefaults() Options {
 	if o.Mode == "" {
 		o.Mode = ModePlanFirst
 	}
-	if o.RefineTolerance <= 0 {
+	// Zero means "use the default"; negative is the explicit "never refine"
+	// sentinel and must survive defaulting, or disabling plan-first
+	// refinement would be inexpressible.
+	if o.RefineTolerance == 0 {
 		o.RefineTolerance = defaultRefineTolerance
 	}
-	if o.MaxRefineSteps <= 0 {
+	if o.MaxRefineSteps == 0 {
 		o.MaxRefineSteps = defaultMaxRefineSteps
 	}
 	return o

@@ -2,12 +2,16 @@ package plumber
 
 import (
 	"encoding/json"
+	"math"
 	"testing"
 
 	"plumber/internal/data"
+	"plumber/internal/ops"
 	"plumber/internal/pipeline"
 	"plumber/internal/rewrite"
+	"plumber/internal/scenario"
 	"plumber/internal/simfs"
+	"plumber/internal/trace"
 	"plumber/internal/udf"
 )
 
@@ -303,6 +307,104 @@ func TestOptimizePlanFirst(t *testing.T) {
 	}
 }
 
+// TestOptimizeRefinementCanBeDisabled pins the "never refine" sentinel:
+// negative RefineTolerance (or MaxRefineSteps) must survive defaulting and
+// cap plan-first at its two traces no matter how the prediction lands.
+func TestOptimizeRefinementCanBeDisabled(t *testing.T) {
+	if got := (Options{RefineTolerance: -1}).withDefaults().RefineTolerance; got != -1 {
+		t.Fatalf("withDefaults reset RefineTolerance -1 to %v", got)
+	}
+	if got := (Options{MaxRefineSteps: -1}).withDefaults().MaxRefineSteps; got != -1 {
+		t.Fatalf("withDefaults reset MaxRefineSteps -1 to %v", got)
+	}
+	if got := (Options{}).withDefaults().RefineTolerance; got != defaultRefineTolerance {
+		t.Fatalf("withDefaults left zero RefineTolerance at %v", got)
+	}
+
+	fs, reg := facadeSetup(t)
+	// A tolerance of -1 makes any finite prediction error a "miss", so only
+	// the sentinel keeps the trace count at two.
+	res, err := Optimize(sequentialGraph(t), Budget{Cores: 4}, Options{
+		FS: fs, UDFs: reg, WorkScale: 1, RefineTolerance: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TracesUsed > 2 {
+		t.Fatalf("refinement disabled but %d traces used (error %.3f)", res.TracesUsed, res.PredictionError)
+	}
+	res, err = Optimize(sequentialGraph(t), Budget{Cores: 4}, Options{
+		FS: fs, UDFs: reg, WorkScale: 1, MaxRefineSteps: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TracesUsed > 2 {
+		t.Fatalf("MaxRefineSteps -1 but %d traces used", res.TracesUsed)
+	}
+}
+
+// TestOptimizePlanFirstNoOpReportsVerification pins the empty-trail path:
+// when the traced shape already is the plan, the planning trace doubles as
+// the verifying observation, so the verify fields must not read as
+// "unverified" zeros next to a published prediction.
+func TestOptimizePlanFirstNoOpReportsVerification(t *testing.T) {
+	fs, reg := facadeSetup(t)
+	budget := Budget{Cores: 4, MemoryBytes: 64 << 20}
+	first, err := Optimize(sequentialGraph(t), budget, Options{FS: fs, UDFs: reg, WorkScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-optimizing the tuned program has nothing left to apply.
+	second, err := Optimize(first.Final, budget, Options{FS: fs, UDFs: reg, WorkScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Trail) != 0 {
+		t.Skipf("second pass still applied %d rewrites; no-op path not reached", len(second.Trail))
+	}
+	if !second.Converged {
+		t.Fatal("no-op plan did not converge")
+	}
+	if second.VerifyObservedMinibatchesPerSec <= 0 {
+		t.Fatal("no-op plan left VerifyObservedMinibatchesPerSec at 0 despite a published prediction")
+	}
+	if second.PredictedMinibatchesPerSec > 0 && second.PredictionError == 0 &&
+		second.VerifyObservedMinibatchesPerSec != second.PredictedMinibatchesPerSec {
+		t.Fatal("no-op plan left PredictionError at 0 with a nonzero miss")
+	}
+}
+
+// TestStepReportSurvivesDegenerateAnalysis pins the NaN hardening: a
+// degenerate analysis (NaN observed rate and capacities) must still produce
+// a JSON-marshalable report — encoding/json rejects NaN outright, and the
+// CLI surfaces that as an opaque error.
+func TestStepReportSurvivesDegenerateAnalysis(t *testing.T) {
+	g := sequentialGraph(t)
+	an := &ops.Analysis{
+		Snapshot:     &trace.Snapshot{Graph: g, Machine: trace.Machine{Cores: 4}},
+		ObservedRate: math.NaN(),
+		Nodes: []ops.NodeAnalysis{
+			{Name: "interleave_1", Kind: pipeline.KindInterleave, Parallelism: 1, Parallelizable: true,
+				Rate: math.NaN(), ScaledCapacity: math.NaN()},
+			{Name: "map_1", Kind: pipeline.KindMap, Parallelism: 1, Parallelizable: true,
+				Rate: math.Inf(1), ScaledCapacity: math.Inf(1)},
+		},
+	}
+	r := stepReport(0, an, Budget{Cores: 4})
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("degenerate step report not serializable: %v", err)
+	}
+	var back StepReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ObservedMinibatchesPerSec != 0 || back.BottleneckCapacity != 0 || back.CapacityCeiling != 0 {
+		t.Fatalf("degenerate rates not zeroed: %+v", back)
+	}
+}
+
 // TestOptimizePlanFirstMatchesGreedyShape pins the acceptance bar's
 // substance at unit scale: plan-first's final knobs equal greedy's
 // converged knobs on the synthetic catalog, in far fewer traces.
@@ -333,5 +435,55 @@ func TestOptimizePlanFirstMatchesGreedyShape(t *testing.T) {
 		if gn.EffectiveParallelism() != pn.EffectiveParallelism() {
 			t.Errorf("%s parallelism: plan %d, greedy %d", name, pn.EffectiveParallelism(), gn.EffectiveParallelism())
 		}
+	}
+}
+
+// TestOptimizeAllFacade pins the multi-tenant façade wiring: two scenario
+// workloads admitted under one global budget come back with per-tenant
+// shares, materialized programs, and an even-split baseline, all without
+// the caller leaving package plumber.
+func TestOptimizeAllFacade(t *testing.T) {
+	var tenants []Tenant
+	for _, name := range []string{"vision", "tiny-files"} {
+		for _, s := range scenario.Suite(true) {
+			if s.Name != name {
+				continue
+			}
+			w, err := scenario.Build(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tenants = append(tenants, Tenant{
+				Name: name, Weight: 1, Graph: w.Graph, FS: w.FS, UDFs: w.Registry,
+				Seed: s.Seed, WorkScale: 1,
+			})
+		}
+	}
+	dec, err := OptimizeAll(tenants, Budget{Cores: 8, MemoryBytes: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Shares) != 2 {
+		t.Fatalf("%d shares, want 2", len(dec.Shares))
+	}
+	total := 0
+	for _, s := range dec.Shares {
+		total += s.Budget.Cores
+		if err := s.Program.Validate(); err != nil {
+			t.Fatalf("tenant %q program invalid: %v", s.Tenant, err)
+		}
+		if s.Plan.CoresPlanned > s.Budget.Cores {
+			t.Fatalf("tenant %q plan claims %d cores of a %d-core share", s.Tenant, s.Plan.CoresPlanned, s.Budget.Cores)
+		}
+	}
+	if total > 8 {
+		t.Fatalf("shares claim %d cores, budget 8", total)
+	}
+	if dec.PredictedAggregateMinibatchesPerSec < dec.EvenSplitPredictedAggregate {
+		t.Fatalf("arbitrated aggregate %.1f below even split %.1f",
+			dec.PredictedAggregateMinibatchesPerSec, dec.EvenSplitPredictedAggregate)
+	}
+	if _, err := OptimizeAll(nil, Budget{Cores: 4}); err == nil {
+		t.Fatal("OptimizeAll accepted an empty tenant set")
 	}
 }
