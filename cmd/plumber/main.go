@@ -8,13 +8,17 @@
 //	plumber analyze  -snap snapshot.json [-out analysis.json]
 //	plumber plan     [-graph graph.json] [-out plan.json] [-apply planned-graph.json] [budget flags] [workload flags]
 //	plumber optimize [-graph graph.json] [-out tuner.json] [-mode plan-first|greedy] [budget flags] [workload flags]
-//	plumber arbitrate [-tenants vision,tiny-files] [-weights 1,1] [-out arbiter.json] [budget flags]
+//	plumber arbitrate [-tenants vision,tiny-files] [-weights 1,1] [-run] [-out arbiter.json] [budget flags]
 //
 // arbitrate admits canonical scenario workloads (internal/scenario) as
 // tenants of one shared resource envelope, traces each once, solves the
 // cross-tenant core/memory split by water-filling on predicted rate curves,
 // and reports each tenant's materialized share next to the static
-// even-split baseline.
+// even-split baseline. With -run it then executes every tenant
+// simultaneously on one shared engine worker pool (spin on, in-flight
+// workers capped at the arbitrated core share, work-conserving borrowing)
+// and reports the measured under-contention rates next to the predictions;
+// the output JSON then wraps {"decision": ..., "concurrent_run": ...}.
 //
 // Budget flags are -cores N, -memory-mb M, -bw-mbps B. Without -graph, the
 // commands build the demo program — an all-sequential interleave → map →
@@ -203,7 +207,7 @@ func usage() {
   plumber analyze  -snap snapshot.json [-out analysis.json]
   plumber plan     [-graph graph.json] [-out plan.json] [-apply planned-graph.json] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
   plumber optimize [-graph graph.json] [-out tuner.json] [-mode plan-first|greedy] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
-  plumber arbitrate [-tenants vision,tiny-files] [-weights 1,1] [-out arbiter.json] [-quick] [-cores N] [-memory-mb M] [-bw-mbps B]
+  plumber arbitrate [-tenants vision,tiny-files] [-weights 1,1] [-run] [-out arbiter.json] [-quick] [-cores N] [-memory-mb M] [-bw-mbps B]
 
 run "plumber <subcommand> -h" for the full flag list`)
 }
@@ -472,12 +476,15 @@ func runOptimize(args []string) error {
 
 // runArbitrate admits the named canonical scenarios as tenants of one
 // global budget and prints the arbitrated shares next to the static
-// even-split baseline.
+// even-split baseline; with -run it also executes the tenants concurrently
+// on a shared worker pool and prints the measured shares.
 func runArbitrate(args []string) error {
 	fs := flag.NewFlagSet("arbitrate", flag.ExitOnError)
 	tenantsFlag := fs.String("tenants", "vision,tiny-files", "comma-separated scenario names to admit as tenants")
 	weightsFlag := fs.String("weights", "", "comma-separated tenant weights (default: all 1)")
 	quick := fs.Bool("quick", false, "use the reduced scenario catalogs")
+	run := fs.Bool("run", false, "execute the tenants concurrently on one shared worker pool and measure each share under contention")
+	minibatches := fs.Int64("minibatches", 0, "with -run: bound each tenant's concurrent drain to N minibatches (0 = one full pass)")
 	out := fs.String("out", "arbiter.json", "output path for the arbitration decision JSON")
 	cores, memoryMB, bwMBps := budgetFlags(fs)
 	fs.Parse(args)
@@ -538,7 +545,7 @@ func runArbitrate(args []string) error {
 		MemoryBytes:   *memoryMB << 20,
 		DiskBandwidth: *bwMBps * 1e6,
 	}
-	dec, err := plumber.OptimizeAll(tenants, budget)
+	arb, dec, err := plumber.ArbitrateAll(tenants, budget)
 	if err != nil {
 		return err
 	}
@@ -562,7 +569,29 @@ func runArbitrate(args []string) error {
 			dec.PredictedAggregateMinibatchesPerSec)
 	}
 
-	j, err := json.MarshalIndent(dec, "", "  ")
+	var doc any = dec
+	if *run {
+		rep, err := arb.RunConcurrent(dec, plumber.RunOptions{
+			Spin:           true,
+			MaxMinibatches: *minibatches,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nconcurrent run (%.1fs wall): measured aggregate %.1f minibatches/s vs predicted %.1f\n",
+			rep.WallSeconds, rep.MeasuredAggregateMinibatchesPerSec, rep.PredictedAggregateMinibatchesPerSec)
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "tenant\tcores\tpredicted mb/s\tmeasured mb/s\theld share\tpeak workers")
+		for _, ms := range rep.Tenants {
+			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.2f\t%d\n",
+				ms.Tenant, ms.ShareCores, ms.PredictedMinibatchesPerSec,
+				ms.MeasuredMinibatchesPerSec, ms.HeldShareFraction, ms.PeakWorkers)
+		}
+		tw.Flush()
+		doc = map[string]any{"decision": dec, "concurrent_run": rep}
+	}
+
+	j, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}

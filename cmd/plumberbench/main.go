@@ -34,11 +34,15 @@
 // With -scenarios it runs the planner-vs-greedy head-to-head across the
 // whole canonical scenario suite (vision, nlp, tiny-files, skewed,
 // random-augment, cold-storage) plus one multi-tenant arbitration of an
-// asymmetric mix against the static even-split baseline, and writes
-// BENCH_scenarios.json:
+// asymmetric mix against the static even-split baseline — including the
+// concurrent contention experiment, where every tenant runs simultaneously
+// on one shared engine worker pool and the measured per-tenant rates land
+// next to the predictions — and writes BENCH_scenarios.json:
 //
 //   - <scenario>_planner_fraction_of_greedy: >= 0.9 per scenario
 //   - arbitrated_fraction_of_even_split_predicted: >= 1.0
+//   - concurrent_measured_fraction_of_predicted: sanity-tracks how the
+//     calibrated predictions hold up under real contention
 package main
 
 import (
@@ -105,6 +109,13 @@ func runScenarios(quick bool, out string) {
 		fmt.Printf("  %-12s %d cores  predicted %8.1f mb/s  measured %8.0f ex/s (even split: %8.1f, %8.0f)\n",
 			tr.Tenant, tr.ShareCores, tr.PredictedMinibatchesPerSec, tr.MeasuredExamplesPerSec,
 			tr.EvenSplitPredictedMinibatchesPerSec, tr.EvenSplitMeasuredExamplesPerSec)
+	}
+	fmt.Printf("concurrent contention run (%.1fs wall): measured aggregate %.1f minibatches/s\n",
+		mt.ConcurrentWallSeconds, mt.ConcurrentMeasuredAggregate)
+	for _, tr := range mt.Tenants {
+		fmt.Printf("  %-12s measured %8.1f mb/s under contention  held share %.2f  peak workers %d\n",
+			tr.Tenant, tr.ConcurrentMeasuredMinibatchesPerSec,
+			tr.ConcurrentHeldShareFraction, tr.ConcurrentPeakWorkers)
 	}
 	for k, v := range rep.Comparisons {
 		fmt.Printf("%s = %.3f\n", k, v)

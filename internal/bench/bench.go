@@ -1,11 +1,14 @@
-// Package bench builds canonical pipelines and measures engine hot-path
-// throughput reproducibly, so every PR has a perf trajectory to compare
-// against. The canonical pipeline is the paper's ResNet-shaped chain —
-// interleave(source) -> map(udf) -> batch -> prefetch — run at several
-// parallelism levels, with knobs to toggle the hot-path optimizations
-// (chunked handoff, buffer pooling) and tracing on/off.
+// Package bench builds canonical pipelines and measures engine, tuner,
+// planner, and scenario trajectories reproducibly (the §5 evaluation
+// discipline: same workload, same budget, measured head-to-head), so every
+// PR has a perf trajectory to compare against. The canonical engine
+// pipeline is the paper's ResNet-shaped chain — interleave(source) ->
+// map(udf) -> batch -> prefetch — run at several parallelism levels, with
+// knobs to toggle the hot-path optimizations (chunked handoff, buffer
+// pooling) and tracing on/off.
 //
-// Results are emitted as BENCH_engine.json by cmd/plumberbench.
+// Results are emitted as the checked-in BENCH_*.json documents by
+// cmd/plumberbench; docs/BENCHMARKS.md describes every field.
 package bench
 
 import (

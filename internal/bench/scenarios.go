@@ -41,6 +41,17 @@ type TenantRun struct {
 	// which share one calibration.
 	EvenSplitPredictedMinibatchesPerSec float64 `json:"even_split_predicted_minibatches_per_sec"`
 	EvenSplitMeasuredExamplesPerSec     float64 `json:"even_split_measured_examples_per_sec"`
+
+	// Concurrent* are the measured-under-contention columns: every tenant
+	// running simultaneously on one shared engine worker pool (spin on),
+	// in-flight workers capped at the arbitrated core share with
+	// work-conserving borrowing. ConcurrentHeldShareFraction is the slice
+	// of all tenants' held core-seconds this tenant actually occupied —
+	// directly comparable to ShareCores over the pool capacity.
+	ConcurrentMeasuredMinibatchesPerSec float64 `json:"concurrent_measured_minibatches_per_sec"`
+	ConcurrentMeasuredExamplesPerSec    float64 `json:"concurrent_measured_examples_per_sec"`
+	ConcurrentHeldShareFraction         float64 `json:"concurrent_held_share_fraction"`
+	ConcurrentPeakWorkers               int     `json:"concurrent_peak_workers"`
 }
 
 // MultiTenantRun is the arbitrated-mix-vs-even-split comparison.
@@ -58,6 +69,12 @@ type MultiTenantRun struct {
 	EvenSplitPredictedAggregate float64 `json:"even_split_predicted_aggregate_minibatches_per_sec"`
 	MeasuredAggregate           float64 `json:"measured_aggregate_examples_per_sec"`
 	EvenSplitMeasuredAggregate  float64 `json:"even_split_measured_aggregate_examples_per_sec"`
+	// ConcurrentMeasuredAggregate sums the tenants' measured rates while
+	// they actually contended on one shared pool (minibatches/s, spin on) —
+	// the validation the predicted aggregates exist to be checked against.
+	// ConcurrentWallSeconds is that run's wallclock.
+	ConcurrentMeasuredAggregate float64 `json:"concurrent_measured_aggregate_minibatches_per_sec"`
+	ConcurrentWallSeconds       float64 `json:"concurrent_wall_seconds"`
 	// TracesUsed counts planning traces the arbiter consumed (one per
 	// tenant).
 	TracesUsed int `json:"traces_used"`
@@ -147,6 +164,10 @@ func RunScenarios(quick bool) (*ScenarioReport, error) {
 		rep.Comparisons["arbitrated_fraction_of_even_split_measured"] =
 			mt.MeasuredAggregate / mt.EvenSplitMeasuredAggregate
 	}
+	if mt.PredictedAggregate > 0 {
+		rep.Comparisons["concurrent_measured_fraction_of_predicted"] =
+			mt.ConcurrentMeasuredAggregate / mt.PredictedAggregate
+	}
 	return rep, nil
 }
 
@@ -184,7 +205,7 @@ func runMultiTenant(quick bool, epochs, reps int) (*MultiTenantRun, error) {
 		})
 	}
 
-	dec, err := plumber.OptimizeAll(tenants, global)
+	arb, dec, err := plumber.ArbitrateAll(tenants, global)
 	if err != nil {
 		return nil, fmt.Errorf("bench multi-tenant arbitration: %w", err)
 	}
@@ -196,6 +217,7 @@ func runMultiTenant(quick bool, epochs, reps int) (*MultiTenantRun, error) {
 	}
 
 	for i, share := range dec.Shares {
+		var err error
 		// Even split with remainder cores handed out in order, mirroring the
 		// arbiter's own baseline.
 		even := plumber.Budget{
@@ -233,6 +255,33 @@ func runMultiTenant(quick bool, epochs, reps int) (*MultiTenantRun, error) {
 		mt.MeasuredAggregate += tr.MeasuredExamplesPerSec
 		mt.EvenSplitMeasuredAggregate += tr.EvenSplitMeasuredExamplesPerSec
 		mt.Tenants = append(mt.Tenants, tr)
+	}
+
+	// The contention experiment: all tenants simultaneously on one shared
+	// worker pool, spin on so the cost model's CPU is actually burned.
+	// Best-of-reps suppresses scheduler noise like the sequential drains do.
+	var run *plumber.RunReport
+	for rep := 0; rep < reps; rep++ {
+		r, err := arb.RunConcurrent(dec, plumber.RunOptions{Spin: true})
+		if err != nil {
+			return nil, fmt.Errorf("bench multi-tenant concurrent run: %w", err)
+		}
+		if run == nil || r.MeasuredAggregateMinibatchesPerSec > run.MeasuredAggregateMinibatchesPerSec {
+			run = r
+		}
+	}
+	mt.ConcurrentMeasuredAggregate = run.MeasuredAggregateMinibatchesPerSec
+	mt.ConcurrentWallSeconds = run.WallSeconds
+	for _, ms := range run.Tenants {
+		for i := range mt.Tenants {
+			if mt.Tenants[i].Tenant != ms.Tenant {
+				continue
+			}
+			mt.Tenants[i].ConcurrentMeasuredMinibatchesPerSec = ms.MeasuredMinibatchesPerSec
+			mt.Tenants[i].ConcurrentMeasuredExamplesPerSec = ms.MeasuredExamplesPerSec
+			mt.Tenants[i].ConcurrentHeldShareFraction = ms.HeldShareFraction
+			mt.Tenants[i].ConcurrentPeakWorkers = ms.PeakWorkers
+		}
 	}
 	return mt, nil
 }

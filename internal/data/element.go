@@ -1,8 +1,9 @@
 // Package data defines the values that flow through input pipelines
-// (Element), a TFRecord-compatible on-disk framing format, and synthetic
-// dataset catalogs whose shape statistics (file counts, record sizes,
-// decode-amplification factors) match the datasets used in the Plumber paper:
-// ImageNet, COCO, and the WMT16/WMT17 translation corpora.
+// (Element, §2.1's unit of work), a TFRecord-compatible on-disk framing
+// format, and synthetic dataset catalogs whose shape statistics (file
+// counts, record sizes, decode-amplification factors) match the datasets
+// used in the Plumber paper (§5, Table 1): ImageNet, COCO, and the
+// WMT16/WMT17 translation corpora.
 package data
 
 // Element is one unit of work flowing between pipeline operators. Before

@@ -72,6 +72,16 @@ type Options struct {
 	// automatically. Nil gives each pipeline a private store (caches live
 	// only across Repeat epochs within that pipeline).
 	Caches *CacheStore
+	// Pool, when non-nil, subjects this pipeline's parallel-stage workers
+	// (source/interleave and map) to shared-pool admission: a worker must
+	// hold a pool slot while it processes a chunk of elements, so several
+	// pipelines on one pool contend for — and are held to — their arbitrated
+	// worker shares. Sequential iterators run on the consumer's goroutine
+	// and are not gated. Nil (the default) runs the pipeline unconstrained.
+	Pool *SharedPool
+	// PoolTenant names the tenant this pipeline's slots are accounted to;
+	// required (and it must already be admitted) when Pool is set.
+	PoolTenant string
 }
 
 // Pipeline is an instantiated, runnable iterator tree.
@@ -107,6 +117,14 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 	}
 	if opts.FS == nil {
 		return nil, errors.New("engine: Options.FS is required")
+	}
+	if opts.Pool != nil {
+		if opts.PoolTenant == "" {
+			return nil, errors.New("engine: Options.Pool requires Options.PoolTenant")
+		}
+		if !opts.Pool.Admitted(opts.PoolTenant) {
+			return nil, fmt.Errorf("engine: pool tenant %q not admitted", opts.PoolTenant)
+		}
 	}
 	if opts.ChannelSlack <= 0 {
 		opts.ChannelSlack = 2
@@ -442,3 +460,50 @@ func (t *tracker) maybeFlush() {
 
 // flush publishes any buffered counts; call on Close.
 func (t *tracker) flush() { t.ls.Flush(t.h) }
+
+// slot tracks one shared-pool worker slot across a worker's chunk loop.
+// With no pool configured every method is a no-op, so unpooled pipelines
+// pay nothing. Holders release at chunk boundaries (yield) and on exit
+// (release — idempotent, safe under defer alongside explicit calls).
+type slot struct {
+	pool   *SharedPool
+	tenant string
+	done   <-chan struct{}
+	rel    func()
+}
+
+func (p *Pipeline) slot(done <-chan struct{}) slot {
+	return slot{pool: p.opts.Pool, tenant: p.opts.PoolTenant, done: done}
+}
+
+// acquire obtains a slot if one is not already held. It returns false when
+// the pipeline is shutting down (done closed).
+func (s *slot) acquire() bool {
+	if s.pool == nil || s.rel != nil {
+		return true
+	}
+	rel, ok := s.pool.Acquire(s.tenant, s.done)
+	if !ok {
+		return false
+	}
+	s.rel = rel
+	return true
+}
+
+// release returns the held slot, if any.
+func (s *slot) release() {
+	if s.rel != nil {
+		s.rel()
+		s.rel = nil
+	}
+}
+
+// yield is a chunk-boundary preemption point: release the slot so waiting
+// guaranteed tenants can be admitted, then re-acquire.
+func (s *slot) yield() bool {
+	if s.pool == nil {
+		return true
+	}
+	s.release()
+	return s.acquire()
+}

@@ -45,11 +45,16 @@ func putChunk(c []item) {
 }
 
 // chunkEmitter accumulates items on the producer side and flushes full
-// chunks to out, aborting when done closes.
+// chunks to out, aborting when done closes. When sl is set, a flush that
+// would block releases the held pool slot first: a worker must never sit on
+// a shared-pool slot while waiting for channel room, both because the slot
+// buys CPU the worker is not using and because a tenant whose sources hold
+// every slot while its maps wait for one would deadlock against itself.
 type chunkEmitter struct {
 	out  chan<- []item
 	done <-chan struct{}
 	size int
+	sl   *slot
 	buf  []item
 }
 
@@ -70,6 +75,16 @@ func (ce *chunkEmitter) add(it item) bool {
 func (ce *chunkEmitter) flush() bool {
 	if len(ce.buf) == 0 {
 		return true
+	}
+	// Fast path: room in the channel, the slot (if any) stays held.
+	select {
+	case ce.out <- ce.buf:
+		ce.buf = nil
+		return true
+	default:
+	}
+	if ce.sl != nil {
+		ce.sl.release() // blocking send: give the slot back first
 	}
 	select {
 	case ce.out <- ce.buf:
@@ -157,7 +172,9 @@ func (s *sourceIter) start() {
 
 func (s *sourceIter) worker(fileCh <-chan string) {
 	defer s.wg.Done()
-	em := chunkEmitter{out: s.out, done: s.done, size: s.p.chunkSize()}
+	sl := s.p.slot(s.done)
+	defer sl.release()
+	em := chunkEmitter{out: s.out, done: s.done, size: s.p.chunkSize(), sl: &sl}
 	defer em.flush()
 	tr := tracker{h: s.handle}
 	defer tr.flush()
@@ -172,6 +189,7 @@ func (s *sourceIter) worker(fileCh <-chan string) {
 	// counter is touched once per chunk instead of once per record.
 	idxBlock := int64(s.p.chunkSize())
 	var idxNext, idxEnd int64
+	recs := 0
 	for path := range fileCh {
 		r, err := s.p.opts.FS.Open(path)
 		if err != nil {
@@ -181,6 +199,14 @@ func (s *sourceIter) worker(fileCh <-chan string) {
 		rr := data.NewRecordReader(r)
 		rr.SetPooling(s.p.pool)
 		for {
+			// Reading records is this worker's CPU work: it happens under a
+			// pool slot (a no-op re-check when already held — the emitter
+			// releases it whenever a flush has to block), yielded every
+			// chunk so shares enforce at chunk granularity.
+			if !sl.acquire() {
+				r.Close()
+				return
+			}
 			var start time.Time
 			sampled := traced && sm.Tick()
 			if sampled {
@@ -217,6 +243,13 @@ func (s *sourceIter) worker(fileCh <-chan string) {
 				r.Close()
 				return
 			}
+			if recs++; recs >= int(idxBlock) {
+				recs = 0
+				if !sl.yield() {
+					r.Close()
+					return
+				}
+			}
 		}
 		r.Close()
 	}
@@ -237,6 +270,9 @@ func (s *sourceIter) Close() error {
 		case <-s.done:
 		default:
 			close(s.done)
+		}
+		if s.p.opts.Pool != nil {
+			s.p.opts.Pool.Interrupt() // wake workers blocked in Acquire
 		}
 		s.wg.Wait()
 	}
@@ -286,7 +322,9 @@ func (m *mapIter) start() {
 
 func (m *mapIter) worker() {
 	defer m.wg.Done()
-	em := chunkEmitter{out: m.out, done: m.done, size: m.p.chunkSize()}
+	sl := m.p.slot(m.done)
+	defer sl.release()
+	em := chunkEmitter{out: m.out, done: m.done, size: m.p.chunkSize(), sl: &sl}
 	defer em.flush()
 	tr := tracker{h: m.handle}
 	defer tr.flush()
@@ -318,7 +356,15 @@ func (m *mapIter) worker() {
 			}
 		}
 		m.childMu.Unlock()
+		// Apply the UDF to the chunk under a pool slot, returned before the
+		// next pull so shares enforce per chunk. The pull above holds no
+		// slot — it is mostly a channel receive. The per-element acquire is
+		// a no-op re-check while the slot is held; it re-arms after the
+		// emitter released the slot to make a blocking handoff.
 		for _, it := range in {
+			if !sl.acquire() {
+				return
+			}
 			if it.err != nil {
 				em.add(item{err: it.err})
 				return
@@ -342,6 +388,7 @@ func (m *mapIter) worker() {
 				return
 			}
 		}
+		sl.release()
 	}
 }
 
@@ -398,6 +445,9 @@ func (m *mapIter) Close() error {
 		case <-m.done:
 		default:
 			close(m.done)
+		}
+		if m.p.opts.Pool != nil {
+			m.p.opts.Pool.Interrupt() // wake workers blocked in Acquire
 		}
 		m.wg.Wait()
 	}

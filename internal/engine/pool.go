@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SharedPool arbitrates worker admission across pipelines running
+// concurrently on one host — the execution half of the multi-tenant story:
+// the arbiter (internal/host) decides each tenant's core share, and the pool
+// enforces it while the tenants actually contend.
+//
+// Every admitted tenant has a guaranteed share of worker slots. A
+// parallel-stage worker must hold a slot while it processes a chunk of
+// elements, so a tenant's in-flight worker count — and therefore the CPU it
+// can occupy — is capped at its share. Admission is work-conserving:
+// when the pool has free capacity (another tenant is idle, finished, or
+// stalled on a full downstream channel), a tenant may borrow beyond its
+// share, but borrowed slots
+// are returned at the next chunk boundary whenever a tenant that is still
+// within its guarantee is waiting. Guaranteed acquisitions therefore have
+// strict priority over borrowing, which is what makes the shares hold up
+// under contention instead of devolving into a free-for-all.
+//
+// Slots are acquired and released at chunk granularity (Options.ChunkSize
+// elements), so enforcement costs one mutex acquisition per chunk — noise
+// next to the chunk's work — and preemption latency is bounded by one
+// chunk's processing time. A worker releases its slot before a blocking
+// downstream handoff but does keep it across filesystem reads: a tenant
+// stalled on a throttled device still occupies — and is charged for — its
+// slots, which is the conservative direction for the share accounting.
+//
+// The pool also keeps per-tenant accounting (held core-seconds, peak
+// concurrent workers, borrow counts) so a measured concurrent run can report
+// the share each tenant actually received next to the share it was promised.
+type SharedPool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	inflight int
+	reserved int
+	// guarWaiting counts tenants' workers blocked while still inside their
+	// guarantee; borrowing is suspended while it is non-zero.
+	guarWaiting int
+	tenants     map[string]*poolTenant
+	order       []string
+}
+
+// poolTenant is one tenant's admission state and accounting.
+type poolTenant struct {
+	share     int
+	inflight  int
+	peak      int
+	heldNanos int64
+	acquires  int64
+	borrows   int64
+}
+
+// NewSharedPool returns a pool with the given total worker-slot capacity
+// (the host's arbitrated core budget). Capacity below 1 is raised to 1.
+func NewSharedPool(capacity int) *SharedPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := &SharedPool{capacity: capacity, tenants: make(map[string]*poolTenant)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Capacity returns the pool's total worker-slot count.
+func (p *SharedPool) Capacity() int { return p.capacity }
+
+// Admit registers a tenant with a guaranteed share of worker slots. The sum
+// of guarantees may not exceed the pool capacity — a guarantee that cannot
+// be honored is a lie, not an admission policy. Shares below 1 are raised to
+// 1 (every admitted tenant must be able to make progress).
+func (p *SharedPool) Admit(tenant string, share int) error {
+	if tenant == "" {
+		return fmt.Errorf("engine: pool tenant needs a name")
+	}
+	if share < 1 {
+		share = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.tenants[tenant]; ok {
+		return fmt.Errorf("engine: pool tenant %q already admitted", tenant)
+	}
+	if p.reserved+share > p.capacity {
+		return fmt.Errorf("engine: pool guarantees %d+%d slots exceed capacity %d",
+			p.reserved, share, p.capacity)
+	}
+	p.reserved += share
+	p.tenants[tenant] = &poolTenant{share: share}
+	p.order = append(p.order, tenant)
+	return nil
+}
+
+// Admitted reports whether the tenant has been admitted.
+func (p *SharedPool) Admitted(tenant string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.tenants[tenant]
+	return ok
+}
+
+// Acquire blocks until the tenant may run one more worker, returning a
+// release function for the held slot. A tenant inside its guarantee is
+// admitted as soon as a slot frees; beyond it, admission requires free
+// capacity and no guaranteed waiter anywhere (work-conserving borrowing
+// with strict guarantee priority). Acquire aborts and returns ok == false
+// when done closes; a closer must call Interrupt afterwards so blocked
+// waiters re-check it. Acquiring for an unadmitted tenant panics — the
+// engine validates admission at construction, so this is a programming
+// error, not a runtime condition.
+func (p *SharedPool) Acquire(tenant string, done <-chan struct{}) (release func(), ok bool) {
+	p.mu.Lock()
+	t, admitted := p.tenants[tenant]
+	if !admitted {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("engine: pool Acquire for unadmitted tenant %q", tenant))
+	}
+	// unwait clears this goroutine's guaranteed-waiter mark; when the last
+	// such mark drops, blocked borrowers are woken — they gate on
+	// guarWaiting == 0 and no release broadcast may be coming.
+	waiting := false
+	unwait := func() {
+		if !waiting {
+			return
+		}
+		waiting = false
+		if p.guarWaiting--; p.guarWaiting == 0 {
+			p.cond.Broadcast()
+		}
+	}
+	for {
+		if done != nil {
+			select {
+			case <-done:
+				unwait()
+				p.mu.Unlock()
+				return nil, false
+			default:
+			}
+		}
+		if t.inflight < t.share {
+			if p.inflight < p.capacity {
+				break
+			}
+			// The pool is full of borrowers; wait with guarantee priority.
+			if !waiting {
+				waiting = true
+				p.guarWaiting++
+			}
+		} else {
+			// No longer inside the guarantee (a same-tenant worker may have
+			// filled the share while this one was blocked): drop the waiter
+			// mark, or it would veto all borrowing — including its own.
+			unwait()
+			if p.inflight < p.capacity && p.guarWaiting == 0 {
+				break // borrow: free capacity and nobody's guarantee is starved
+			}
+		}
+		p.cond.Wait()
+	}
+	unwait()
+	p.inflight++
+	t.inflight++
+	if t.inflight > t.peak {
+		t.peak = t.inflight
+	}
+	t.acquires++
+	if t.inflight > t.share {
+		t.borrows++
+	}
+	p.mu.Unlock()
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			held := time.Since(start)
+			p.mu.Lock()
+			p.inflight--
+			t.inflight--
+			t.heldNanos += int64(held)
+			p.mu.Unlock()
+			p.cond.Broadcast()
+		})
+	}, true
+}
+
+// Interrupt wakes every blocked Acquire so it can re-check its done channel.
+// Pipeline teardown calls it after closing the done channel; it is otherwise
+// harmless. The broadcast happens under the pool mutex: an unlocked
+// broadcast could fire between a worker's done-check and its cond.Wait
+// (both under the mutex) and be lost, hanging that worker forever.
+func (p *SharedPool) Interrupt() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// PoolStats is one tenant's admission accounting.
+type PoolStats struct {
+	// Tenant and ShareCores echo the admission.
+	Tenant     string `json:"tenant"`
+	ShareCores int    `json:"share_cores"`
+	// InFlight is the tenant's currently held slot count.
+	InFlight int `json:"in_flight"`
+	// PeakWorkers is the maximum concurrently held slots since the last
+	// ResetStats; a value above ShareCores is direct evidence of borrowing.
+	PeakWorkers int `json:"peak_workers"`
+	// HeldSeconds accumulates slot-hold time (core-seconds the tenant
+	// occupied); the ratio across tenants is the share each actually got.
+	HeldSeconds float64 `json:"held_seconds"`
+	// Acquires counts slot grants; Borrows counts grants beyond the share.
+	Acquires int64 `json:"acquires"`
+	Borrows  int64 `json:"borrows"`
+}
+
+// Stats returns per-tenant accounting in admission order.
+func (p *SharedPool) Stats() []PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PoolStats, 0, len(p.order))
+	for _, name := range p.order {
+		t := p.tenants[name]
+		out = append(out, PoolStats{
+			Tenant:      name,
+			ShareCores:  t.share,
+			InFlight:    t.inflight,
+			PeakWorkers: t.peak,
+			HeldSeconds: float64(t.heldNanos) / 1e9,
+			Acquires:    t.acquires,
+			Borrows:     t.borrows,
+		})
+	}
+	return out
+}
+
+// ResetStats zeroes the accumulated accounting (held time, peaks, counts)
+// without touching admissions or in-flight slots, so a measurement window
+// can be isolated from warmup.
+func (p *SharedPool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, t := range p.tenants {
+		t.peak = t.inflight
+		t.heldNanos = 0
+		t.acquires = 0
+		t.borrows = 0
+	}
+}

@@ -3,7 +3,9 @@
 // cores, cache memory, and disk bandwidth), arbitrated to maximize weighted
 // aggregate throughput.
 //
-// The arbiter extends the paper's single-pipeline planner one level up.
+// The arbiter extends the paper's single-pipeline planner (§4.4's
+// operational model, allocated against §5.2's resource ceilings) one level
+// up.
 // Each tenant is traced exactly once (the planner's whole point is that one
 // trace suffices); the cross-tenant core split is then solved by
 // water-filling on every tenant's predicted rate curve — the marginal value
@@ -12,16 +14,26 @@
 // plan.Solve produces for that share — and cores are granted one at a time
 // to the highest marginal bidder. Rate curves are min-of-linear-caps and
 // hence concave, so the greedy grant sequence reaches the weighted
-// water-filling optimum. Memory and disk bandwidth are split in proportion
-// to tenant weight. Every tenant's final share is materialized with
-// rewrite.SolveShare into a validated program, and adding or removing a
-// tenant re-arbitrates without re-tracing incumbents.
+// water-filling optimum. Cache memory is split by marginal cache benefit
+// (plan.SolveCacheDemand's benefit-per-byte, granted to the highest
+// weighted bidders whose materialization actually fits — a tenant whose
+// cache cannot fit its slice no longer wastes it); disk bandwidth is split
+// in proportion to tenant weight. Every tenant's final share is
+// materialized with rewrite.SolveShare into a validated program, and adding
+// or removing a tenant re-arbitrates without re-tracing incumbents.
+//
+// Arbitration alone is a calibrated prediction; RunConcurrent (run.go) is
+// its validation: all tenant programs execute simultaneously on one
+// engine.SharedPool with each tenant's in-flight workers capped at its
+// arbitrated core share, and the report puts measured under-contention
+// rates next to the predictions.
 package host
 
 import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"plumber/internal/data"
@@ -214,21 +226,89 @@ func (t *tenantState) weight() float64 {
 }
 
 // shareBudget carves tenant t's slice of the envelope for a given core
-// count: memory and disk bandwidth are split in proportion to weight, which
-// water-filling on cores then takes as fixed. A tenant's own device ceiling
-// caps its disk slice — shared bandwidth it cannot physically draw must not
-// inflate its rate curve.
-func (a *Arbiter) shareBudget(t *tenantState, cores int, weightSum float64) plan.Budget {
+// count and memory slice: disk bandwidth is split in proportion to weight
+// and memory comes from the benefit-driven split (splitMemoryLocked), both
+// of which water-filling on cores then takes as fixed. A tenant's own
+// device ceiling caps its disk slice — shared bandwidth it cannot
+// physically draw must not inflate its rate curve.
+func (a *Arbiter) shareBudget(t *tenantState, cores int, weightSum float64, memory int64) plan.Budget {
 	frac := t.weight() / weightSum
 	b := plan.Budget{
 		Cores:         cores,
-		MemoryBytes:   int64(float64(a.budget.MemoryBytes) * frac),
+		MemoryBytes:   memory,
 		DiskBandwidth: a.budget.DiskBandwidth * frac,
 	}
 	if t.DiskBandwidth > 0 && (b.DiskBandwidth == 0 || b.DiskBandwidth > t.DiskBandwidth) {
 		b.DiskBandwidth = t.DiskBandwidth
 	}
 	return b
+}
+
+// cacheFitSlack pads a granted memory slice a few percent above the
+// demand's estimated materialization, so the tenant's own plan.Solve —
+// recomputing the same estimate — is never rejected by rounding.
+const cacheFitSlack = 1.05
+
+// splitMemoryLocked partitions the global cache-memory budget by marginal
+// cache benefit instead of raw weight: each tenant's cache appetite is
+// priced with plan.SolveCacheDemand (benefit-per-byte at its cache point,
+// evaluated at coreOf(i) cores — the demand's size depends on the core
+// count, since plan.Solve raises outer parallelism with cores and every
+// replica fills its own cache copy), and slices are granted to the highest
+// weighted bidders whose materialization actually fits the remaining pool.
+// A tenant whose cache cannot fit — or who has no legal cache point at all
+// — cedes its would-be slice to tenants that can use it; whatever remains
+// after all fitting demands are served is split by weight as headroom.
+func (a *Arbiter) splitMemoryLocked(weightSum float64, coreOf func(i int) int) ([]int64, error) {
+	n := len(a.tenants)
+	mem := make([]int64, n)
+	if a.budget.MemoryBytes <= 0 {
+		return mem, nil
+	}
+	type demand struct {
+		i     int
+		bytes int64
+		score float64
+	}
+	var demands []demand
+	for i, t := range a.tenants {
+		cores := coreOf(i)
+		if cores < 1 {
+			cores = 1
+		}
+		probe := plan.Budget{
+			Cores:         cores,
+			DiskBandwidth: a.budget.DiskBandwidth * t.weight() / weightSum,
+		}
+		if t.DiskBandwidth > 0 && (probe.DiskBandwidth == 0 || probe.DiskBandwidth > t.DiskBandwidth) {
+			probe.DiskBandwidth = t.DiskBandwidth
+		}
+		d, err := plan.SolveCacheDemand(t.analysis, probe)
+		if err != nil {
+			return nil, fmt.Errorf("host: cache demand for tenant %q: %w", t.Name, err)
+		}
+		if d.Bytes <= 0 {
+			continue
+		}
+		score := d.BenefitPerByte
+		if !math.IsInf(score, 1) {
+			score *= t.weight()
+		}
+		demands = append(demands, demand{i: i, bytes: int64(math.Ceil(d.Bytes * cacheFitSlack)), score: score})
+	}
+	// Highest weighted benefit-per-byte first; ties keep registration order.
+	sort.SliceStable(demands, func(x, y int) bool { return demands[x].score > demands[y].score })
+	remaining := a.budget.MemoryBytes
+	for _, d := range demands {
+		if d.bytes <= remaining {
+			mem[d.i] = d.bytes
+			remaining -= d.bytes
+		}
+	}
+	for i, t := range a.tenants {
+		mem[i] += int64(float64(remaining) * t.weight() / weightSum)
+	}
+	return mem, nil
 }
 
 // predictedRate is X_t(c): the calibrated fill-epoch prediction for tenant
@@ -258,6 +338,17 @@ func (a *Arbiter) arbitrateLocked() (*Decision, error) {
 		weightSum += t.weight()
 	}
 
+	// Memory splits first, by marginal cache benefit priced at an even core
+	// split; core water-filling below takes each tenant's memory slice as
+	// fixed. (Memory barely moves the rate curves — the fill epoch that
+	// prices cores runs with any planned cache still cold — so this
+	// provisional split does not distort the core solution.)
+	evenCores := a.budget.Cores / n
+	mem, err := a.splitMemoryLocked(weightSum, func(int) int { return evenCores })
+	if err != nil {
+		return nil, err
+	}
+
 	// Water-filling on cores: seed every tenant at one core, then grant the
 	// remaining cores one at a time to the highest weighted marginal rate
 	// gain. Rate evaluations are memoized per (tenant, cores).
@@ -270,7 +361,7 @@ func (a *Arbiter) arbitrateLocked() (*Decision, error) {
 		if v, ok := memo[i][c]; ok {
 			return v, nil
 		}
-		v, err := a.predictedRate(a.tenants[i], a.shareBudget(a.tenants[i], c, weightSum))
+		v, err := a.predictedRate(a.tenants[i], a.shareBudget(a.tenants[i], c, weightSum, mem[i]))
 		if err != nil {
 			return 0, err
 		}
@@ -316,9 +407,19 @@ func (a *Arbiter) arbitrateLocked() (*Decision, error) {
 		granted += bestBlock
 	}
 
+	// Re-split memory at the settled core counts: a tenant whose share grew
+	// past the even-split probe may plan more outer-parallelism replicas
+	// (each filling its own cache copy), and a slice sized at the probe
+	// would silently fail the final plan's fit check — dedicated memory
+	// wasted, which is exactly what the benefit-driven split exists to stop.
+	mem, err = a.splitMemoryLocked(weightSum, func(i int) int { return cores[i] })
+	if err != nil {
+		return nil, err
+	}
+
 	dec := &Decision{Budget: a.budget, TracesUsed: a.traces}
 	for i, t := range a.tenants {
-		share := a.shareBudget(t, cores[i], weightSum)
+		share := a.shareBudget(t, cores[i], weightSum, mem[i])
 		program, trail, p, err := rewrite.SolveShare(t.analysis, share)
 		if err != nil {
 			return nil, fmt.Errorf("host: solve share for tenant %q: %w", t.Name, err)

@@ -1,0 +1,240 @@
+package host
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"plumber/internal/data"
+	"plumber/internal/engine"
+	"plumber/internal/plan"
+	"plumber/internal/trace"
+)
+
+// RunOptions configures one concurrent measured run (Arbiter.RunConcurrent).
+type RunOptions struct {
+	// MaxMinibatches bounds each tenant's drain; 0 drains one full pass of
+	// the tenant's (finite) program.
+	MaxMinibatches int64
+	// Spin makes workers burn modeled UDF CPU for real, so measured
+	// wallclock rates reflect the cost model under genuine contention. A
+	// tenant whose own Spin flag is set spins regardless.
+	Spin bool
+	// Traced attaches a tenant-labeled collector to every pipeline; the
+	// report then carries one independently attributable snapshot per
+	// tenant (RunReport.Snapshots).
+	Traced bool
+}
+
+// MeasuredShare is one tenant's outcome from a concurrent run: the share it
+// was promised, the rate the arbiter predicted, and what it measurably
+// received while every other tenant was running against it.
+type MeasuredShare struct {
+	// Tenant and ShareCores echo the arbitrated share.
+	Tenant     string `json:"tenant"`
+	ShareCores int    `json:"share_cores"`
+	// PredictedMinibatchesPerSec is the arbiter's calibrated fill-epoch
+	// prediction for this share (0 = not pipeline-bound).
+	PredictedMinibatchesPerSec float64 `json:"predicted_minibatches_per_sec"`
+	// MeasuredMinibatchesPerSec and MeasuredExamplesPerSec are the tenant's
+	// under-contention drain rates (root elements and examples over the
+	// tenant's own elapsed wallclock).
+	MeasuredMinibatchesPerSec float64 `json:"measured_minibatches_per_sec"`
+	MeasuredExamplesPerSec    float64 `json:"measured_examples_per_sec"`
+	// Minibatches, Examples, and Seconds are the raw drain counts and the
+	// tenant's elapsed wallclock.
+	Minibatches int64   `json:"minibatches"`
+	Examples    int64   `json:"examples"`
+	Seconds     float64 `json:"seconds"`
+	// HeldCoreSeconds is slot-hold time from the shared pool — the cores
+	// the tenant actually occupied — and HeldShareFraction its fraction of
+	// all tenants' held time, directly comparable to ShareCores over the
+	// pool capacity.
+	HeldCoreSeconds   float64 `json:"held_core_seconds"`
+	HeldShareFraction float64 `json:"held_share_fraction"`
+	// PeakWorkers above ShareCores is work-conserving borrowing in action
+	// (another tenant idled); Borrows counts slot grants beyond the share.
+	PeakWorkers int   `json:"peak_workers"`
+	Borrows     int64 `json:"borrows"`
+}
+
+// RunReport is the outcome of one concurrent run: every tenant's measured
+// share next to the arbiter's predictions — the contention experiment that
+// turns an arbitration from a planning exercise into a validated schedule.
+type RunReport struct {
+	// Budget echoes the global envelope of the decision the run validated.
+	Budget plan.Budget `json:"budget"`
+	// Tenants holds one measured share per tenant, in decision order.
+	Tenants []MeasuredShare `json:"tenants"`
+	// MeasuredAggregateMinibatchesPerSec sums the per-tenant measured
+	// rates; PredictedAggregateMinibatchesPerSec sums the arbiter's
+	// fill-epoch predictions for the same shares.
+	MeasuredAggregateMinibatchesPerSec  float64 `json:"measured_aggregate_minibatches_per_sec"`
+	PredictedAggregateMinibatchesPerSec float64 `json:"predicted_aggregate_minibatches_per_sec"`
+	// WallSeconds is the whole run's wallclock (first launch to last EOF).
+	WallSeconds float64 `json:"wall_seconds"`
+	// Snapshots carries one tenant-labeled trace per tenant when
+	// RunOptions.Traced is set; keyed by tenant name.
+	Snapshots map[string]*trace.Snapshot `json:"snapshots,omitempty"`
+}
+
+// runner pairs one arbitrated share with its instantiated pipeline and the
+// drain outcome its goroutine records.
+type runner struct {
+	share    Share
+	pipeline *engine.Pipeline
+	col      *trace.Collector
+
+	elements int64
+	examples int64
+	seconds  float64
+	err      error
+}
+
+// RunConcurrent executes every tenant's arbitrated program simultaneously
+// on one shared engine worker pool and measures what each tenant received
+// under real contention. The pool's capacity is the global core budget;
+// each tenant's in-flight workers are capped at its arbitrated core share,
+// with work-conserving borrowing when another tenant idles (and strict
+// guarantee priority when it resumes). dec is the decision to validate; nil
+// re-arbitrates the current tenant set first. The run holds the arbiter's
+// lock, so admissions serialize behind it.
+func (a *Arbiter) RunConcurrent(dec *Decision, opts RunOptions) (*RunReport, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.tenants) == 0 {
+		return nil, fmt.Errorf("host: no tenants admitted")
+	}
+	if dec == nil {
+		var err error
+		dec, err = a.arbitrateLocked()
+		if err != nil {
+			return nil, err
+		}
+	}
+	byName := make(map[string]*tenantState, len(a.tenants))
+	for _, t := range a.tenants {
+		byName[t.Name] = t
+	}
+
+	// Instantiate every tenant's program against the shared pool before
+	// launching anything, so a bad share fails the run instead of racing it.
+	pool := engine.NewSharedPool(a.budget.Cores)
+	runners := make([]*runner, 0, len(dec.Shares))
+	closeAll := func() {
+		for _, r := range runners {
+			r.pipeline.Close()
+		}
+	}
+	for _, share := range dec.Shares {
+		t, ok := byName[share.Tenant]
+		if !ok {
+			closeAll()
+			return nil, fmt.Errorf("host: decision names unknown tenant %q", share.Tenant)
+		}
+		if err := pool.Admit(share.Tenant, share.Budget.Cores); err != nil {
+			closeAll()
+			return nil, err
+		}
+		r := &runner{share: share}
+		eopts := engine.Options{
+			FS:         t.FS,
+			UDFs:       t.UDFs,
+			WorkScale:  t.WorkScale,
+			Spin:       opts.Spin || t.Spin,
+			Seed:       t.Seed,
+			Pool:       pool,
+			PoolTenant: share.Tenant,
+		}
+		if opts.Traced {
+			col, err := trace.NewCollector(share.Program, trace.Machine{
+				Name: "host-concurrent", Cores: share.Budget.Cores, MemoryBytes: share.Budget.MemoryBytes,
+			})
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			col.SetTenant(share.Tenant)
+			t.FS.AddObserver(col)
+			defer t.FS.RemoveObserver(col)
+			r.col = col
+			eopts.Collector = col
+		}
+		p, err := engine.New(share.Program, eopts)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("host: instantiate tenant %q: %w", share.Tenant, err)
+		}
+		r.pipeline = p
+		runners = append(runners, r)
+	}
+
+	var wg sync.WaitGroup
+	wallStart := time.Now()
+	for _, r := range runners {
+		wg.Add(1)
+		go func(r *runner) {
+			defer wg.Done()
+			start := time.Now()
+			el, ex, err := r.pipeline.Drain(opts.MaxMinibatches)
+			if cerr := r.pipeline.Close(); err == nil {
+				err = cerr
+			}
+			r.seconds = time.Since(start).Seconds()
+			r.elements, r.examples, r.err = el, ex, err
+		}(r)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart).Seconds()
+
+	poolStats := make(map[string]engine.PoolStats, len(runners))
+	var heldTotal float64
+	for _, s := range pool.Stats() {
+		poolStats[s.Tenant] = s
+		heldTotal += s.HeldSeconds
+	}
+
+	rep := &RunReport{Budget: dec.Budget, WallSeconds: wall}
+	if opts.Traced {
+		rep.Snapshots = make(map[string]*trace.Snapshot, len(runners))
+	}
+	for _, r := range runners {
+		if r.err != nil {
+			return nil, fmt.Errorf("host: tenant %q concurrent drain: %w", r.share.Tenant, r.err)
+		}
+		ms := MeasuredShare{
+			Tenant:                     r.share.Tenant,
+			ShareCores:                 r.share.Budget.Cores,
+			PredictedMinibatchesPerSec: r.share.PredictedMinibatchesPerSec,
+			Minibatches:                r.elements,
+			Examples:                   r.examples,
+			Seconds:                    r.seconds,
+		}
+		if r.seconds > 0 {
+			ms.MeasuredMinibatchesPerSec = float64(r.elements) / r.seconds
+			ms.MeasuredExamplesPerSec = float64(r.examples) / r.seconds
+		}
+		if ps, ok := poolStats[r.share.Tenant]; ok {
+			ms.HeldCoreSeconds = ps.HeldSeconds
+			if heldTotal > 0 {
+				ms.HeldShareFraction = ps.HeldSeconds / heldTotal
+			}
+			ms.PeakWorkers = ps.PeakWorkers
+			ms.Borrows = ps.Borrows
+		}
+		rep.Tenants = append(rep.Tenants, ms)
+		rep.MeasuredAggregateMinibatchesPerSec += ms.MeasuredMinibatchesPerSec
+		rep.PredictedAggregateMinibatchesPerSec += ms.PredictedMinibatchesPerSec
+		if opts.Traced && r.col != nil {
+			totalFiles := 0
+			if chain, err := r.share.Program.Chain(); err == nil {
+				if cat, err := data.CatalogByName(chain[0].Catalog); err == nil {
+					totalFiles = cat.NumFiles
+				}
+			}
+			rep.Snapshots[r.share.Tenant] = r.col.Snapshot(
+				time.Duration(r.seconds*float64(time.Second)), totalFiles)
+		}
+	}
+	return rep, nil
+}

@@ -392,3 +392,73 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 		a.PredictObservedRate(p.Hypothetical(false, cores, b.DiskBandwidth)))
 	return p, nil
 }
+
+// CacheDemand is a pipeline's answer to "how much cache memory could you
+// actually use, and what would it buy?" — the currency the multi-tenant
+// arbiter splits Budget.MemoryBytes in. A zero demand (Bytes == 0) means no
+// legal cache point exists, so memory granted to this pipeline is wasted.
+type CacheDemand struct {
+	// Above names the cache point the demand prices (the same choice Solve
+	// would make with unlimited memory).
+	Above string
+	// Bytes is the total materialization the cache needs — per-replica bytes
+	// times the planned replica count — i.e. the memory slice that makes the
+	// cache fit.
+	Bytes float64
+	// BenefitPerByte is the predicted steady-state rate gain per
+	// materialized byte (minibatches/s/byte). +Inf when the warm cache lifts
+	// the model's ceiling entirely; 0 when the cache only saves CPU work
+	// (Solve's work-saved fallback) without lifting the predicted ceiling.
+	BenefitPerByte float64
+}
+
+// SolveCacheDemand prices the analyzed pipeline's cache appetite under a
+// core/disk share by solving the plan with the memory dimension unlimited
+// and measuring the chosen cache point's predicted benefit per byte — the
+// same benefit-per-byte ranking Solve's cache placement uses, exposed so
+// the arbiter can water-fill memory across tenants by marginal value
+// instead of splitting it blindly by weight.
+func SolveCacheDemand(a *ops.Analysis, b Budget) (CacheDemand, error) {
+	unlimited := b
+	unlimited.MemoryBytes = math.MaxInt64
+	p, err := Solve(a, unlimited)
+	if err != nil {
+		return CacheDemand{}, err
+	}
+	if p.CacheAbove == "" || !(p.CacheBytes > 0) {
+		return CacheDemand{}, nil
+	}
+	outer := p.OuterParallelism
+	if outer < 1 {
+		outer = 1
+	}
+	cores := b.Cores
+	if cores <= 0 {
+		cores = a.Snapshot.Machine.Cores
+	}
+	if cores <= 0 {
+		cores = unboundedCores
+	}
+	d := CacheDemand{Above: p.CacheAbove, Bytes: p.CacheBytes * float64(outer)}
+	base := a.PredictRate(ops.Hypothetical{
+		Parallelism:      p.Parallelism,
+		OuterParallelism: outer,
+		Cores:            cores,
+		DiskBandwidth:    b.DiskBandwidth,
+	})
+	warm := a.PredictRate(ops.Hypothetical{
+		Parallelism:      p.Parallelism,
+		CacheAbove:       p.CacheAbove,
+		WarmCache:        true,
+		OuterParallelism: outer,
+		Cores:            cores,
+		DiskBandwidth:    b.DiskBandwidth,
+	})
+	switch {
+	case math.IsInf(warm, 1) && !math.IsInf(base, 1):
+		d.BenefitPerByte = math.Inf(1)
+	case warm > base:
+		d.BenefitPerByte = (warm - base) / d.Bytes
+	}
+	return d, nil
+}

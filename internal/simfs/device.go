@@ -1,7 +1,8 @@
-// Package simfs provides the storage substrate for the Plumber reproduction:
-// an in-memory filesystem holding synthetic TFRecord shards, device models
-// with bandwidth limits (token bucket) and per-stream ceilings, read
-// instrumentation for the tracer, and a fio-like profiler that measures the
+// Package simfs provides the storage substrate for the Plumber reproduction
+// (§5.2's disk-bound setups): an in-memory filesystem holding synthetic
+// TFRecord shards, device models with bandwidth limits (token bucket) and
+// per-stream ceilings, read instrumentation for the tracer (§4.1's
+// filename-to-bytes map), and a fio-like profiler that measures the
 // read-parallelism-versus-bandwidth curve of a directory.
 //
 // The paper's disk microbenchmarks (§5.2) simulate bandwidths with a

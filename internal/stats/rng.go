@@ -1,6 +1,8 @@
 // Package stats provides the small statistical toolkit used throughout the
 // Plumber reproduction: deterministic random streams, summary statistics,
-// confidence intervals, percentiles, empirical CDFs, and curve fitting.
+// confidence intervals, percentiles, empirical CDFs, and curve fitting (the
+// machinery behind §A's subsampled size estimation and the §5 measurement
+// methodology).
 //
 // Everything is seeded explicitly so experiments are reproducible; no global
 // random state is used anywhere in the repository.

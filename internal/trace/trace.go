@@ -8,6 +8,12 @@
 // CPU timers follow the paper's discipline: they stop when a Dataset calls
 // into its child and restart when control returns, so blocked time is never
 // attributed (§B "Measuring CPU").
+//
+// Under concurrent multi-tenant execution (internal/host), each tenant
+// pipeline carries its own Collector labeled with SetTenant: the engine's
+// per-worker LocalStats shards flush into that tenant's NodeStats and
+// nowhere else, so one shared engine run emits N independently attributable
+// traces — the per-tenant shard namespace is the collector itself.
 package trace
 
 import (
@@ -69,6 +75,9 @@ func (s *NodeStats) WallSeconds() float64 { return float64(s.WallNanos) / 1e9 }
 // Snapshot is one periodic dump: the serialized program joined with every
 // node's counters, the observed file-size map, and the machine description.
 type Snapshot struct {
+	// Tenant labels the pipeline's owner when the trace came from a
+	// multi-tenant run on a shared engine; empty for single-tenant runs.
+	Tenant string `json:"tenant,omitempty"`
 	// Graph is the traced pipeline program.
 	Graph *pipeline.Graph `json:"graph"`
 	// Machine is the host resource budget.
@@ -123,6 +132,7 @@ func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
 type Collector struct {
 	graph   *pipeline.Graph
 	machine Machine
+	tenant  string
 
 	mu      sync.Mutex
 	nodes   map[string]*NodeStats
@@ -155,6 +165,15 @@ func NewCollector(graph *pipeline.Graph, machine Machine) (*Collector, error) {
 		}
 	}
 	return c, nil
+}
+
+// SetTenant labels the collector (and every snapshot it emits) with the
+// owning tenant, making traces from a shared multi-tenant engine run
+// attributable. Call before the run starts.
+func (c *Collector) SetTenant(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tenant = name
 }
 
 // Node returns the stats handle for the named node.
@@ -220,6 +239,7 @@ func (c *Collector) Snapshot(duration time.Duration, totalFiles int) *Snapshot {
 		duration = time.Since(c.start)
 	}
 	snap := &Snapshot{
+		Tenant:     c.tenant,
 		Graph:      c.graph.Clone(),
 		Machine:    c.machine,
 		Duration:   duration,

@@ -10,12 +10,18 @@ import (
 // within the façade: a Tenant is one pipeline sharing the global envelope,
 // an Arbiter owns the envelope and the tenant set, and a Decision is one
 // arbitration outcome (per-tenant budget slices, solved plans, materialized
-// programs, and the even-split baseline).
+// programs, and the even-split baseline). RunOptions, MeasuredShare, and
+// RunReport belong to Arbiter.RunConcurrent — the concurrent validation run
+// that executes every tenant simultaneously on one shared engine worker
+// pool and reports measured under-contention rates next to the predictions.
 type (
-	Tenant   = host.Tenant
-	Arbiter  = host.Arbiter
-	Decision = host.Decision
-	Share    = host.Share
+	Tenant        = host.Tenant
+	Arbiter       = host.Arbiter
+	Decision      = host.Decision
+	Share         = host.Share
+	RunOptions    = host.RunOptions
+	MeasuredShare = host.MeasuredShare
+	RunReport     = host.RunReport
 )
 
 // NewArbiter returns a multi-tenant arbiter over the global envelope, for
@@ -27,15 +33,17 @@ func NewArbiter(budget Budget) *Arbiter {
 	return host.NewArbiter(budget)
 }
 
-// OptimizeAll is the one-shot multi-tenant entry point: admit every tenant
-// into a fresh arbiter under the global budget and return the final
-// arbitration. Each tenant is traced exactly once; the cross-tenant core
-// split is solved by water-filling on the tenants' predicted rate curves,
-// memory and disk bandwidth are split by weight, and every share is
+// ArbitrateAll admits every tenant into a fresh arbiter under the global
+// budget and returns both the arbiter and the final arbitration, for
+// callers that want to keep going — re-arbitrate on Add/Remove, or validate
+// the decision under real contention with Arbiter.RunConcurrent. Each
+// tenant is traced exactly once; the cross-tenant core split is solved by
+// water-filling on the tenants' predicted rate curves, cache memory by
+// marginal cache benefit, disk bandwidth by weight, and every share is
 // materialized as a validated per-tenant program (Decision.Shares[i].Program).
-func OptimizeAll(tenants []Tenant, budget Budget) (*Decision, error) {
+func ArbitrateAll(tenants []Tenant, budget Budget) (*Arbiter, *Decision, error) {
 	if len(tenants) == 0 {
-		return nil, fmt.Errorf("plumber: OptimizeAll needs at least one tenant")
+		return nil, nil, fmt.Errorf("plumber: ArbitrateAll needs at least one tenant")
 	}
 	arb := host.NewArbiter(budget)
 	var dec *Decision
@@ -43,8 +51,15 @@ func OptimizeAll(tenants []Tenant, budget Budget) (*Decision, error) {
 		var err error
 		dec, err = arb.Add(t)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return dec, nil
+	return arb, dec, nil
+}
+
+// OptimizeAll is the one-shot multi-tenant entry point: ArbitrateAll for
+// callers that only need the decision.
+func OptimizeAll(tenants []Tenant, budget Budget) (*Decision, error) {
+	_, dec, err := ArbitrateAll(tenants, budget)
+	return dec, err
 }
