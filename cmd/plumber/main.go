@@ -17,8 +17,10 @@
 // even-split baseline. With -run it then executes every tenant
 // simultaneously on one shared engine worker pool (spin on, in-flight
 // workers capped at the arbitrated core share, work-conserving borrowing)
-// and reports the measured under-contention rates next to the predictions;
-// the output JSON then wraps {"decision": ..., "concurrent_run": ...}.
+// and reports the measured under-contention rates next to the predictions,
+// including each tenant's failure-isolation status (ok / degraded /
+// stalled / failed), retry counters, and any share reclaims; the output
+// JSON then wraps {"decision": ..., "concurrent_run": ...}.
 //
 // Budget flags are -cores N, -memory-mb M, -bw-mbps B. Without -graph, the
 // commands build the demo program — an all-sequential interleave → map →
@@ -581,13 +583,22 @@ func runArbitrate(args []string) error {
 		fmt.Printf("\nconcurrent run (%.1fs wall): measured aggregate %.1f minibatches/s vs predicted %.1f\n",
 			rep.WallSeconds, rep.MeasuredAggregateMinibatchesPerSec, rep.PredictedAggregateMinibatchesPerSec)
 		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "tenant\tcores\tpredicted mb/s\tmeasured mb/s\theld share\tpeak workers")
+		fmt.Fprintln(tw, "tenant\tstatus\tcores\tpredicted mb/s\tmeasured mb/s\theld share\tpeak workers\tretries")
 		for _, ms := range rep.Tenants {
-			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.2f\t%d\n",
-				ms.Tenant, ms.ShareCores, ms.PredictedMinibatchesPerSec,
-				ms.MeasuredMinibatchesPerSec, ms.HeldShareFraction, ms.PeakWorkers)
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.1f\t%.2f\t%d\t%d\n",
+				ms.Tenant, ms.Status, ms.ShareCores, ms.PredictedMinibatchesPerSec,
+				ms.MeasuredMinibatchesPerSec, ms.HeldShareFraction, ms.PeakWorkers, ms.Retries)
 		}
 		tw.Flush()
+		for _, ms := range rep.Tenants {
+			if ms.Failure != "" {
+				fmt.Printf("  %s: %s\n", ms.Tenant, ms.Failure)
+			}
+		}
+		for _, ev := range rep.Reclaims {
+			fmt.Printf("  reclaim: %s (%s) at %.2fs freed %d cores, regranted %v\n",
+				ev.Tenant, ev.Reason, ev.AtSeconds, ev.FreedCores, ev.Regrants)
+		}
 		doc = map[string]any{"decision": dec, "concurrent_run": rep}
 	}
 

@@ -6,6 +6,7 @@
 //	plumberbench -tuner [-quick] [-json BENCH_tuner.json]         # closed-loop tuner
 //	plumberbench -planner [-quick] [-json BENCH_planner.json]     # planner vs greedy
 //	plumberbench -scenarios [-quick] [-json BENCH_scenarios.json] # scenario matrix + arbiter
+//	plumberbench -chaos [-quick] [-json BENCH_chaos.json]         # fault injection + isolation
 //
 // -json sets the output path; each suite has a default filename (-out is a
 // deprecated alias). The default suite runs the engine hot-path
@@ -43,6 +44,18 @@
 //   - arbitrated_fraction_of_even_split_predicted: >= 1.0
 //   - concurrent_measured_fraction_of_predicted: sanity-tracks how the
 //     calibrated predictions hold up under real contention
+//
+// With -chaos it runs the graceful-degradation suite and writes
+// BENCH_chaos.json: a two-tenant arbitrated mix runs concurrently while
+// seeded fault plans chew on the read path — a no-fault baseline, a 2%
+// transient error rate absorbed by the retry policy, tail-latency spikes, a
+// bandwidth-degradation ramp, and a permanently failing tenant that is
+// isolated (evicted, share re-water-filled) without sinking its neighbor:
+//
+//   - transient_errors_reaching_caller: == 0 is the target (with
+//     transient_retries > 0 proving faults were actually injected)
+//   - failed_tenant_reported_failed: == 1 is the target
+//   - survivors_fraction_of_without_failed_run: >= 0.9 is the target
 package main
 
 import (
@@ -59,6 +72,7 @@ func main() {
 	tuner := flag.Bool("tuner", false, "run the closed-loop tuner benchmark instead of the engine suite")
 	planner := flag.Bool("planner", false, "run the planner-vs-greedy comparison instead of the engine suite")
 	scenarios := flag.Bool("scenarios", false, "run the scenario matrix + multi-tenant arbitration instead of the engine suite")
+	chaos := flag.Bool("chaos", false, "run the fault-injection / graceful-degradation suite instead of the engine suite")
 	jsonOut := flag.String("json", "", "output path (default BENCH_<suite>.json)")
 	out := flag.String("out", "", "deprecated alias for -json")
 	flag.Parse()
@@ -68,23 +82,59 @@ func main() {
 		path = *out
 	}
 	picked := 0
-	for _, b := range []bool{*tuner, *planner, *scenarios} {
+	for _, b := range []bool{*tuner, *planner, *scenarios, *chaos} {
 		if b {
 			picked++
 		}
 	}
 	switch {
 	case picked > 1:
-		fatal(fmt.Errorf("-tuner, -planner, and -scenarios are mutually exclusive"))
+		fatal(fmt.Errorf("-tuner, -planner, -scenarios, and -chaos are mutually exclusive"))
 	case *tuner:
 		runTuner(*quick, path)
 	case *planner:
 		runPlanner(*quick, path)
 	case *scenarios:
 		runScenarios(*quick, path)
+	case *chaos:
+		runChaos(*quick, path)
 	default:
 		runEngine(*quick, path)
 	}
+}
+
+func runChaos(quick bool, out string) {
+	if out == "" {
+		out = "BENCH_chaos.json"
+	}
+	rep, err := bench.RunChaos(quick)
+	if err != nil {
+		fatal(err)
+	}
+	writeJSON(out, rep)
+	for _, r := range rep.Runs {
+		fmt.Printf("%-24s %6.2fs wall  aggregate %8.1f mb/s  survivors %8.1f mb/s\n",
+			r.Name, r.WallSeconds, r.Aggregate, r.SurvivorAggregate)
+		for _, t := range r.Tenants {
+			line := fmt.Sprintf("  %-12s %-8s %6d mb  %8.1f mb/s", t.Tenant, t.Status, t.Minibatches, t.MeasuredMinibatchesPerSec)
+			if t.Retries > 0 || t.Errors > 0 {
+				line += fmt.Sprintf("  retries %d errors %d gave-up %d", t.Retries, t.Errors, t.GaveUp)
+			}
+			if t.Faults.Errors > 0 || t.Faults.Spikes > 0 || t.Faults.Stalls > 0 || t.Faults.DelayNanos > 0 {
+				line += fmt.Sprintf("  injected: %d errors, %d spikes, %d stalls, %.1fms delay",
+					t.Faults.Errors, t.Faults.Spikes, t.Faults.Stalls, float64(t.Faults.DelayNanos)/1e6)
+			}
+			fmt.Println(line)
+		}
+		for _, ev := range r.Reclaims {
+			fmt.Printf("  reclaim: %s (%s) at %.2fs freed %d cores -> %v\n",
+				ev.Tenant, ev.Reason, ev.AtSeconds, ev.FreedCores, ev.Regrants)
+		}
+	}
+	for k, v := range rep.Comparisons {
+		fmt.Printf("%s = %.3f\n", k, v)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 func runScenarios(quick bool, out string) {

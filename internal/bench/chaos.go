@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"plumber"
+	"plumber/internal/scenario"
+)
+
+// ChaosTenant is one tenant's outcome under one chaos condition.
+type ChaosTenant struct {
+	// Tenant names the arbiter slot (also the scenario it runs).
+	Tenant string `json:"tenant"`
+	// Status is the failure-isolation verdict: ok, degraded (transient
+	// faults absorbed by retries), stalled, or failed.
+	Status plumber.TenantStatus `json:"status"`
+	// Failure carries the error or stall description for bad outcomes.
+	Failure string `json:"failure,omitempty"`
+	// ShareCores is the arbitrated (pre-reclaim) core share.
+	ShareCores int `json:"share_cores"`
+	// Minibatches and MeasuredMinibatchesPerSec are the tenant's drain
+	// outcome under the chaos condition.
+	Minibatches               int64   `json:"minibatches"`
+	MeasuredMinibatchesPerSec float64 `json:"measured_minibatches_per_sec"`
+	// Retries/Errors/GaveUp are the tenant pipeline's fault-handling
+	// counters: retries absorbed, errors surfaced, and surfaced-though-
+	// transient (budget exhausted) respectively.
+	Retries int64 `json:"retries,omitempty"`
+	Errors  int64 `json:"errors,omitempty"`
+	GaveUp  int64 `json:"gave_up,omitempty"`
+	// Faults is the filesystem-side injection accounting for this tenant's
+	// FS: how many faults the chaos plan actually delivered.
+	Faults plumber.FaultStats `json:"faults"`
+}
+
+// ChaosRun is one chaos condition: a two-tenant arbitrated mix run
+// concurrently while a fault plan chews on the read path.
+type ChaosRun struct {
+	// Name identifies the condition; Description says what was injected.
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Budget is the global envelope; Retry the absorption policy in force.
+	Budget plumber.Budget `json:"budget"`
+	Retry  plumber.Retry  `json:"retry"`
+	// Tenants holds the per-tenant outcomes in decision order.
+	Tenants []ChaosTenant `json:"tenants"`
+	// Reclaims audits failure-isolation evictions and re-grants.
+	Reclaims []plumber.ReclaimEvent `json:"reclaims,omitempty"`
+	// WallSeconds is the run's wallclock; the aggregates sum measured rates
+	// over all tenants and over surviving (ok/degraded) tenants.
+	WallSeconds       float64 `json:"wall_seconds"`
+	Aggregate         float64 `json:"aggregate_minibatches_per_sec"`
+	SurvivorAggregate float64 `json:"survivor_aggregate_minibatches_per_sec"`
+}
+
+// ChaosReport is the checked-in BENCH_chaos.json document: graceful
+// degradation measured under injected faults — transient errors absorbed by
+// retries, tail-latency spikes, a bandwidth ramp, and a permanently failing
+// tenant isolated away from its neighbors.
+type ChaosReport struct {
+	// Schema identifies the document format for future tooling.
+	Schema    string `json:"schema"`
+	HostCores int    `json:"host_cores"`
+	GoVersion string `json:"go_version"`
+
+	// Runs holds one entry per chaos condition (baseline first).
+	Runs []ChaosRun `json:"runs"`
+
+	// Comparisons holds the acceptance numbers:
+	//   transient_errors_reaching_caller == 0 and transient_retries > 0
+	//   (the retry policy fully absorbed a 2% injected error rate), and
+	//   survivors_fraction_of_without_failed_run >= 0.9 (a permanently
+	//   failing tenant cost its survivors at most 10%).
+	Comparisons map[string]float64 `json:"comparisons"`
+}
+
+// chaosRetry is the absorption policy used by the fault-bearing runs: a few
+// attempts with a deterministic (jitter-free) backoff schedule.
+func chaosRetry() plumber.Retry {
+	return plumber.Retry{
+		MaxAttempts: 4,
+		BaseBackoff: 200 * time.Microsecond,
+		MaxBackoff:  5 * time.Millisecond,
+	}
+}
+
+// chaosCase runs one condition: build fresh workloads for the mix, arbitrate
+// fault-free, install each tenant's fault plan only after the planning
+// traces are done, then run everything concurrently on the shared pool.
+func chaosCase(name, desc string, quick bool, mix []string, faults map[string]*plumber.FaultPlan, retry plumber.Retry) (*ChaosRun, error) {
+	global := plumber.Budget{Cores: 8, MemoryBytes: 64 << 20}
+	maxMB := int64(400)
+	if quick {
+		maxMB = 120
+	}
+
+	specs := map[string]scenario.Spec{}
+	for _, s := range scenario.Suite(quick) {
+		specs[s.Name] = s
+	}
+	var tenants []plumber.Tenant
+	workloads := map[string]*scenario.Workload{}
+	for _, n := range mix {
+		w, err := scenario.Build(specs[n])
+		if err != nil {
+			return nil, fmt.Errorf("bench chaos %s tenant %s: %w", name, n, err)
+		}
+		if _, err := measureThroughput(w.Graph, w.FS, w.Registry, 1, 1); err != nil {
+			return nil, fmt.Errorf("bench chaos %s tenant %s warmup: %w", name, n, err)
+		}
+		workloads[n] = w
+		tenants = append(tenants, plumber.Tenant{
+			Name:          n,
+			Weight:        1,
+			Graph:         w.Graph,
+			FS:            w.FS,
+			UDFs:          w.Registry,
+			Seed:          w.Spec.Seed,
+			WorkScale:     1,
+			DiskBandwidth: w.DiskBandwidth,
+		})
+	}
+
+	arb, dec, err := plumber.ArbitrateAll(tenants, global)
+	if err != nil {
+		return nil, fmt.Errorf("bench chaos %s arbitration: %w", name, err)
+	}
+	// Faults go in only now: planning and tracing ran against a healthy
+	// filesystem, so the shares reflect the workload, not the chaos.
+	for n, plan := range faults {
+		w, ok := workloads[n]
+		if !ok {
+			return nil, fmt.Errorf("bench chaos %s: fault plan for unknown tenant %q", name, n)
+		}
+		w.FS.SetFaults(plan)
+	}
+
+	run, err := arb.RunConcurrent(dec, plumber.RunOptions{
+		Spin:           true,
+		MaxMinibatches: maxMB,
+		Retry:          retry,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench chaos %s concurrent run: %w", name, err)
+	}
+
+	out := &ChaosRun{
+		Name: name, Description: desc, Budget: global, Retry: retry,
+		Reclaims:          run.Reclaims,
+		WallSeconds:       run.WallSeconds,
+		Aggregate:         run.MeasuredAggregateMinibatchesPerSec,
+		SurvivorAggregate: run.SurvivorAggregateMinibatchesPerSec,
+	}
+	for _, ms := range run.Tenants {
+		ct := ChaosTenant{
+			Tenant:                    ms.Tenant,
+			Status:                    ms.Status,
+			Failure:                   ms.Failure,
+			ShareCores:                ms.ShareCores,
+			Minibatches:               ms.Minibatches,
+			MeasuredMinibatchesPerSec: ms.MeasuredMinibatchesPerSec,
+			Retries:                   ms.Retries,
+			Errors:                    ms.Errors,
+			GaveUp:                    ms.GaveUp,
+		}
+		if w, ok := workloads[ms.Tenant]; ok {
+			ct.Faults = w.FS.FaultStats()
+		}
+		out.Tenants = append(out.Tenants, ct)
+	}
+	return out, nil
+}
+
+// RunChaos measures graceful degradation under injected faults and returns
+// the BENCH_chaos.json document.
+func RunChaos(quick bool) (*ChaosReport, error) {
+	rep := &ChaosReport{
+		Schema:      "plumber/bench-chaos/v1",
+		HostCores:   runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		Comparisons: map[string]float64{},
+	}
+	mix := []string{"vision", "tiny-files"}
+	retry := chaosRetry()
+
+	baseline, err := chaosCase("baseline", "no faults injected", quick, mix, nil, plumber.Retry{})
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs = append(rep.Runs, *baseline)
+
+	// Transient errors on both tenants' read paths; the retry policy must
+	// absorb all of them (success, nonzero retries, zero caller errors).
+	transient, err := chaosCase("transient-errors", "2% transient read error rate on every tenant, retry policy on",
+		quick, mix, map[string]*plumber.FaultPlan{
+			"vision": {Seed: 7, Rules: []plumber.FaultRule{
+				{Name: "flaky-reads", ErrorRate: 0.02},
+			}},
+			"tiny-files": {Seed: 11, Rules: []plumber.FaultRule{
+				{Name: "flaky-reads", ErrorRate: 0.02},
+			}},
+		}, retry)
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs = append(rep.Runs, *transient)
+	var retries, callerErrors float64
+	for _, t := range transient.Tenants {
+		retries += float64(t.Retries)
+		callerErrors += float64(t.Errors)
+	}
+	rep.Comparisons["transient_retries"] = retries
+	rep.Comparisons["transient_errors_reaching_caller"] = callerErrors
+
+	// Tail-latency spikes: 5% of reads pay a log-normal spike on a 2ms base.
+	spikes, err := chaosCase("tail-latency", "5% of reads hit a log-normal latency spike (2ms base)",
+		quick, mix, map[string]*plumber.FaultPlan{
+			"vision": {Seed: 13, Rules: []plumber.FaultRule{
+				{Name: "tail-spikes", SpikeRate: 0.05, SpikeBase: 2 * time.Millisecond, SpikeTailSigma: 0.5},
+			}},
+		}, retry)
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs = append(rep.Runs, *spikes)
+
+	// Bandwidth ramp: per-read delay grows linearly over the first seconds,
+	// modeling a device degrading under the run.
+	ramp, err := chaosCase("bandwidth-ramp", "per-read delay ramping to 200µs over the first 2s on one tenant",
+		quick, mix, map[string]*plumber.FaultPlan{
+			"tiny-files": {Seed: 17, Rules: []plumber.FaultRule{
+				{Name: "degrading-device", RampSeconds: 2, RampDelayPerRead: 200 * time.Microsecond},
+			}},
+		}, retry)
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs = append(rep.Runs, *ramp)
+
+	// Tenant failure: one tenant's reads fail permanently; it must be
+	// isolated (reported failed, share reclaimed) without sinking the
+	// survivor, measured against a reference run that never had the failing
+	// tenant at all.
+	failure, err := chaosCase("tenant-failure", "one tenant's reads fail permanently; survivor keeps its throughput",
+		quick, mix, map[string]*plumber.FaultPlan{
+			"vision": {Seed: 23, Rules: []plumber.FaultRule{
+				{Name: "dead-device", ErrorRate: 1, Permanent: true},
+			}},
+		}, retry)
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs = append(rep.Runs, *failure)
+	reference, err := chaosCase("survivors-only-reference", "the same run without the failing tenant",
+		quick, []string{"tiny-files"}, nil, retry)
+	if err != nil {
+		return nil, err
+	}
+	rep.Runs = append(rep.Runs, *reference)
+
+	failedOK := 0.0
+	for _, t := range failure.Tenants {
+		if t.Tenant == "vision" && t.Status == plumber.StatusFailed {
+			failedOK = 1
+		}
+	}
+	rep.Comparisons["failed_tenant_reported_failed"] = failedOK
+	if reference.SurvivorAggregate > 0 {
+		rep.Comparisons["survivors_fraction_of_without_failed_run"] =
+			failure.SurvivorAggregate / reference.SurvivorAggregate
+	}
+	return rep, nil
+}

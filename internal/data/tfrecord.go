@@ -120,15 +120,26 @@ func (rr *RecordReader) Next() ([]byte, error) {
 		payload = make([]byte, length)
 	}
 	if _, err := io.ReadFull(rr.r, payload); err != nil {
+		rr.discard(payload)
 		return nil, fmt.Errorf("tfrecord: reading payload: %w", err)
 	}
 	var footer [RecordFooterBytes]byte
 	if _, err := io.ReadFull(rr.r, footer[:]); err != nil {
+		rr.discard(payload)
 		return nil, fmt.Errorf("tfrecord: reading footer: %w", err)
 	}
 	wantCRC := binary.LittleEndian.Uint32(footer[:])
 	if got := MaskedCRC(payload); got != wantCRC {
+		rr.discard(payload)
 		return nil, fmt.Errorf("tfrecord: payload checksum mismatch: got %#x want %#x", got, wantCRC)
 	}
 	return payload, nil
+}
+
+// discard recycles a pooled payload abandoned by a failed read, so retried
+// records do not leak one pool buffer per attempt.
+func (rr *RecordReader) discard(payload []byte) {
+	if rr.pooled && payload != nil {
+		PutBuf(payload)
+	}
 }

@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -82,6 +83,14 @@ type Options struct {
 	// PoolTenant names the tenant this pipeline's slots are accounted to;
 	// required (and it must already be admitted) when Pool is set.
 	PoolTenant string
+	// Retry is the fault-absorption policy applied at source opens, source
+	// record reads, and UDF invocations. The zero value disables retries:
+	// failures surface on first occurrence as typed *StageError values.
+	Retry Retry
+	// Context, when non-nil, cancels the pipeline when the context is done:
+	// blocked Next calls return the context's cause and workers wind down.
+	// Equivalent to calling Cancel from a watcher goroutine.
+	Context context.Context
 }
 
 // Pipeline is an instantiated, runnable iterator tree.
@@ -98,6 +107,24 @@ type Pipeline struct {
 	// implies pool; recycle is off when the chain contains a Cache node.
 	pool    bool
 	recycle bool
+
+	// Cancellation: cancelCh wakes consumers blocked on a worker handoff,
+	// interrupts (one doneLatch per parallel iterator, including those the
+	// Repeat operator builds mid-run) wake the workers themselves, and
+	// cancelErr records the cause surfaced by Next after cancellation.
+	cancelCh   chan struct{}
+	cancelOnce sync.Once
+	cancelErr  atomic.Value // error
+	intMu      sync.Mutex
+	interrupts []*doneLatch
+	canceled   bool
+	watchStop  chan struct{} // stops the Options.Context watcher on Close
+
+	// Pipeline-wide fault-handling aggregates (see ErrorStats); trackers
+	// additionally attribute the same events to their stages.
+	nRetries atomic.Int64
+	nErrors  atomic.Int64
+	nGaveUp  atomic.Int64
 }
 
 // iterator is the internal Iterator model: Next yields an element or io.EOF;
@@ -138,7 +165,7 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 			opts.SampleEvery = 1
 		}
 	}
-	p := &Pipeline{opts: opts, caches: opts.Caches}
+	p := &Pipeline{opts: opts, caches: opts.Caches, cancelCh: make(chan struct{})}
 	if p.caches == nil {
 		p.caches = NewCacheStore()
 	}
@@ -167,25 +194,148 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 			return nil, err
 		}
 		p.root = root
-		return p, nil
-	}
-	// Outer parallelism: run `outer` replicas of the whole chain and
-	// round-robin their outputs (§5.1's remedy for NLP pipelines).
-	replicas := make([]iterator, outer)
-	for i := range replicas {
-		it, err := build(i, uint64(i+1)*0x9e3779b97f4a7c15)
-		if err != nil {
-			return nil, err
+	} else {
+		// Outer parallelism: run `outer` replicas of the whole chain and
+		// round-robin their outputs (§5.1's remedy for NLP pipelines).
+		replicas := make([]iterator, outer)
+		for i := range replicas {
+			it, err := build(i, uint64(i+1)*0x9e3779b97f4a7c15)
+			if err != nil {
+				return nil, err
+			}
+			replicas[i] = it
 		}
-		replicas[i] = it
+		p.root = newRoundRobin(replicas)
 	}
-	p.root = newRoundRobin(replicas)
+	if opts.Context != nil {
+		p.watchStop = make(chan struct{})
+		go func(ctx context.Context, stop <-chan struct{}) {
+			select {
+			case <-ctx.Done():
+				p.cancelWith(context.Cause(ctx))
+			case <-stop:
+			}
+		}(opts.Context, p.watchStop)
+	}
 	return p, nil
 }
 
-// Next yields the next root element.
+// Next yields the next root element. After cancellation, Next returns the
+// cancellation cause instead of a bare io.EOF, so consumers can tell an
+// aborted stream from an exhausted one.
 func (p *Pipeline) Next() (data.Element, error) {
-	return p.root.Next()
+	e, err := p.root.Next()
+	if err != nil {
+		if cause := p.CancelCause(); cause != nil {
+			return data.Element{}, cause
+		}
+	}
+	return e, err
+}
+
+// NextCtx is Next with context cancellation: if ctx ends while the call is
+// blocked, the pipeline is canceled (workers wind down) and the context's
+// cause is returned. Prefer DrainCtx or Options.Context for long drains —
+// they amortize the watcher over the whole run.
+func (p *Pipeline) NextCtx(ctx context.Context) (data.Element, error) {
+	if err := ctx.Err(); err != nil {
+		p.cancelWith(context.Cause(ctx))
+		return data.Element{}, context.Cause(ctx)
+	}
+	stop := p.watchContext(ctx)
+	defer stop()
+	return p.Next()
+}
+
+// watchContext cancels the pipeline if ctx ends before stop is called.
+func (p *Pipeline) watchContext(ctx context.Context) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	ch := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.cancelWith(context.Cause(ctx))
+		case <-ch:
+		}
+	}()
+	return func() { close(ch) }
+}
+
+// Cancel aborts the pipeline: workers blocked on handoffs or pool admission
+// wind down, blocked Next calls wake, and subsequent Next calls return the
+// cancellation cause. Cancel is safe from any goroutine and idempotent.
+// Close after Cancel remains safe and idempotent; note that Close still
+// waits for in-flight worker elements, so a worker wedged inside a UDF can
+// make Close block (callers isolating wedged pipelines should cancel and
+// skip Close, accepting the contained goroutine leak).
+func (p *Pipeline) Cancel() { p.cancelWith(context.Canceled) }
+
+// CancelCause returns the error the pipeline was canceled with, or nil if
+// it has not been canceled.
+func (p *Pipeline) CancelCause() error {
+	if v := p.cancelErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+func (p *Pipeline) cancelWith(cause error) {
+	p.cancelOnce.Do(func() {
+		if cause == nil {
+			cause = context.Canceled
+		}
+		p.cancelErr.Store(cause)
+		p.intMu.Lock()
+		p.canceled = true
+		latches := append([]*doneLatch(nil), p.interrupts...)
+		p.intMu.Unlock()
+		for _, l := range latches {
+			l.close()
+		}
+		if p.opts.Pool != nil {
+			p.opts.Pool.Interrupt() // wake workers blocked in Acquire
+		}
+		close(p.cancelCh)
+	})
+}
+
+// iterLatch returns a registered done latch for a parallel iterator. Latches
+// created after cancellation come pre-closed, so subtrees the Repeat
+// operator builds mid-cancel never start real work.
+func (p *Pipeline) iterLatch() *doneLatch {
+	l := newLatch()
+	p.intMu.Lock()
+	if p.canceled {
+		l.close()
+	}
+	p.interrupts = append(p.interrupts, l)
+	p.intMu.Unlock()
+	return l
+}
+
+// ErrorStats is the pipeline-wide aggregate of fault-handling outcomes,
+// summed over every stage (per-stage attribution lives in the trace
+// snapshot's Retries/Errors/GaveUp counters).
+type ErrorStats struct {
+	// Retries counts transient failures absorbed by the retry policy.
+	Retries int64 `json:"retries"`
+	// Errors counts failures that surfaced to consumers.
+	Errors int64 `json:"errors"`
+	// GaveUp counts transient failures abandoned after the retry budget or
+	// per-element deadline ran out (a subset of Errors).
+	GaveUp int64 `json:"gave_up"`
+}
+
+// ErrorStats reports fault-handling outcomes so far; it remains readable
+// after Close.
+func (p *Pipeline) ErrorStats() ErrorStats {
+	return ErrorStats{
+		Retries: p.nRetries.Load(),
+		Errors:  p.nErrors.Load(),
+		GaveUp:  p.nGaveUp.Load(),
+	}
 }
 
 // Close shuts down all workers and releases resources. Close is
@@ -200,6 +350,10 @@ func (p *Pipeline) Close() error {
 		return nil
 	}
 	p.closed = true
+	if p.watchStop != nil {
+		close(p.watchStop)
+		p.watchStop = nil
+	}
 	return p.root.Close()
 }
 
@@ -220,6 +374,19 @@ func (p *Pipeline) Drain(max int64) (elements, examples int64, err error) {
 		p.Recycle(e)
 	}
 	return elements, examples, nil
+}
+
+// DrainCtx is Drain with context cancellation: one watcher covers the whole
+// drain, so a context that ends mid-run wakes any blocked Next, winds the
+// workers down, and surfaces the context's cause.
+func (p *Pipeline) DrainCtx(ctx context.Context, max int64) (elements, examples int64, err error) {
+	if err := ctx.Err(); err != nil {
+		p.cancelWith(context.Cause(ctx))
+		return 0, 0, context.Cause(ctx)
+	}
+	stop := p.watchContext(ctx)
+	defer stop()
+	return p.Drain(max)
 }
 
 // Recycle returns a root element's payload to the buffer pool, if the
@@ -257,7 +424,7 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 		if n.Kind == pipeline.KindInterleave {
 			par = n.EffectiveParallelism()
 		}
-		return newSource(p, cat, par, handle, seed), nil
+		return newSource(p, n.Name, cat, par, handle, seed), nil
 	case pipeline.KindMap:
 		child, err := childFactory()
 		if err != nil {
@@ -267,7 +434,7 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 		if err != nil {
 			return nil, err
 		}
-		return newMapIter(p, child, u, n.EffectiveParallelism(), handle, seed), nil
+		return newMapIter(p, n.Name, child, u, n.EffectiveParallelism(), handle, seed), nil
 	case pipeline.KindFilter:
 		child, err := childFactory()
 		if err != nil {
@@ -277,7 +444,7 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 		if err != nil {
 			return nil, err
 		}
-		return newFilterIter(p, child, u, handle), nil
+		return newFilterIter(p, n.Name, child, u, handle), nil
 	case pipeline.KindShuffle:
 		child, err := childFactory()
 		if err != nil {
@@ -448,6 +615,22 @@ func (t *tracker) wall(d time.Duration) {
 		return
 	}
 	t.ls.AddWall(d)
+}
+
+func (t *tracker) retried() {
+	if t.h == nil {
+		return
+	}
+	t.ls.AddRetry()
+	t.maybeFlush()
+}
+
+func (t *tracker) errored(gaveUp bool) {
+	if t.h == nil {
+		return
+	}
+	t.ls.AddError(gaveUp)
+	t.maybeFlush()
 }
 
 func (t *tracker) maybeFlush() {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"plumber/internal/data"
+	"plumber/internal/simfs"
 	"plumber/internal/stats"
 	"plumber/internal/trace"
 	"plumber/internal/udf"
@@ -96,13 +97,17 @@ func (ce *chunkEmitter) flush() bool {
 }
 
 // chunkReceiver drains chunks on the consumer side, yielding one item at a
-// time and recycling emptied chunk slices.
+// time and recycling emptied chunk slices. A blocked receive also wakes on
+// the pipeline's cancel channel, so a consumer never hangs on workers that
+// were canceled (or are wedged and will never close the channel); the
+// resulting io.EOF is translated to the cancellation cause at the pipeline
+// root.
 type chunkReceiver struct {
 	pending []item
 	pos     int
 }
 
-func (cr *chunkReceiver) next(out <-chan []item) (data.Element, error) {
+func (cr *chunkReceiver) next(out <-chan []item, cancel <-chan struct{}) (data.Element, error) {
 	for {
 		if cr.pos < len(cr.pending) {
 			it := cr.pending[cr.pos]
@@ -114,11 +119,26 @@ func (cr *chunkReceiver) next(out <-chan []item) (data.Element, error) {
 			}
 			return it.elem, it.err
 		}
-		c, ok := <-out
-		if !ok {
+		// Prefer data already handed off over cancellation, so cancel does
+		// not drop elements a worker has completed.
+		select {
+		case c, ok := <-out:
+			if !ok {
+				return data.Element{}, io.EOF
+			}
+			cr.pending, cr.pos = c, 0
+			continue
+		default:
+		}
+		select {
+		case c, ok := <-out:
+			if !ok {
+				return data.Element{}, io.EOF
+			}
+			cr.pending, cr.pos = c, 0
+		case <-cancel:
 			return data.Element{}, io.EOF
 		}
-		cr.pending, cr.pos = c, 0
 	}
 }
 
@@ -133,25 +153,28 @@ func (cr *chunkReceiver) next(out <-chan []item) (data.Element, error) {
 // clock read.
 type sourceIter struct {
 	p      *Pipeline
+	name   string
 	cat    data.Catalog
 	par    int
 	handle *trace.NodeStats
 	seed   uint64
 
 	once    sync.Once
+	started bool
 	out     chan []item
-	done    chan struct{}
+	latch   *doneLatch
 	wg      sync.WaitGroup
 	nextIdx int64
 	initErr error
 	recv    chunkReceiver
 }
 
-func newSource(p *Pipeline, cat data.Catalog, par int, handle *trace.NodeStats, seed uint64) *sourceIter {
-	return &sourceIter{p: p, cat: cat, par: par, handle: handle, seed: seed}
+func newSource(p *Pipeline, name string, cat data.Catalog, par int, handle *trace.NodeStats, seed uint64) *sourceIter {
+	return &sourceIter{p: p, name: name, cat: cat, par: par, handle: handle, seed: seed, latch: p.iterLatch()}
 }
 
 func (s *sourceIter) start() {
+	s.started = true
 	files := s.cat.FileNames()
 	fileCh := make(chan string, len(files))
 	for _, f := range files {
@@ -159,10 +182,9 @@ func (s *sourceIter) start() {
 	}
 	close(fileCh)
 	s.out = make(chan []item, s.par*s.p.opts.ChannelSlack)
-	s.done = make(chan struct{})
 	s.wg.Add(s.par)
 	for w := 0; w < s.par; w++ {
-		go s.worker(fileCh)
+		go s.worker(w, fileCh)
 	}
 	go func() {
 		s.wg.Wait()
@@ -170,14 +192,15 @@ func (s *sourceIter) start() {
 	}()
 }
 
-func (s *sourceIter) worker(fileCh <-chan string) {
+func (s *sourceIter) worker(w int, fileCh <-chan string) {
 	defer s.wg.Done()
-	sl := s.p.slot(s.done)
+	sl := s.p.slot(s.latch.ch)
 	defer sl.release()
-	em := chunkEmitter{out: s.out, done: s.done, size: s.p.chunkSize(), sl: &sl}
+	em := chunkEmitter{out: s.out, done: s.latch.ch, size: s.p.chunkSize(), sl: &sl}
 	defer em.flush()
 	tr := tracker{h: s.handle}
 	defer tr.flush()
+	rt := s.p.retrier(s.name, &tr, s.latch.ch, s.seed^uint64(w+1)*0x9e3779b97f4a7c15)
 	traced := tr.traced()
 	sm := trace.NewSampler(s.p.sampleEvery())
 	modelCPU := s.p.opts.WorkScale > 0
@@ -190,12 +213,26 @@ func (s *sourceIter) worker(fileCh <-chan string) {
 	idxBlock := int64(s.p.chunkSize())
 	var idxNext, idxEnd int64
 	recs := 0
-	for path := range fileCh {
-		r, err := s.p.opts.FS.Open(path)
+	// stream reads one shard to EOF, retrying transiently faulting opens
+	// and record reads under the pipeline's retry policy. It reports
+	// whether the worker should continue with the next file; on any
+	// surfaced error the terminal item has already been emitted. The
+	// deferred Close guarantees the reader flushes its partial read
+	// accounting to observers no matter which path abandons the file.
+	stream := func(path string) bool {
+		var r *simfs.Reader
+		err := rt.do("open", func() error {
+			var e error
+			r, e = s.p.opts.FS.Open(path)
+			return e
+		})
 		if err != nil {
-			em.add(item{err: fmt.Errorf("source: %w", err)})
-			return
+			if err != errInterrupted {
+				em.add(item{err: fmt.Errorf("source: %w", err)})
+			}
+			return false
 		}
+		defer r.Close()
 		rr := data.NewRecordReader(r)
 		rr.SetPooling(s.p.pool)
 		for {
@@ -204,22 +241,34 @@ func (s *sourceIter) worker(fileCh <-chan string) {
 			// releases it whenever a flush has to block), yielded every
 			// chunk so shares enforce at chunk granularity.
 			if !sl.acquire() {
-				r.Close()
-				return
+				return false
 			}
 			var start time.Time
 			sampled := traced && sm.Tick()
 			if sampled {
 				start = time.Now()
 			}
-			rec, err := rr.Next()
+			var rec []byte
+			err := rt.do("read", func() error {
+				off := r.Offset()
+				var e error
+				rec, e = rr.Next()
+				if e != nil && e != io.EOF {
+					// Rewind so a retry replays the same framed record from
+					// its header; the re-served bytes are re-observed, like
+					// a real re-fetch.
+					r.Rewind(off)
+				}
+				return e
+			})
 			if err == io.EOF {
-				break
+				return true
 			}
 			if err != nil {
-				r.Close()
-				em.add(item{err: err})
-				return
+				if err != errInterrupted {
+					em.add(item{err: err})
+				}
+				return false
 			}
 			if idxNext == idxEnd {
 				idxEnd = atomic.AddInt64(&s.nextIdx, idxBlock)
@@ -240,18 +289,20 @@ func (s *sourceIter) worker(fileCh <-chan string) {
 				tr.wall(sm.Scale(time.Since(start)))
 			}
 			if !em.add(item{elem: e}) {
-				r.Close()
-				return
+				return false
 			}
 			if recs++; recs >= int(idxBlock) {
 				recs = 0
 				if !sl.yield() {
-					r.Close()
-					return
+					return false
 				}
 			}
 		}
-		r.Close()
+	}
+	for path := range fileCh {
+		if !stream(path) {
+			return
+		}
 	}
 }
 
@@ -260,17 +311,13 @@ func (s *sourceIter) Next() (data.Element, error) {
 	if s.initErr != nil {
 		return data.Element{}, s.initErr
 	}
-	return s.recv.next(s.out)
+	return s.recv.next(s.out, s.p.cancelCh)
 }
 
 func (s *sourceIter) Close() error {
 	s.once.Do(func() { s.initErr = io.EOF }) // never started: mark terminal
-	if s.done != nil {
-		select {
-		case <-s.done:
-		default:
-			close(s.done)
-		}
+	s.latch.close()
+	if s.started {
 		if s.p.opts.Pool != nil {
 			s.p.opts.Pool.Interrupt() // wake workers blocked in Acquire
 		}
@@ -288,6 +335,7 @@ func (s *sourceIter) Close() error {
 // acquisition, process them lock-free, and emit a chunk of outputs.
 type mapIter struct {
 	p      *Pipeline
+	name   string
 	child  iterator
 	u      udf.UDF
 	par    int
@@ -295,24 +343,25 @@ type mapIter struct {
 	seed   uint64
 
 	once    sync.Once
+	started bool
 	out     chan []item
-	done    chan struct{}
+	latch   *doneLatch
 	wg      sync.WaitGroup
 	childMu sync.Mutex
 	eof     atomic.Bool
 	recv    chunkReceiver
 }
 
-func newMapIter(p *Pipeline, child iterator, u udf.UDF, par int, handle *trace.NodeStats, seed uint64) *mapIter {
-	return &mapIter{p: p, child: child, u: u, par: par, handle: handle, seed: seed}
+func newMapIter(p *Pipeline, name string, child iterator, u udf.UDF, par int, handle *trace.NodeStats, seed uint64) *mapIter {
+	return &mapIter{p: p, name: name, child: child, u: u, par: par, handle: handle, seed: seed, latch: p.iterLatch()}
 }
 
 func (m *mapIter) start() {
+	m.started = true
 	m.out = make(chan []item, m.par*m.p.opts.ChannelSlack)
-	m.done = make(chan struct{})
 	m.wg.Add(m.par)
 	for w := 0; w < m.par; w++ {
-		go m.worker()
+		go m.worker(w)
 	}
 	go func() {
 		m.wg.Wait()
@@ -320,14 +369,15 @@ func (m *mapIter) start() {
 	}()
 }
 
-func (m *mapIter) worker() {
+func (m *mapIter) worker(w int) {
 	defer m.wg.Done()
-	sl := m.p.slot(m.done)
+	sl := m.p.slot(m.latch.ch)
 	defer sl.release()
-	em := chunkEmitter{out: m.out, done: m.done, size: m.p.chunkSize(), sl: &sl}
+	em := chunkEmitter{out: m.out, done: m.latch.ch, size: m.p.chunkSize(), sl: &sl}
 	defer em.flush()
 	tr := tracker{h: m.handle}
 	defer tr.flush()
+	rt := m.p.retrier(m.name, &tr, m.latch.ch, m.seed^uint64(w+1)*0xbf58476d1ce4e5b9)
 	traced := tr.traced()
 	sm := trace.NewSampler(m.p.sampleEvery())
 	cs := m.p.chunkSize()
@@ -370,9 +420,11 @@ func (m *mapIter) worker() {
 				return
 			}
 			tr.consumed()
-			out, keep, err := m.apply(it.elem, &tr.ls, &sm, traced)
+			out, keep, err := m.apply(it.elem, &tr.ls, &sm, traced, &rt)
 			if err != nil {
-				em.add(item{err: err})
+				if err != errInterrupted {
+					em.add(item{err: err})
+				}
 				return
 			}
 			if !keep {
@@ -394,7 +446,11 @@ func (m *mapIter) worker() {
 
 // apply runs the UDF body (or the pure cost model when no body is present)
 // with CPU accounting into the worker's shard and sampled wall timing.
-func (m *mapIter) apply(in data.Element, ls *trace.LocalStats, sm *trace.Sampler, traced bool) (data.Element, bool, error) {
+// Bodies run under the retry policy (panics are contained as errors, and
+// transiently failing bodies — errors implementing Transient() true — are
+// retried with backoff); retried bodies must therefore be idempotent with
+// respect to their input element.
+func (m *mapIter) apply(in data.Element, ls *trace.LocalStats, sm *trace.Sampler, traced bool, rt *retrier) (data.Element, bool, error) {
 	var start time.Time
 	sampled := traced && sm.Tick()
 	if sampled {
@@ -409,7 +465,13 @@ func (m *mapIter) apply(in data.Element, ls *trace.LocalStats, sm *trace.Sampler
 		err  error
 	)
 	if m.u.Body != nil {
-		out, keep, err = m.u.Body(in)
+		err = rt.do("udf", func() error {
+			return safeCall(func() error {
+				var uerr error
+				out, keep, uerr = m.u.Body(in)
+				return uerr
+			})
+		})
 	} else {
 		// Pure cost-model UDF: apply size factor and keep fraction.
 		newSize := int64(float64(in.Size) * m.u.Cost.SizeFactor)
@@ -436,16 +498,12 @@ func (m *mapIter) apply(in data.Element, ls *trace.LocalStats, sm *trace.Sampler
 
 func (m *mapIter) Next() (data.Element, error) {
 	m.once.Do(m.start)
-	return m.recv.next(m.out)
+	return m.recv.next(m.out, m.p.cancelCh)
 }
 
 func (m *mapIter) Close() error {
-	if m.done != nil {
-		select {
-		case <-m.done:
-		default:
-			close(m.done)
-		}
+	m.latch.close()
+	if m.started {
 		if m.p.opts.Pool != nil {
 			m.p.opts.Pool.Interrupt() // wake workers blocked in Acquire
 		}
@@ -464,10 +522,15 @@ type filterIter struct {
 	tr    tracker
 	sm    trace.Sampler
 	rng   uint64
+	rt    retrier
 }
 
-func newFilterIter(p *Pipeline, child iterator, u udf.UDF, handle *trace.NodeStats) *filterIter {
-	return &filterIter{p: p, child: child, u: u, tr: tracker{h: handle}, sm: trace.NewSampler(p.sampleEvery()), rng: 0x2545f4914f6cdd1d}
+func newFilterIter(p *Pipeline, name string, child iterator, u udf.UDF, handle *trace.NodeStats) *filterIter {
+	f := &filterIter{p: p, child: child, u: u, tr: tracker{h: handle}, sm: trace.NewSampler(p.sampleEvery()), rng: 0x2545f4914f6cdd1d}
+	// Filter runs on the consumer goroutine; its retry backoffs abort on
+	// pipeline cancellation rather than an iterator latch.
+	f.rt = p.retrier(name, &f.tr, p.cancelCh, p.opts.Seed^hashName(name))
+	return f
 }
 
 func (f *filterIter) Next() (data.Element, error) {
@@ -486,7 +549,13 @@ func (f *filterIter) Next() (data.Element, error) {
 		keep := true
 		out := in
 		if f.u.Body != nil {
-			out, keep, err = f.u.Body(in)
+			err = f.rt.do("udf", func() error {
+				return safeCall(func() error {
+					var uerr error
+					out, keep, uerr = f.u.Body(in)
+					return uerr
+				})
+			})
 			if err != nil {
 				return data.Element{}, err
 			}
@@ -753,15 +822,16 @@ type prefetchIter struct {
 	size   int
 	handle *trace.NodeStats
 
-	once sync.Once
-	out  chan []item
-	done chan struct{}
-	wg   sync.WaitGroup
-	recv chunkReceiver
+	once    sync.Once
+	started bool
+	out     chan []item
+	latch   *doneLatch
+	wg      sync.WaitGroup
+	recv    chunkReceiver
 }
 
 func newPrefetchIter(p *Pipeline, child iterator, size int, handle *trace.NodeStats) *prefetchIter {
-	return &prefetchIter{p: p, child: child, size: size, handle: handle}
+	return &prefetchIter{p: p, child: child, size: size, handle: handle, latch: p.iterLatch()}
 }
 
 func (p *prefetchIter) start() {
@@ -780,13 +850,13 @@ func (p *prefetchIter) start() {
 	if depth < 1 {
 		depth = 1
 	}
+	p.started = true
 	p.out = make(chan []item, depth)
-	p.done = make(chan struct{})
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
 		defer close(p.out)
-		em := chunkEmitter{out: p.out, done: p.done, size: cs}
+		em := chunkEmitter{out: p.out, done: p.latch.ch, size: cs}
 		defer em.flush()
 		tr := tracker{h: p.handle}
 		defer tr.flush()
@@ -819,16 +889,12 @@ func (p *prefetchIter) start() {
 
 func (p *prefetchIter) Next() (data.Element, error) {
 	p.once.Do(p.start)
-	return p.recv.next(p.out)
+	return p.recv.next(p.out, p.p.cancelCh)
 }
 
 func (p *prefetchIter) Close() error {
-	if p.done != nil {
-		select {
-		case <-p.done:
-		default:
-			close(p.done)
-		}
+	p.latch.close()
+	if p.started {
 		p.wg.Wait()
 	}
 	return p.child.Close()

@@ -55,6 +55,14 @@ type poolTenant struct {
 	heldNanos int64
 	acquires  int64
 	borrows   int64
+	// evicted marks a tenant whose guarantee was reclaimed (failure
+	// isolation); its Acquire calls fail instead of blocking or panicking.
+	evicted bool
+	// reclaimed counts slots force-freed by Evict whose workers still hold
+	// a release closure; those releases decrement this debt instead of the
+	// pool's inflight count, so a wedged worker's eventual release (or its
+	// absence) can never corrupt the accounting.
+	reclaimed int
 }
 
 // NewSharedPool returns a pool with the given total worker-slot capacity
@@ -135,6 +143,11 @@ func (p *SharedPool) Acquire(tenant string, done <-chan struct{}) (release func(
 		}
 	}
 	for {
+		if t.evicted {
+			unwait()
+			p.mu.Unlock()
+			return nil, false
+		}
 		if done != nil {
 			select {
 			case <-done:
@@ -181,13 +194,73 @@ func (p *SharedPool) Acquire(tenant string, done <-chan struct{}) (release func(
 		once.Do(func() {
 			held := time.Since(start)
 			p.mu.Lock()
-			p.inflight--
-			t.inflight--
+			if t.reclaimed > 0 {
+				// This slot was already force-freed by Evict; settle the
+				// debt without double-decrementing the pool.
+				t.reclaimed--
+			} else {
+				p.inflight--
+				t.inflight--
+			}
 			t.heldNanos += int64(held)
 			p.mu.Unlock()
 			p.cond.Broadcast()
 		})
 	}, true
+}
+
+// Evict reclaims a tenant's admission for failure isolation: its guarantee
+// returns to the pool, every slot it currently holds is force-freed (a
+// wedged worker may never release; its late release settles against a
+// reclaim debt instead of the live accounting), and all its future Acquire
+// calls fail fast. Evict returns the number of guaranteed slots freed, or 0
+// for an unknown or already-evicted tenant. The freed guarantee can be
+// redistributed to survivors with Grow.
+func (p *SharedPool) Evict(tenant string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.tenants[tenant]
+	if !ok || t.evicted {
+		return 0
+	}
+	freed := t.share
+	t.evicted = true
+	p.reserved -= t.share
+	t.share = 0
+	p.inflight -= t.inflight
+	t.reclaimed += t.inflight
+	t.inflight = 0
+	// Freed capacity and the eviction itself unblock waiters (including the
+	// evicted tenant's own, which now fail fast).
+	p.cond.Broadcast()
+	return freed
+}
+
+// Grow raises a live tenant's guaranteed share by delta slots — the
+// redistribution half of failure isolation, handing an evicted tenant's
+// freed guarantee to survivors. The grown guarantee must still fit the pool
+// capacity.
+func (p *SharedPool) Grow(tenant string, delta int) error {
+	if delta <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("engine: pool Grow: tenant %q not admitted", tenant)
+	}
+	if t.evicted {
+		return fmt.Errorf("engine: pool Grow: tenant %q is evicted", tenant)
+	}
+	if p.reserved+delta > p.capacity {
+		return fmt.Errorf("engine: pool Grow: guarantees %d+%d slots exceed capacity %d",
+			p.reserved, delta, p.capacity)
+	}
+	p.reserved += delta
+	t.share += delta
+	p.cond.Broadcast()
+	return nil
 }
 
 // Interrupt wakes every blocked Acquire so it can re-check its done channel.
@@ -217,6 +290,9 @@ type PoolStats struct {
 	// Acquires counts slot grants; Borrows counts grants beyond the share.
 	Acquires int64 `json:"acquires"`
 	Borrows  int64 `json:"borrows"`
+	// Evicted marks a tenant whose admission was reclaimed for failure
+	// isolation; its ShareCores reads 0 from that point on.
+	Evicted bool `json:"evicted,omitempty"`
 }
 
 // Stats returns per-tenant accounting in admission order.
@@ -234,6 +310,7 @@ func (p *SharedPool) Stats() []PoolStats {
 			HeldSeconds: float64(t.heldNanos) / 1e9,
 			Acquires:    t.acquires,
 			Borrows:     t.borrows,
+			Evicted:     t.evicted,
 		})
 	}
 	return out

@@ -273,3 +273,175 @@ func TestConcurrentTenantsReceiveArbitratedShares(t *testing.T) {
 		t.Fatalf("after resuming, big's held fraction = %.3f — borrowed cores were not returned", frac)
 	}
 }
+
+// TestSharedPoolEvictAndGrow pins the failure-isolation contract driven
+// directly: eviction frees the guarantee immediately (even with slots still
+// held by wedged workers), late releases settle against the reclaim debt
+// without corrupting the accounting, evicted tenants fail fast, and the
+// freed guarantee can be regranted to survivors with Grow.
+func TestSharedPoolEvictAndGrow(t *testing.T) {
+	p := NewSharedPool(4)
+	if err := p.Admit("victim", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Admit("survivor", 1); err != nil {
+		t.Fatal(err)
+	}
+	var victimRel []func()
+	for i := 0; i < 3; i++ {
+		r, ok := p.Acquire("victim", nil)
+		if !ok {
+			t.Fatalf("victim acquire %d aborted", i)
+		}
+		victimRel = append(victimRel, r)
+	}
+	survRel, ok := p.Acquire("survivor", nil)
+	if !ok {
+		t.Fatal("survivor acquire aborted")
+	}
+
+	// Pool is full. Evicting the victim frees its 3-slot guarantee at once,
+	// without waiting for its (possibly wedged) workers to release.
+	if freed := p.Evict("victim"); freed != 3 {
+		t.Fatalf("Evict freed %d, want 3", freed)
+	}
+	if freed := p.Evict("victim"); freed != 0 {
+		t.Fatalf("second Evict freed %d, want 0", freed)
+	}
+	if freed := p.Evict("nobody"); freed != 0 {
+		t.Fatalf("Evict of unknown tenant freed %d, want 0", freed)
+	}
+	for _, s := range p.Stats() {
+		if s.Tenant == "victim" && (!s.Evicted || s.ShareCores != 0 || s.InFlight != 0) {
+			t.Fatalf("victim stats after eviction: %+v", s)
+		}
+	}
+
+	// The survivor can immediately occupy the freed capacity (borrowing).
+	var extra []func()
+	for i := 0; i < 3; i++ {
+		r, ok := p.Acquire("survivor", nil)
+		if !ok {
+			t.Fatalf("survivor acquire %d after eviction aborted", i)
+		}
+		extra = append(extra, r)
+	}
+	// Pool is full again: the victim's late releases must settle against the
+	// reclaim debt, not free capacity that was already handed out.
+	for _, r := range victimRel {
+		r()
+	}
+	done := make(chan struct{})
+	aborted := make(chan bool, 1)
+	go func() {
+		_, ok := p.Acquire("survivor", done)
+		aborted <- !ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(done)
+	p.Interrupt()
+	if !<-aborted {
+		t.Fatal("late victim releases created capacity out of thin air")
+	}
+
+	// An evicted tenant's further Acquire calls fail fast instead of
+	// blocking or panicking.
+	if _, ok := p.Acquire("victim", nil); ok {
+		t.Fatal("evicted tenant was admitted")
+	}
+
+	// Grow hands the freed guarantee to the survivor; growing past capacity
+	// or growing an evicted tenant is rejected.
+	if err := p.Grow("victim", 1); err == nil {
+		t.Fatal("Grow on an evicted tenant succeeded")
+	}
+	if err := p.Grow("survivor", 4); err == nil {
+		t.Fatal("Grow past pool capacity succeeded")
+	}
+	if err := p.Grow("survivor", 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Stats() {
+		if s.Tenant == "survivor" && s.ShareCores != 4 {
+			t.Fatalf("survivor share after Grow = %d, want 4", s.ShareCores)
+		}
+	}
+	survRel()
+	for _, r := range extra {
+		r()
+	}
+}
+
+// TestSharedPoolTenantAbort is the -race integration: one tenant's pipeline
+// dies on a permanent fault mid-contention, the host-style eviction and
+// regrant run while the survivor keeps draining, and the survivor ends up
+// with the (previously contended) capacity — its peak worker count exceeds
+// its original guarantee.
+func TestSharedPoolTenantAbort(t *testing.T) {
+	const capacity = 4
+	pool := NewSharedPool(capacity)
+	if err := pool.Admit("victim", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Admit("survivor", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	victimGraph, victimOpts := poolWorkload(t, "abort-victim", capacity, 2e-3, 120)
+	survGraph, survOpts := poolWorkload(t, "abort-survivor", capacity, 2e-3, 120)
+	victimOpts.Pool, victimOpts.PoolTenant = pool, "victim"
+	victimOpts.Retry = Retry{MaxAttempts: 2, BaseBackoff: 20 * time.Microsecond}
+	survOpts.Pool, survOpts.PoolTenant = pool, "survivor"
+	victimOpts.FS.SetFaults(&simfs.FaultPlan{Rules: []simfs.FaultRule{
+		{Name: "dead", ErrorRate: 1, Permanent: true},
+	}})
+
+	victimErr := make(chan error, 1)
+	go func() {
+		p, err := New(victimGraph, victimOpts)
+		if err != nil {
+			victimErr <- err
+			return
+		}
+		_, _, derr := p.Drain(0)
+		p.Close()
+		victimErr <- derr
+	}()
+	survErr := make(chan error, 1)
+	go func() {
+		p, err := New(survGraph, survOpts)
+		if err != nil {
+			survErr <- err
+			return
+		}
+		if _, _, err := p.Drain(0); err != nil {
+			p.Close()
+			survErr <- err
+			return
+		}
+		survErr <- p.Close()
+	}()
+
+	select {
+	case err := <-victimErr:
+		if err == nil {
+			t.Fatal("victim drained cleanly despite permanent faults")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("victim did not fail")
+	}
+	if freed := pool.Evict("victim"); freed != 3 {
+		t.Fatalf("Evict freed %d, want 3", freed)
+	}
+	if err := pool.Grow("survivor", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-survErr; err != nil {
+		t.Fatalf("survivor drain: %v", err)
+	}
+	for _, s := range pool.Stats() {
+		if s.Tenant == "survivor" && s.PeakWorkers <= 1 {
+			t.Fatalf("survivor peak workers = %d, want > its original guarantee of 1", s.PeakWorkers)
+		}
+	}
+}

@@ -38,6 +38,7 @@ type FS struct {
 	observers []ReadObserver
 	bytesRead int64
 	readCalls int64
+	faults    *faultInjector
 }
 
 type fileEntry struct {
@@ -246,6 +247,7 @@ type Reader struct {
 
 	pendingBytes int64
 	pendingCalls int64
+	stalled      []bool // per-fault-rule mid-read stall latch
 }
 
 // Open returns a reader over the file's framed content.
@@ -267,6 +269,17 @@ func (r *Reader) Read(p []byte) (int, error) {
 	}
 	if r.off >= len(r.buf) {
 		return 0, io.EOF
+	}
+	if fi := r.fs.injector(); fi != nil {
+		// Faults fire before any byte is served: a failed read consumes no
+		// offset, so retries replay the exact same range.
+		delay, err := fi.inject(r.path, int64(r.off), &r.stalled)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if err != nil {
+			return 0, err
+		}
 	}
 	n := copy(p, r.buf[r.off:])
 	r.off += n
@@ -305,3 +318,20 @@ func (r *Reader) Close() error {
 
 // Path returns the file path backing the reader.
 func (r *Reader) Path() string { return r.path }
+
+// Offset returns the reader's current byte offset into the file.
+func (r *Reader) Offset() int64 { return int64(r.off) }
+
+// Rewind repositions the reader to an earlier offset so a framed-record
+// read that failed mid-record can be replayed exactly. Bytes served again
+// after a rewind are observed again, like a real re-fetch.
+func (r *Reader) Rewind(off int64) error {
+	if r.closed {
+		return fmt.Errorf("simfs: rewind %s: closed", r.path)
+	}
+	if off < 0 || off > int64(r.off) {
+		return fmt.Errorf("simfs: rewind %s: offset %d out of range [0, %d]", r.path, off, r.off)
+	}
+	r.off = int(off)
+	return nil
+}

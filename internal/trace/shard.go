@@ -29,7 +29,10 @@ type LocalStats struct {
 	Bytes     int64
 	CPUNanos  int64
 	WallNanos int64
-	_         [cacheLine - 5*8%cacheLine]byte // pad to a full cache line
+	Retries   int64
+	Errors    int64
+	GaveUp    int64
+	_         [(cacheLine - 8*8%cacheLine) % cacheLine]byte // pad to a full cache line
 }
 
 // AddProduced records one produced element of the given size.
@@ -47,12 +50,24 @@ func (l *LocalStats) AddCPU(d time.Duration) { l.CPUNanos += int64(d) }
 // AddWall records wallclock Next time (including blocking).
 func (l *LocalStats) AddWall(d time.Duration) { l.WallNanos += int64(d) }
 
+// AddRetry records one transient failure absorbed by the retry policy.
+func (l *LocalStats) AddRetry() { l.Retries++ }
+
+// AddError records one failure that surfaced to the node's consumer.
+// gaveUp marks errors that were transient but exhausted the retry budget.
+func (l *LocalStats) AddError(gaveUp bool) {
+	l.Errors++
+	if gaveUp {
+		l.GaveUp++
+	}
+}
+
 // Flush atomically publishes the accumulated deltas into ns and zeroes the
 // shard. Flushing into a nil handle discards the deltas, so untraced runs
 // can share the same code path at zero atomic cost.
 func (l *LocalStats) Flush(ns *NodeStats) {
 	if ns == nil {
-		l.Produced, l.Consumed, l.Bytes, l.CPUNanos, l.WallNanos = 0, 0, 0, 0, 0
+		*l = LocalStats{}
 		return
 	}
 	if l.Produced != 0 {
@@ -74,6 +89,18 @@ func (l *LocalStats) Flush(ns *NodeStats) {
 	if l.WallNanos != 0 {
 		atomic.AddInt64(&ns.WallNanos, l.WallNanos)
 		l.WallNanos = 0
+	}
+	if l.Retries != 0 {
+		atomic.AddInt64(&ns.Retries, l.Retries)
+		l.Retries = 0
+	}
+	if l.Errors != 0 {
+		atomic.AddInt64(&ns.Errors, l.Errors)
+		l.Errors = 0
+	}
+	if l.GaveUp != 0 {
+		atomic.AddInt64(&ns.GaveUp, l.GaveUp)
+		l.GaveUp = 0
 	}
 }
 

@@ -64,6 +64,15 @@ type NodeStats struct {
 	// WallNanos is wallclock time spent inside Next including blocking;
 	// kept for the wallclock-vs-CPU-timer ablation.
 	WallNanos int64 `json:"wall_nanos"`
+	// Retries counts transient failures this node absorbed by retrying
+	// (source reads and UDF invocations under an engine retry policy).
+	Retries int64 `json:"retries,omitempty"`
+	// Errors counts failures that surfaced past the retry policy — the
+	// errors the node's consumer actually saw.
+	Errors int64 `json:"errors,omitempty"`
+	// GaveUp counts transient failures abandoned because the retry policy's
+	// attempt budget or per-element deadline ran out (a subset of Errors).
+	GaveUp int64 `json:"gave_up,omitempty"`
 }
 
 // CPUSeconds returns accumulated active CPU time in seconds.
@@ -261,6 +270,9 @@ func (c *Collector) Snapshot(duration time.Duration, totalFiles int) *Snapshot {
 			BytesRead:        atomic.LoadInt64(&ns.BytesRead),
 			CPUNanos:         atomic.LoadInt64(&ns.CPUNanos),
 			WallNanos:        atomic.LoadInt64(&ns.WallNanos),
+			Retries:          atomic.LoadInt64(&ns.Retries),
+			Errors:           atomic.LoadInt64(&ns.Errors),
+			GaveUp:           atomic.LoadInt64(&ns.GaveUp),
 		}
 		snap.Nodes[name] = &cp
 	}
