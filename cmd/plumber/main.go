@@ -26,7 +26,10 @@
 // commands build the demo program — an all-sequential interleave → map →
 // batch chain over a synthetic catalog — whose shape is controlled by the
 // workload flags (-files, -records-per-file, -record-bytes, -batch,
-// -udf-cpu-us). A walkthrough:
+// -udf-cpu-us). -backend selects the storage connector serving the shards:
+// simfs (the default in-memory simulated filesystem), localfs (shards
+// materialized as real files in a temp dir, removed on exit), or
+// objectstore (the modeled high-latency object store). A walkthrough:
 //
 //	plumber trace -out snap.json            # run instrumented, dump counters + program
 //	plumber analyze -snap snap.json         # rates, capacities, cache legality
@@ -51,6 +54,7 @@ import (
 	"text/tabwriter"
 
 	"plumber"
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/ops"
 	"plumber/internal/pipeline"
@@ -68,6 +72,7 @@ const demoUDF = "cli_decode"
 // workload bundles the flags shared by trace and optimize.
 type workload struct {
 	graphPath      string
+	backend        string
 	files          int
 	recordsPerFile int
 	recordBytes    int64
@@ -81,6 +86,7 @@ type workload struct {
 
 func (w *workload) register(fs *flag.FlagSet) {
 	fs.StringVar(&w.graphPath, "graph", "", "serialized pipeline program to load (default: build the demo chain)")
+	fs.StringVar(&w.backend, "backend", "simfs", "storage connector serving the shards: simfs, localfs, or objectstore")
 	fs.IntVar(&w.files, "files", 4, "synthetic catalog: shard count")
 	fs.IntVar(&w.recordsPerFile, "records-per-file", 512, "synthetic catalog: records per shard")
 	fs.Int64Var(&w.recordBytes, "record-bytes", 1024, "synthetic catalog: mean record size")
@@ -104,27 +110,30 @@ func (w *workload) catalog() data.Catalog {
 }
 
 // setup registers the synthetic workload, loads (or builds) the graph, and
-// prepares the filesystem and UDF registry it needs.
-func (w *workload) setup() (*pipeline.Graph, plumber.Options, error) {
+// prepares the storage connector and UDF registry it needs. The returned
+// cleanup releases backend resources (the localfs temp dir) and is always
+// safe to call.
+func (w *workload) setup() (*pipeline.Graph, plumber.Options, func(), error) {
+	noop := func() {}
 	cat := w.catalog()
 	if err := data.RegisterCatalog(cat); err != nil {
-		return nil, plumber.Options{}, err
+		return nil, plumber.Options{}, noop, err
 	}
 	reg := udf.NewRegistry()
 	cost := udf.Cost{CPUPerElement: w.udfCPUMicros * 1e-6, SizeFactor: 1}
 	if err := reg.Register(udf.UDF{Name: demoUDF, Cost: cost}); err != nil {
-		return nil, plumber.Options{}, err
+		return nil, plumber.Options{}, noop, err
 	}
 
 	var g *pipeline.Graph
 	if w.graphPath != "" {
 		b, err := os.ReadFile(w.graphPath)
 		if err != nil {
-			return nil, plumber.Options{}, err
+			return nil, plumber.Options{}, noop, err
 		}
 		g, err = pipeline.Unmarshal(b)
 		if err != nil {
-			return nil, plumber.Options{}, err
+			return nil, plumber.Options{}, noop, err
 		}
 	} else {
 		var err error
@@ -134,7 +143,7 @@ func (w *workload) setup() (*pipeline.Graph, plumber.Options, error) {
 			Batch(w.batch).
 			Build()
 		if err != nil {
-			return nil, plumber.Options{}, err
+			return nil, plumber.Options{}, noop, err
 		}
 	}
 
@@ -145,31 +154,57 @@ func (w *workload) setup() (*pipeline.Graph, plumber.Options, error) {
 		}
 		if _, err := reg.Lookup(n.UDF); err != nil {
 			if err := reg.Register(udf.UDF{Name: n.UDF, Cost: cost}); err != nil {
-				return nil, plumber.Options{}, err
+				return nil, plumber.Options{}, noop, err
 			}
 		}
 	}
 
 	chain, err := g.Chain()
 	if err != nil {
-		return nil, plumber.Options{}, err
+		return nil, plumber.Options{}, noop, err
 	}
 	srcCat, err := data.CatalogByName(chain[0].Catalog)
 	if err != nil {
-		return nil, plumber.Options{}, err
+		return nil, plumber.Options{}, noop, err
 	}
-	fs := simfs.New(simfs.Device{Name: "cli-mem"}, false)
-	fs.AddCatalog(srcCat, w.seed)
+
+	var src plumber.Connector
+	cleanup := noop
+	switch w.backend {
+	case "", "simfs":
+		fs := simfs.New(simfs.Device{Name: "cli-mem"}, false)
+		fs.AddCatalog(srcCat, w.seed)
+		src = connector.FromSimFS(fs)
+	case "localfs":
+		dir, err := os.MkdirTemp("", "plumber-cli-localfs-")
+		if err != nil {
+			return nil, plumber.Options{}, noop, err
+		}
+		lfs := connector.NewLocalFS(dir)
+		if err := lfs.MaterializeCatalog(srcCat, w.seed); err != nil {
+			os.RemoveAll(dir)
+			return nil, plumber.Options{}, noop, err
+		}
+		src = lfs
+		cleanup = func() { os.RemoveAll(dir) }
+	case "objectstore":
+		src = connector.NewMemObjectStore(srcCat, w.seed, connector.ObjectStoreConfig{
+			Name: "cli-objectstore",
+			Seed: w.seed,
+		})
+	default:
+		return nil, plumber.Options{}, noop, fmt.Errorf("unknown -backend %q (want simfs, localfs, or objectstore)", w.backend)
+	}
 
 	opts := plumber.Options{
-		FS:             fs,
+		Source:         src,
 		UDFs:           reg,
 		Seed:           w.seed,
 		WorkScale:      w.workScale,
 		Spin:           w.spin,
 		MaxMinibatches: w.minibatches,
 	}
-	return g, opts, nil
+	return g, opts, cleanup, nil
 }
 
 func main() {
@@ -221,10 +256,11 @@ func runTrace(args []string) error {
 	out := fs.String("out", "snapshot.json", "output path for the snapshot JSON")
 	fs.Parse(args)
 
-	g, opts, err := w.setup()
+	g, opts, cleanup, err := w.setup()
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	snap, err := plumber.Trace(g, opts)
 	if err != nil {
 		return err
@@ -351,10 +387,11 @@ func runPlan(args []string) error {
 	cores, memoryMB, bwMBps := budgetFlags(fs)
 	fs.Parse(args)
 
-	g, opts, err := w.setup()
+	g, opts, cleanup, err := w.setup()
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	budget := plumber.Budget{
 		Cores:         *cores,
 		MemoryBytes:   *memoryMB << 20,
@@ -430,10 +467,11 @@ func runOptimize(args []string) error {
 	cores, memoryMB, bwMBps := budgetFlags(fs)
 	fs.Parse(args)
 
-	g, opts, err := w.setup()
+	g, opts, cleanup, err := w.setup()
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	opts.Mode = plumber.Mode(*mode)
 	budget := plumber.Budget{
 		Cores:         *cores,

@@ -7,6 +7,7 @@
 //	plumberbench -planner [-quick] [-json BENCH_planner.json]     # planner vs greedy
 //	plumberbench -scenarios [-quick] [-json BENCH_scenarios.json] # scenario matrix + arbiter
 //	plumberbench -chaos [-quick] [-json BENCH_chaos.json]         # fault injection + isolation
+//	plumberbench -connectors [-quick] [-json BENCH_connectors.json] # storage backends head-to-head
 //
 // -json sets the output path; each suite has a default filename (-out is a
 // deprecated alias). The default suite runs the engine hot-path
@@ -56,6 +57,18 @@
 //     transient_retries > 0 proving faults were actually injected)
 //   - failed_tenant_reported_failed: == 1 is the target
 //   - survivors_fraction_of_without_failed_run: >= 0.9 is the target
+//
+// With -connectors it measures the same probe workload through every
+// storage connector (simfs adapter, real local files, modeled object
+// store), proves the retry policy absorbs transient faults on each, runs
+// the mixed-backend two-tenant arbitration, and writes
+// BENCH_connectors.json:
+//
+//   - backends_measured: == 3 is the target
+//   - transient_errors_reaching_caller: == 0 is the target (with
+//     transient_retries > 0 on the injected legs)
+//   - localfs_fraction_of_simfs / objectstore_fraction_of_simfs:
+//     sanity-track how the real and modeled backends compare
 package main
 
 import (
@@ -73,6 +86,7 @@ func main() {
 	planner := flag.Bool("planner", false, "run the planner-vs-greedy comparison instead of the engine suite")
 	scenarios := flag.Bool("scenarios", false, "run the scenario matrix + multi-tenant arbitration instead of the engine suite")
 	chaos := flag.Bool("chaos", false, "run the fault-injection / graceful-degradation suite instead of the engine suite")
+	connectors := flag.Bool("connectors", false, "run the storage-connector comparison instead of the engine suite")
 	jsonOut := flag.String("json", "", "output path (default BENCH_<suite>.json)")
 	out := flag.String("out", "", "deprecated alias for -json")
 	flag.Parse()
@@ -82,14 +96,14 @@ func main() {
 		path = *out
 	}
 	picked := 0
-	for _, b := range []bool{*tuner, *planner, *scenarios, *chaos} {
+	for _, b := range []bool{*tuner, *planner, *scenarios, *chaos, *connectors} {
 		if b {
 			picked++
 		}
 	}
 	switch {
 	case picked > 1:
-		fatal(fmt.Errorf("-tuner, -planner, -scenarios, and -chaos are mutually exclusive"))
+		fatal(fmt.Errorf("-tuner, -planner, -scenarios, -chaos, and -connectors are mutually exclusive"))
 	case *tuner:
 		runTuner(*quick, path)
 	case *planner:
@@ -98,6 +112,8 @@ func main() {
 		runScenarios(*quick, path)
 	case *chaos:
 		runChaos(*quick, path)
+	case *connectors:
+		runConnectors(*quick, path)
 	default:
 		runEngine(*quick, path)
 	}
@@ -130,6 +146,34 @@ func runChaos(quick bool, out string) {
 			fmt.Printf("  reclaim: %s (%s) at %.2fs freed %d cores -> %v\n",
 				ev.Tenant, ev.Reason, ev.AtSeconds, ev.FreedCores, ev.Regrants)
 		}
+	}
+	for k, v := range rep.Comparisons {
+		fmt.Printf("%s = %.3f\n", k, v)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+func runConnectors(quick bool, out string) {
+	if out == "" {
+		out = "BENCH_connectors.json"
+	}
+	rep, err := bench.RunConnectors(quick)
+	if err != nil {
+		fatal(err)
+	}
+	writeJSON(out, rep)
+	fmt.Printf("%-12s %16s %16s %8s %7s %8s\n", "backend", "clean ex/s", "faulted ex/s", "retries", "errors", "injected")
+	for _, b := range rep.Backends {
+		fmt.Printf("%-12s %16.0f %16.0f %8d %7d %8d\n",
+			b.Backend, b.MeasuredExamplesPerSec, b.FaultMeasuredExamplesPerSec,
+			b.Retries, b.Errors, b.Faults.Errors)
+	}
+	fmt.Printf("mixed-backend run (%.1fs wall): aggregate %.1f minibatches/s\n",
+		rep.Mixed.WallSeconds, rep.Mixed.Aggregate)
+	for _, t := range rep.Mixed.Tenants {
+		fmt.Printf("  %-14s %-12s %-8s %d cores  disk %6.1f MB/s  %6d mb  %8.1f mb/s\n",
+			t.Tenant, t.Backend, t.Status, t.ShareCores, t.ShareDiskBandwidth/1e6,
+			t.Minibatches, t.MeasuredMinibatchesPerSec)
 	}
 	for k, v := range rep.Comparisons {
 		fmt.Printf("%s = %.3f\n", k, v)

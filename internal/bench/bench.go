@@ -16,10 +16,10 @@ import (
 	"runtime"
 	"time"
 
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/engine"
 	"plumber/internal/pipeline"
-	"plumber/internal/simfs"
 	"plumber/internal/trace"
 	"plumber/internal/udf"
 )
@@ -172,7 +172,7 @@ func Run(spec Spec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	fs := simfs.New(simfs.Device{Name: "bench-mem", TotalBandwidth: 0}, false)
+	fs := connector.NewMem("bench-mem")
 	fs.AddCatalog(cat, 42)
 
 	batchesPerEpoch := cat.TotalExamples() / int64(s.BatchSize)

@@ -107,7 +107,7 @@ func chaosCase(name, desc string, quick bool, mix []string, faults map[string]*p
 		if err != nil {
 			return nil, fmt.Errorf("bench chaos %s tenant %s: %w", name, n, err)
 		}
-		if _, err := measureThroughput(w.Graph, w.FS, w.Registry, 1, 1); err != nil {
+		if _, err := measureThroughput(w.Graph, w.Source, w.Registry, 1, 1); err != nil {
 			return nil, fmt.Errorf("bench chaos %s tenant %s warmup: %w", name, n, err)
 		}
 		workloads[n] = w
@@ -115,7 +115,7 @@ func chaosCase(name, desc string, quick bool, mix []string, faults map[string]*p
 			Name:          n,
 			Weight:        1,
 			Graph:         w.Graph,
-			FS:            w.FS,
+			Source:        w.Source,
 			UDFs:          w.Registry,
 			Seed:          w.Spec.Seed,
 			WorkScale:     1,
@@ -134,7 +134,7 @@ func chaosCase(name, desc string, quick bool, mix []string, faults map[string]*p
 		if !ok {
 			return nil, fmt.Errorf("bench chaos %s: fault plan for unknown tenant %q", name, n)
 		}
-		w.FS.SetFaults(plan)
+		w.Source.SetFaults(plan)
 	}
 
 	run, err := arb.RunConcurrent(dec, plumber.RunOptions{
@@ -166,7 +166,7 @@ func chaosCase(name, desc string, quick bool, mix []string, faults map[string]*p
 			GaveUp:                    ms.GaveUp,
 		}
 		if w, ok := workloads[ms.Tenant]; ok {
-			ct.Faults = w.FS.FaultStats()
+			ct.Faults = w.Source.FaultStats()
 		}
 		out.Tenants = append(out.Tenants, ct)
 	}

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"plumber"
+	"plumber/internal/engine"
+	"plumber/internal/scenario"
+	"plumber/internal/simfs"
+)
+
+// BackendRun is one storage backend measured on the shared probe workload:
+// a clean throughput leg, then a transient-fault leg with the retry policy
+// on, run against a fresh build of the same scenario.
+type BackendRun struct {
+	// Backend names the connector (simfs, localfs, objectstore); Scenario
+	// is the probe spec every backend serves.
+	Backend  string `json:"backend"`
+	Scenario string `json:"scenario"`
+	// MeasuredExamplesPerSec is the clean-leg drain rate (best of reps).
+	MeasuredExamplesPerSec float64 `json:"measured_examples_per_sec"`
+	// FaultMeasuredExamplesPerSec is the drain rate with a 2% transient
+	// read error rate injected and the chaos retry policy absorbing it.
+	FaultMeasuredExamplesPerSec float64 `json:"fault_measured_examples_per_sec"`
+	// Retries/Errors/GaveUp are the fault leg's engine counters: transient
+	// failures absorbed, failures surfaced to the caller, and
+	// surfaced-though-transient respectively.
+	Retries int64 `json:"retries"`
+	Errors  int64 `json:"errors"`
+	GaveUp  int64 `json:"gave_up"`
+	// Faults is the connector-side injection accounting for the fault leg.
+	Faults plumber.FaultStats `json:"faults"`
+}
+
+// MixedTenant is one tenant's outcome in the mixed-backend arbitrated run.
+type MixedTenant struct {
+	Tenant  string               `json:"tenant"`
+	Backend string               `json:"backend"`
+	Status  plumber.TenantStatus `json:"status"`
+	// ShareCores and ShareDiskBandwidth are the arbitrated grants; the disk
+	// share is capped by the tenant's connector bandwidth hint, with the
+	// freed bandwidth water-filled to the other tenant.
+	ShareCores                int     `json:"share_cores"`
+	ShareDiskBandwidth        float64 `json:"share_disk_bandwidth"`
+	Minibatches               int64   `json:"minibatches"`
+	MeasuredMinibatchesPerSec float64 `json:"measured_minibatches_per_sec"`
+}
+
+// MixedRun is the two-tenant heterogeneous-storage condition: a local-FS
+// tenant and a cold object-store tenant arbitrated on one engine pool.
+type MixedRun struct {
+	Budget      plumber.Budget `json:"budget"`
+	Tenants     []MixedTenant  `json:"tenants"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Aggregate   float64        `json:"aggregate_minibatches_per_sec"`
+}
+
+// ConnectorsReport is the checked-in BENCH_connectors.json document: the
+// same probe workload measured through every storage connector, retry
+// semantics proven per backend, and the mixed-backend arbitrated run.
+type ConnectorsReport struct {
+	// Schema identifies the document format for future tooling.
+	Schema    string `json:"schema"`
+	HostCores int    `json:"host_cores"`
+	GoVersion string `json:"go_version"`
+
+	// Backends holds one entry per connector, simfs first.
+	Backends []BackendRun `json:"backends"`
+	// Mixed is the two-tenant local-FS + object-store arbitrated run.
+	Mixed MixedRun `json:"mixed"`
+
+	// Comparisons holds the acceptance numbers:
+	//   backends_measured == 3 (every connector drained the probe),
+	//   transient_errors_reaching_caller == 0 and transient_retries > 0
+	//   (the retry policy absorbed a 2% injected error rate on every
+	//   backend), and localfs/objectstore clean-leg rates as fractions of
+	//   the simfs baseline.
+	Comparisons map[string]float64 `json:"comparisons"`
+}
+
+// connectorProbeSpec is the shared workload every backend serves: the
+// vision shape, shrunk so the localfs leg materializes only a few MB of
+// real files.
+func connectorProbeSpec(quick bool) scenario.Spec {
+	scale := 1
+	if quick {
+		scale = 4
+	}
+	return scenario.Spec{
+		Name:                "connector-probe",
+		Files:               6,
+		RecordsPerFile:      256 / scale,
+		MeanRecordBytes:     8 << 10,
+		DecodeAmplification: 4,
+		DecodeCPUPerByte:    5e-9,
+		BatchSize:           16,
+		Device:              simfs.Device{Name: "connector-probe-dev"},
+	}
+}
+
+// connectorFaults is the per-backend transient plan: a 2% read error rate,
+// the same rate the chaos suite's acceptance gate absorbs.
+func connectorFaults() *plumber.FaultPlan {
+	return &plumber.FaultPlan{Seed: 29, Rules: []plumber.FaultRule{
+		{Name: "flaky-reads", ErrorRate: 0.02},
+	}}
+}
+
+// measureBackend builds the probe on one backend and runs both legs. The
+// fault leg gets a fresh build so the clean leg's numbers never see the
+// injector, and installs the plan only after a warmup drain materialized
+// every shard.
+func measureBackend(backend string, quick bool, epochs, reps int) (BackendRun, error) {
+	spec := connectorProbeSpec(quick)
+	spec.Backend = backend
+	run := BackendRun{Backend: backend, Scenario: spec.Name}
+
+	clean, err := scenario.Build(spec)
+	if err != nil {
+		return run, fmt.Errorf("bench connectors %s: %w", backend, err)
+	}
+	if clean.Cleanup != nil {
+		defer clean.Cleanup()
+	}
+	if _, err := measureThroughput(clean.Graph, clean.Source, clean.Registry, 1, 1); err != nil {
+		return run, fmt.Errorf("bench connectors %s warmup: %w", backend, err)
+	}
+	if run.MeasuredExamplesPerSec, err = measureThroughput(clean.Graph, clean.Source, clean.Registry, epochs, reps); err != nil {
+		return run, fmt.Errorf("bench connectors %s clean leg: %w", backend, err)
+	}
+
+	faulty, err := scenario.Build(spec)
+	if err != nil {
+		return run, fmt.Errorf("bench connectors %s fault build: %w", backend, err)
+	}
+	if faulty.Cleanup != nil {
+		defer faulty.Cleanup()
+	}
+	if _, err := measureThroughput(faulty.Graph, faulty.Source, faulty.Registry, 1, 1); err != nil {
+		return run, fmt.Errorf("bench connectors %s fault warmup: %w", backend, err)
+	}
+	faulty.Source.SetFaults(connectorFaults())
+	p, err := engine.New(faulty.Graph, engine.Options{
+		FS: faulty.Source, UDFs: faulty.Registry, Seed: 42, WorkScale: 1, Spin: true,
+		Retry: chaosRetry(),
+	})
+	if err != nil {
+		return run, err
+	}
+	start := time.Now()
+	_, examples, err := p.Drain(0)
+	elapsed := time.Since(start)
+	es := p.ErrorStats()
+	p.Close()
+	if err != nil {
+		return run, fmt.Errorf("bench connectors %s fault leg: %w", backend, err)
+	}
+	if elapsed > 0 {
+		run.FaultMeasuredExamplesPerSec = float64(examples) / elapsed.Seconds()
+	}
+	run.Retries, run.Errors, run.GaveUp = es.Retries, es.Errors, es.GaveUp
+	run.Faults = faulty.Source.FaultStats()
+	return run, nil
+}
+
+// runMixed arbitrates the local-FS and object-store tenants on one pool and
+// runs them concurrently: the heterogeneous-storage case where the disk
+// split must follow the connectors' bandwidth hints, not the weights.
+func runMixed(quick bool) (MixedRun, error) {
+	global := plumber.Budget{Cores: 8, MemoryBytes: 64 << 20, DiskBandwidth: 200e6}
+	maxMB := int64(200)
+	if quick {
+		maxMB = 60
+	}
+	out := MixedRun{Budget: global}
+
+	var tenants []plumber.Tenant
+	backends := map[string]string{}
+	for _, s := range scenario.MixedBackendMix(quick) {
+		w, err := scenario.Build(s)
+		if err != nil {
+			return out, fmt.Errorf("bench connectors mixed %s: %w", s.Name, err)
+		}
+		if w.Cleanup != nil {
+			defer w.Cleanup()
+		}
+		if _, err := measureThroughput(w.Graph, w.Source, w.Registry, 1, 1); err != nil {
+			return out, fmt.Errorf("bench connectors mixed %s warmup: %w", s.Name, err)
+		}
+		backends[s.Name] = w.Spec.Backend
+		tenants = append(tenants, plumber.Tenant{
+			Name:          s.Name,
+			Weight:        1,
+			Graph:         w.Graph,
+			Source:        w.Source,
+			UDFs:          w.Registry,
+			Seed:          w.Spec.Seed,
+			WorkScale:     1,
+			DiskBandwidth: w.DiskBandwidth,
+		})
+	}
+
+	arb, dec, err := plumber.ArbitrateAll(tenants, global)
+	if err != nil {
+		return out, fmt.Errorf("bench connectors mixed arbitration: %w", err)
+	}
+	run, err := arb.RunConcurrent(dec, plumber.RunOptions{
+		Spin:           true,
+		MaxMinibatches: maxMB,
+		Retry:          chaosRetry(),
+	})
+	if err != nil {
+		return out, fmt.Errorf("bench connectors mixed run: %w", err)
+	}
+	out.WallSeconds = run.WallSeconds
+	out.Aggregate = run.MeasuredAggregateMinibatchesPerSec
+	shares := map[string]plumber.Share{}
+	for _, sh := range dec.Shares {
+		shares[sh.Tenant] = sh
+	}
+	for _, ms := range run.Tenants {
+		out.Tenants = append(out.Tenants, MixedTenant{
+			Tenant:                    ms.Tenant,
+			Backend:                   backends[ms.Tenant],
+			Status:                    ms.Status,
+			ShareCores:                ms.ShareCores,
+			ShareDiskBandwidth:        shares[ms.Tenant].Budget.DiskBandwidth,
+			Minibatches:               ms.Minibatches,
+			MeasuredMinibatchesPerSec: ms.MeasuredMinibatchesPerSec,
+		})
+	}
+	return out, nil
+}
+
+// RunConnectors measures the same probe workload through every storage
+// connector and returns the BENCH_connectors.json document.
+func RunConnectors(quick bool) (*ConnectorsReport, error) {
+	rep := &ConnectorsReport{
+		Schema:      "plumber/bench-connectors/v1",
+		HostCores:   runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		Comparisons: map[string]float64{},
+	}
+	epochs, reps := 3, 3
+	if quick {
+		epochs, reps = 2, 1
+	}
+
+	var retries, callerErrors float64
+	for _, backend := range []string{"simfs", "localfs", "objectstore"} {
+		run, err := measureBackend(backend, quick, epochs, reps)
+		if err != nil {
+			return nil, err
+		}
+		rep.Backends = append(rep.Backends, run)
+		retries += float64(run.Retries)
+		callerErrors += float64(run.Errors)
+	}
+	rep.Comparisons["backends_measured"] = float64(len(rep.Backends))
+	rep.Comparisons["transient_retries"] = retries
+	rep.Comparisons["transient_errors_reaching_caller"] = callerErrors
+	base := rep.Backends[0].MeasuredExamplesPerSec
+	if base > 0 {
+		rep.Comparisons["localfs_fraction_of_simfs"] = rep.Backends[1].MeasuredExamplesPerSec / base
+		rep.Comparisons["objectstore_fraction_of_simfs"] = rep.Backends[2].MeasuredExamplesPerSec / base
+	}
+
+	mixed, err := runMixed(quick)
+	if err != nil {
+		return nil, err
+	}
+	rep.Mixed = mixed
+	return rep, nil
+}

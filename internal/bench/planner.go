@@ -6,10 +6,10 @@ import (
 	"time"
 
 	"plumber"
+	"plumber/internal/connector"
 	"plumber/internal/pipeline"
 	"plumber/internal/plan"
 	"plumber/internal/rewrite"
-	"plumber/internal/simfs"
 	"plumber/internal/udf"
 )
 
@@ -73,10 +73,10 @@ type PlannerReport struct {
 
 // runMode times one Optimize call in the given mode and measures the tuned
 // program independently. The solved plan (plan-first mode) rides along.
-func runMode(mode plumber.Mode, g *pipeline.Graph, budget plumber.Budget, fs *simfs.FS, reg *udf.Registry, epochs, reps int) (ModeRun, *plan.Plan, error) {
+func runMode(mode plumber.Mode, g *pipeline.Graph, budget plumber.Budget, src connector.Connector, reg *udf.Registry, epochs, reps int) (ModeRun, *plan.Plan, error) {
 	start := time.Now()
 	res, err := plumber.Optimize(g, budget, plumber.Options{
-		FS: fs, UDFs: reg, Seed: 42, WorkScale: 1, Spin: true, Mode: mode,
+		Source: src, UDFs: reg, Seed: 42, WorkScale: 1, Spin: true, Mode: mode,
 	})
 	if err != nil {
 		return ModeRun{}, nil, fmt.Errorf("bench planner %s: %w", mode, err)
@@ -94,7 +94,7 @@ func runMode(mode plumber.Mode, g *pipeline.Graph, budget plumber.Budget, fs *si
 		Trail:                           res.Trail,
 		Final:                           res.Final,
 	}
-	if mr.MeasuredExamplesPerSec, err = measureThroughput(res.Final, fs, reg, epochs, reps); err != nil {
+	if mr.MeasuredExamplesPerSec, err = measureThroughput(res.Final, src, reg, epochs, reps); err != nil {
 		return ModeRun{}, nil, err
 	}
 	return mr, res.Plan, nil
@@ -114,7 +114,7 @@ func RunPlanner(quick bool) (*PlannerReport, error) {
 	if err := registerTunerWorkload(reg); err != nil {
 		return nil, err
 	}
-	fs := simfs.New(simfs.Device{Name: "bench-planner-mem", TotalBandwidth: 0}, false)
+	fs := connector.NewMem("bench-planner-mem")
 	fs.AddCatalog(cat, 42)
 
 	budget := plumber.Budget{Cores: 4, MemoryBytes: 256 << 20}

@@ -131,14 +131,14 @@ func RunScenarios(quick bool) (*ScenarioReport, error) {
 		budget := scenarioBudget(w)
 		// Warmup materializes every shard so neither tuner's traces pay for
 		// content generation.
-		if _, err := measureThroughput(w.Graph, w.FS, w.Registry, 1, 1); err != nil {
+		if _, err := measureThroughput(w.Graph, w.Source, w.Registry, 1, 1); err != nil {
 			return nil, fmt.Errorf("bench scenario %s warmup: %w", spec.Name, err)
 		}
-		greedy, _, err := runMode(plumber.ModeGreedy, w.Graph, budget, w.FS, w.Registry, epochs, reps)
+		greedy, _, err := runMode(plumber.ModeGreedy, w.Graph, budget, w.Source, w.Registry, epochs, reps)
 		if err != nil {
 			return nil, fmt.Errorf("bench scenario %s: %w", spec.Name, err)
 		}
-		planner, _, err := runMode(plumber.ModePlanFirst, w.Graph, budget, w.FS, w.Registry, epochs, reps)
+		planner, _, err := runMode(plumber.ModePlanFirst, w.Graph, budget, w.Source, w.Registry, epochs, reps)
 		if err != nil {
 			return nil, fmt.Errorf("bench scenario %s: %w", spec.Name, err)
 		}
@@ -189,7 +189,7 @@ func runMultiTenant(quick bool, epochs, reps int) (*MultiTenantRun, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench multi-tenant %s: %w", name, err)
 		}
-		if _, err := measureThroughput(w.Graph, w.FS, w.Registry, 1, 1); err != nil {
+		if _, err := measureThroughput(w.Graph, w.Source, w.Registry, 1, 1); err != nil {
 			return nil, fmt.Errorf("bench multi-tenant %s warmup: %w", name, err)
 		}
 		workloads[name] = w
@@ -197,7 +197,7 @@ func runMultiTenant(quick bool, epochs, reps int) (*MultiTenantRun, error) {
 			Name:          name,
 			Weight:        1,
 			Graph:         w.Graph,
-			FS:            w.FS,
+			Source:        w.Source,
 			UDFs:          w.Registry,
 			Seed:          w.Spec.Seed,
 			WorkScale:     1,
@@ -236,20 +236,20 @@ func runMultiTenant(quick bool, epochs, reps int) (*MultiTenantRun, error) {
 			ShareCores:                 share.Budget.Cores,
 			PredictedMinibatchesPerSec: share.PredictedMinibatchesPerSec,
 		}
-		if tr.MeasuredExamplesPerSec, err = measureThroughput(share.Program, w.FS, w.Registry, epochs, reps); err != nil {
+		if tr.MeasuredExamplesPerSec, err = measureThroughput(share.Program, w.Source, w.Registry, epochs, reps); err != nil {
 			return nil, fmt.Errorf("bench multi-tenant %s measure: %w", share.Tenant, err)
 		}
 		// Even-split baseline: the same tenant tuned plan-first under a
 		// static 1/N slice of every resource.
 		res, err := plumber.Optimize(w.Graph, even, plumber.Options{
-			FS: w.FS, UDFs: w.Registry, Seed: w.Spec.Seed, WorkScale: 1,
+			Source: w.Source, UDFs: w.Registry, Seed: w.Spec.Seed, WorkScale: 1,
 			RefineTolerance: -1, // one plan, one verify: keep the baseline cheap
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench multi-tenant %s even-split: %w", share.Tenant, err)
 		}
 		tr.EvenSplitPredictedMinibatchesPerSec = res.PredictedMinibatchesPerSec
-		if tr.EvenSplitMeasuredExamplesPerSec, err = measureThroughput(res.Final, w.FS, w.Registry, epochs, reps); err != nil {
+		if tr.EvenSplitMeasuredExamplesPerSec, err = measureThroughput(res.Final, w.Source, w.Registry, epochs, reps); err != nil {
 			return nil, fmt.Errorf("bench multi-tenant %s even-split measure: %w", share.Tenant, err)
 		}
 		mt.MeasuredAggregate += tr.MeasuredExamplesPerSec

@@ -6,11 +6,11 @@ import (
 	"time"
 
 	"plumber"
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/engine"
 	"plumber/internal/pipeline"
 	"plumber/internal/rewrite"
-	"plumber/internal/simfs"
 	"plumber/internal/udf"
 )
 
@@ -131,7 +131,7 @@ func handTunedGraph(catalog string, cores int) (*pipeline.Graph, error) {
 // returns examples/second, best of reps runs. The graph is wrapped with a
 // Repeat through the transactional primitives, so a Cache inserted by the
 // tuner serves epochs after the first from memory exactly as in training.
-func measureThroughput(g *pipeline.Graph, fs *simfs.FS, reg *udf.Registry, epochs, reps int) (float64, error) {
+func measureThroughput(g *pipeline.Graph, src connector.Connector, reg *udf.Registry, epochs, reps int) (float64, error) {
 	wrapped, err := g.InsertAbove(g.Output, pipeline.Node{
 		Name: "bench_epochs", Kind: pipeline.KindRepeat, Count: int64(epochs),
 	})
@@ -141,7 +141,7 @@ func measureThroughput(g *pipeline.Graph, fs *simfs.FS, reg *udf.Registry, epoch
 	best := 0.0
 	for rep := 0; rep < reps; rep++ {
 		p, err := engine.New(wrapped, engine.Options{
-			FS: fs, UDFs: reg, Seed: 42, WorkScale: 1, Spin: true,
+			FS: src, UDFs: reg, Seed: 42, WorkScale: 1, Spin: true,
 		})
 		if err != nil {
 			return 0, err
@@ -180,7 +180,7 @@ func RunTuner(quick bool) (*TunerReport, error) {
 	if err := registerTunerWorkload(reg); err != nil {
 		return nil, err
 	}
-	fs := simfs.New(simfs.Device{Name: "bench-tuner-mem", TotalBandwidth: 0}, false)
+	fs := connector.NewMem("bench-tuner-mem")
 	fs.AddCatalog(cat, 42)
 
 	budget := plumber.Budget{Cores: 4, MemoryBytes: 256 << 20}
@@ -200,7 +200,7 @@ func RunTuner(quick bool) (*TunerReport, error) {
 	}
 
 	res, err := plumber.Optimize(seq, budget, plumber.Options{
-		FS: fs, UDFs: reg, Seed: 42, WorkScale: 1, Spin: true,
+		Source: fs, UDFs: reg, Seed: 42, WorkScale: 1, Spin: true,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,97 @@
+// Package connector defines the narrow storage interface the engine reads
+// training data through, with three backends behind it: an adapter over the
+// in-memory simulated filesystem (internal/simfs), a real local-FS backend
+// that materializes catalogs to actual files, and a modeled object-store
+// backend with request latency, parallel range reads, log-normal tails, and
+// a cold-start ramp.
+//
+// The interface is deliberately small — Open/Stat/List plus the three
+// contracts the rest of the system depends on:
+//
+//   - Rewind: a reader repositions to a recorded offset so a framed-record
+//     read that failed mid-record replays the exact same byte range under
+//     the engine's retry policy.
+//   - Observation: every served byte eventually reaches the registered
+//     ReadObservers (the tracer), with the remainder flushed on Close even
+//     when a reader is abandoned mid-file.
+//   - Faults: SetFaults installs a seeded simfs.FaultPlan on the backend's
+//     read path, so chaos experiments and failure isolation behave the same
+//     regardless of where the bytes live.
+//
+// BandwidthHint lets the host arbiter water-fill the global disk budget
+// across tenants on heterogeneous backends instead of splitting blindly by
+// weight.
+package connector
+
+import (
+	"io"
+
+	"plumber/internal/simfs"
+)
+
+// Aliases re-export the simfs observation and fault vocabulary so connector
+// consumers (and implementations outside simfs) need no direct simfs import.
+// These are aliases, not new types: a *simfs.FS's own methods satisfy the
+// Connector interface directly.
+type (
+	// ReadObserver receives a callback for observed reads (the tracer).
+	ReadObserver = simfs.ReadObserver
+	// ObserverFunc adapts a function to ReadObserver.
+	ObserverFunc = simfs.ObserverFunc
+	// FaultPlan is a seeded set of fault rules (see simfs.FaultPlan).
+	FaultPlan = simfs.FaultPlan
+	// FaultRule injects one fault class on matching paths.
+	FaultRule = simfs.FaultRule
+	// FaultError is the typed error injected by a plan; Transient() tells
+	// the engine's retrier whether a retry may succeed.
+	FaultError = simfs.FaultError
+	// FaultStats counts what an installed plan actually injected.
+	FaultStats = simfs.FaultStats
+)
+
+// Reader streams one file's bytes. Offset/Rewind support the engine's
+// retry-replay contract: a failed framed-record read rewinds to the offset
+// recorded before the attempt and replays the same range. Close flushes any
+// unpublished read observation, including on abandoned readers.
+type Reader interface {
+	io.Reader
+	io.Closer
+	// Path returns the catalog path backing the reader.
+	Path() string
+	// Offset returns the current byte offset into the file.
+	Offset() int64
+	// Rewind repositions to an earlier offset (0 <= off <= Offset()).
+	Rewind(off int64) error
+}
+
+// Connector is a storage backend serving one catalog's shards.
+type Connector interface {
+	// Backend names the implementation: "simfs", "localfs", "objectstore".
+	Backend() string
+	// Open returns a reader over the file's framed content.
+	Open(path string) (Reader, error)
+	// Stat returns the framed size of a file.
+	Stat(path string) (int64, error)
+	// List returns all registered paths in sorted order.
+	List() []string
+
+	// AddObserver registers a read observer; RemoveObserver detaches it
+	// (identity-matched; uncomparable observer types are left in place).
+	AddObserver(o ReadObserver)
+	RemoveObserver(o ReadObserver)
+
+	// BandwidthHint is the backend's sustainable aggregate read bandwidth
+	// in bytes/s, or 0 when unknown/unbounded. The host arbiter uses it to
+	// water-fill the global disk budget across heterogeneous backends.
+	BandwidthHint() float64
+
+	// SetFaults installs a fault plan on the read path (nil clears);
+	// FaultStats reports what the installed plan has injected so far.
+	SetFaults(plan *FaultPlan)
+	FaultStats() FaultStats
+}
+
+// observeFlushBytes is how many served bytes a reader accumulates before
+// publishing them to observers; mirrors simfs so per-record hot paths stay
+// off the observer mutex. The remainder flushes at EOF and on Close.
+const observeFlushBytes = 128 << 10

@@ -1,0 +1,288 @@
+package connector
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"plumber/internal/data"
+	"plumber/internal/simfs"
+)
+
+// LocalFS serves catalog shards from real files on local disk. Catalogs are
+// materialized once into a root directory using the same deterministic
+// generator the simulated filesystem uses (simfs.FileContent), so content is
+// bit-for-bit identical across backends; reads then go through the OS page
+// cache and real file I/O. The simfs fault machinery is reused on the read
+// path, so chaos plans behave identically here.
+type LocalFS struct {
+	root string
+
+	mu        sync.Mutex
+	files     map[string]localFile // catalog path -> on-disk location
+	observers []ReadObserver
+	bytesRead int64
+	readCalls int64
+	faults    *simfs.Injector
+	hint      float64
+}
+
+type localFile struct {
+	realPath string
+	size     int64
+}
+
+// NewLocalFS returns an empty local-FS connector rooted at dir (which must
+// exist; use os.MkdirTemp and clean up after the run).
+func NewLocalFS(dir string) *LocalFS {
+	return &LocalFS{root: dir, files: make(map[string]localFile)}
+}
+
+// Root returns the backing directory.
+func (l *LocalFS) Root() string { return l.root }
+
+// MaterializeCatalog writes every shard of the catalog to disk under the
+// root and registers it. Catalog paths like /data/name/shard.tfrecord map to
+// <root>/data/name/shard.tfrecord.
+func (l *LocalFS) MaterializeCatalog(c data.Catalog, seed uint64) error {
+	for _, spec := range c.GenerateFileSpecs(seed) {
+		if err := l.Add(spec.Name, simfs.FileContent(spec, seed)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add writes content to disk under the root and registers it at path. It is
+// also the hook for tests that need deliberately truncated or corrupted
+// files on a real filesystem.
+func (l *LocalFS) Add(path string, content []byte) error {
+	real := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, "/")))
+	if err := os.MkdirAll(filepath.Dir(real), 0o755); err != nil {
+		return fmt.Errorf("localfs: add %s: %w", path, err)
+	}
+	if err := os.WriteFile(real, content, 0o644); err != nil {
+		return fmt.Errorf("localfs: add %s: %w", path, err)
+	}
+	l.mu.Lock()
+	l.files[path] = localFile{realPath: real, size: int64(len(content))}
+	l.mu.Unlock()
+	return nil
+}
+
+// Backend implements Connector.
+func (l *LocalFS) Backend() string { return "localfs" }
+
+// Stat implements Connector, reporting the registered (written) size.
+func (l *LocalFS) Stat(path string) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, ok := l.files[path]
+	if !ok {
+		return 0, fmt.Errorf("localfs: stat %s: no such file", path)
+	}
+	return f.size, nil
+}
+
+// List implements Connector.
+func (l *LocalFS) List() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.files))
+	for p := range l.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddObserver implements Connector.
+func (l *LocalFS) AddObserver(o ReadObserver) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.observers = append(l.observers, o)
+}
+
+// RemoveObserver implements Connector (identity match, as in simfs).
+func (l *LocalFS) RemoveObserver(o ReadObserver) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.observers[:0]
+	for _, ob := range l.observers {
+		if !sameObserver(ob, o) {
+			kept = append(kept, ob)
+		}
+	}
+	l.observers = kept
+}
+
+func sameObserver(a, b ReadObserver) bool {
+	ta, tb := reflect.TypeOf(a), reflect.TypeOf(b)
+	if ta != tb || ta == nil || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+// SetBandwidthHint records the local device's sustainable bandwidth in
+// bytes/s for the arbiter's disk water-filling (0 = unknown).
+func (l *LocalFS) SetBandwidthHint(bw float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hint = bw
+}
+
+// BandwidthHint implements Connector.
+func (l *LocalFS) BandwidthHint() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hint
+}
+
+// SetFaults implements Connector, reusing the simfs injector verbatim.
+func (l *LocalFS) SetFaults(plan *FaultPlan) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if plan == nil {
+		l.faults = nil
+		return
+	}
+	l.faults = simfs.NewInjector(*plan)
+}
+
+// FaultStats implements Connector.
+func (l *LocalFS) FaultStats() FaultStats {
+	l.mu.Lock()
+	fi := l.faults
+	l.mu.Unlock()
+	if fi == nil {
+		return FaultStats{}
+	}
+	return fi.Stats()
+}
+
+func (l *LocalFS) injector() *simfs.Injector {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.faults
+}
+
+// TotalBytesRead reports aggregate bytes served since creation.
+func (l *LocalFS) TotalBytesRead() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesRead
+}
+
+func (l *LocalFS) observe(path string, n, calls int64) {
+	l.mu.Lock()
+	l.bytesRead += n
+	l.readCalls += calls
+	obs := append([]ReadObserver(nil), l.observers...)
+	l.mu.Unlock()
+	for _, o := range obs {
+		o.ObserveRead(path, n)
+	}
+}
+
+// Open implements Connector.
+func (l *LocalFS) Open(path string) (Reader, error) {
+	l.mu.Lock()
+	f, ok := l.files[path]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("localfs: open %s: no such file", path)
+	}
+	file, err := os.Open(f.realPath)
+	if err != nil {
+		return nil, fmt.Errorf("localfs: open %s: %w", path, err)
+	}
+	return &localReader{fs: l, path: path, f: file}, nil
+}
+
+// localReader streams one real file with fault injection, offset tracking
+// for retry replay, and batched read observation.
+type localReader struct {
+	fs     *LocalFS
+	path   string
+	f      *os.File
+	off    int64
+	closed bool
+
+	pendingBytes int64
+	pendingCalls int64
+	stalled      []bool
+}
+
+// Read implements io.Reader. Faults fire before any byte is served, so a
+// failed read consumes no offset and retries replay the same range.
+func (r *localReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, fmt.Errorf("localfs: read %s: closed", r.path)
+	}
+	if fi := r.fs.injector(); fi != nil {
+		delay, err := fi.Inject(r.path, r.off, &r.stalled)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.f.Read(p)
+	if n > 0 {
+		r.off += int64(n)
+		r.pendingBytes += int64(n)
+		r.pendingCalls++
+		if r.pendingBytes >= observeFlushBytes || err != nil {
+			r.flushObservation()
+		}
+	}
+	return n, err
+}
+
+func (r *localReader) flushObservation() {
+	if r.pendingCalls == 0 {
+		return
+	}
+	r.fs.observe(r.path, r.pendingBytes, r.pendingCalls)
+	r.pendingBytes, r.pendingCalls = 0, 0
+}
+
+// Close implements io.Closer, flushing unpublished read accounting even for
+// readers abandoned mid-file.
+func (r *localReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.flushObservation()
+	return r.f.Close()
+}
+
+// Path implements Reader.
+func (r *localReader) Path() string { return r.path }
+
+// Offset implements Reader.
+func (r *localReader) Offset() int64 { return r.off }
+
+// Rewind implements Reader via a real seek; bytes served again after a
+// rewind are observed again, like a real re-fetch.
+func (r *localReader) Rewind(off int64) error {
+	if r.closed {
+		return fmt.Errorf("localfs: rewind %s: closed", r.path)
+	}
+	if off < 0 || off > r.off {
+		return fmt.Errorf("localfs: rewind %s: offset %d out of range [0, %d]", r.path, off, r.off)
+	}
+	if _, err := r.f.Seek(off, 0); err != nil {
+		return fmt.Errorf("localfs: rewind %s: %w", r.path, err)
+	}
+	r.off = off
+	return nil
+}

@@ -1,0 +1,161 @@
+package connector_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"plumber/internal/connector"
+	"plumber/internal/data"
+	"plumber/internal/simfs"
+)
+
+// buildCorruptibleLocalFS materializes a tiny catalog to real files and
+// returns the backend plus the first shard's path and canonical content.
+func buildCorruptibleLocalFS(t *testing.T) (*connector.LocalFS, string, []byte) {
+	t.Helper()
+	cat := data.Catalog{
+		Name:                "localfs-corruption",
+		NumFiles:            2,
+		RecordsPerFile:      16,
+		MeanRecordBytes:     256,
+		DecodeAmplification: 1,
+	}
+	if err := data.RegisterCatalog(cat); err != nil {
+		t.Fatalf("register catalog: %v", err)
+	}
+	lfs := connector.NewLocalFS(t.TempDir())
+	if err := lfs.MaterializeCatalog(cat, confSeed); err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	spec := cat.GenerateFileSpecs(confSeed)[0]
+	return lfs, spec.Name, simfs.FileContent(spec, confSeed)
+}
+
+// readAllRecords drains a RecordReader over the backend's real file and
+// returns the record count and the first non-EOF error.
+func readAllRecords(t *testing.T, lfs *connector.LocalFS, path string) (int, error) {
+	t.Helper()
+	r, err := lfs.Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	defer r.Close()
+	rr := data.NewRecordReader(r)
+	n := 0
+	for {
+		_, err := rr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// TestLocalFSReadsCleanRecords is the baseline: the materialized real file
+// parses end to end as framed records.
+func TestLocalFSReadsCleanRecords(t *testing.T) {
+	lfs, path, _ := buildCorruptibleLocalFS(t)
+	n, err := readAllRecords(t, lfs, path)
+	if err != nil {
+		t.Fatalf("clean file: record %d failed: %v", n, err)
+	}
+	if n != 16 {
+		t.Fatalf("clean file: read %d records, want 16", n)
+	}
+}
+
+// TestLocalFSTruncatedFile cuts the on-disk file mid-record: the reader
+// must surface a framing error (unexpected EOF in the payload or footer),
+// not silently return short data.
+func TestLocalFSTruncatedFile(t *testing.T) {
+	lfs, path, content := buildCorruptibleLocalFS(t)
+	// Cut inside the first record's payload: past the 12-byte header, short
+	// of the full frame.
+	if err := lfs.Add(path, content[:13]); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	n, err := readAllRecords(t, lfs, path)
+	if err == nil {
+		t.Fatalf("truncated file parsed cleanly (%d records), want framing error", n)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated file error = %v, want an unexpected-EOF framing error", err)
+	}
+	if n != 0 {
+		t.Fatalf("truncated file yielded %d records before failing, want 0", n)
+	}
+}
+
+// TestLocalFSTruncatedTail cuts the file just short of the last record's
+// footer: every whole record parses, then the tail surfaces the error.
+func TestLocalFSTruncatedTail(t *testing.T) {
+	lfs, path, content := buildCorruptibleLocalFS(t)
+	if err := lfs.Add(path, content[:len(content)-2]); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	n, err := readAllRecords(t, lfs, path)
+	if err == nil {
+		t.Fatalf("tail-truncated file parsed cleanly, want framing error")
+	}
+	if n != 15 {
+		t.Fatalf("tail-truncated file yielded %d whole records, want 15", n)
+	}
+}
+
+// TestLocalFSCorruptPayload flips one payload byte on disk: the record's
+// masked CRC must catch it.
+func TestLocalFSCorruptPayload(t *testing.T) {
+	lfs, path, content := buildCorruptibleLocalFS(t)
+	corrupt := append([]byte(nil), content...)
+	corrupt[20] ^= 0xff // inside the first record's payload
+	if err := lfs.Add(path, corrupt); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	_, err := readAllRecords(t, lfs, path)
+	if err == nil || !strings.Contains(err.Error(), "payload checksum mismatch") {
+		t.Fatalf("corrupt payload error = %v, want payload checksum mismatch", err)
+	}
+}
+
+// TestLocalFSCorruptHeader flips a length byte on disk: the length CRC must
+// catch it before the bogus length is trusted.
+func TestLocalFSCorruptHeader(t *testing.T) {
+	lfs, path, content := buildCorruptibleLocalFS(t)
+	corrupt := append([]byte(nil), content...)
+	corrupt[0] ^= 0xff // first byte of the first record's length field
+	if err := lfs.Add(path, corrupt); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	_, err := readAllRecords(t, lfs, path)
+	if err == nil || !strings.Contains(err.Error(), "length checksum mismatch") {
+		t.Fatalf("corrupt header error = %v, want length checksum mismatch", err)
+	}
+}
+
+// TestLocalFSAddRestat confirms corruption edits flow through Stat: the
+// backend serves the real on-disk size, not a stale catalog size.
+func TestLocalFSAddRestat(t *testing.T) {
+	lfs, path, content := buildCorruptibleLocalFS(t)
+	if err := lfs.Add(path, content[:100]); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	size, err := lfs.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if size != 100 {
+		t.Fatalf("Stat after rewrite = %d, want 100", size)
+	}
+	// And the bytes really live on disk under the root.
+	rel := filepath.Join(lfs.Root(), filepath.FromSlash(strings.TrimPrefix(path, "/")))
+	if fi, err := os.Stat(rel); err != nil || fi.Size() != 100 {
+		t.Fatalf("on-disk file %s: %v (size %v), want 100 bytes", rel, err, fi)
+	}
+}

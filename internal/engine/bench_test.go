@@ -4,21 +4,21 @@ import (
 	"runtime"
 	"testing"
 
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/pipeline"
-	"plumber/internal/simfs"
 	"plumber/internal/trace"
 	"plumber/internal/udf"
 )
 
-func benchSetup(b *testing.B) (*simfs.FS, *udf.Registry) {
+func benchSetup(b *testing.B) (*connector.SimFS, *udf.Registry) {
 	b.Helper()
 	registerOnce.Do(func() {
 		if err := data.RegisterCatalog(testCatalog); err != nil {
 			panic(err)
 		}
 	})
-	fs := simfs.New(simfs.Device{Name: "bench-mem"}, false)
+	fs := connector.NewMem("bench-mem")
 	fs.AddCatalog(testCatalog, 7)
 	reg := udf.NewRegistry()
 	if err := reg.Register(udf.UDF{Name: "noop", Cost: udf.Cost{SizeFactor: 1}}); err != nil {
@@ -41,7 +41,7 @@ func benchSetup(b *testing.B) (*simfs.FS, *udf.Registry) {
 	return fs, reg
 }
 
-func drainOnce(b *testing.B, fs *simfs.FS, reg *udf.Registry, g *pipeline.Graph, opts Options) {
+func drainOnce(b *testing.B, fs *connector.SimFS, reg *udf.Registry, g *pipeline.Graph, opts Options) {
 	b.Helper()
 	opts.FS = fs
 	opts.UDFs = reg

@@ -3,9 +3,9 @@ package engine
 import (
 	"testing"
 
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/pipeline"
-	"plumber/internal/simfs"
 	"plumber/internal/trace"
 )
 
@@ -26,7 +26,7 @@ func TestPipelineCloseIdempotent(t *testing.T) {
 	if err := data.RegisterCatalog(cat); err != nil {
 		t.Fatal(err)
 	}
-	fs := simfs.New(simfs.Device{Name: "close-mem"}, false)
+	fs := connector.NewMem("close-mem")
 	fs.AddCatalog(cat, 7)
 	g, err := pipeline.NewBuilder().
 		Interleave(cat.Name, 2).

@@ -22,9 +22,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/pipeline"
-	"plumber/internal/simfs"
 	"plumber/internal/stats"
 	"plumber/internal/trace"
 	"plumber/internal/udf"
@@ -32,8 +32,10 @@ import (
 
 // Options configures pipeline instantiation.
 type Options struct {
-	// FS serves the source shards. Required.
-	FS *simfs.FS
+	// FS is the storage connector serving the source shards. Required.
+	// Any connector.Connector works: the simfs adapter, the local-FS
+	// backend, or the modeled object store.
+	FS connector.Connector
 	// UDFs resolves Map/Filter function names. Required if the graph uses
 	// UDF nodes.
 	UDFs *udf.Registry

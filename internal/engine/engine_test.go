@@ -7,9 +7,9 @@ import (
 	"sync"
 	"testing"
 
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/pipeline"
-	"plumber/internal/simfs"
 	"plumber/internal/trace"
 	"plumber/internal/udf"
 )
@@ -25,14 +25,14 @@ var testCatalog = data.Catalog{
 
 var registerOnce sync.Once
 
-func testSetup(t *testing.T) (*simfs.FS, *udf.Registry) {
+func testSetup(t *testing.T) (*connector.SimFS, *udf.Registry) {
 	t.Helper()
 	registerOnce.Do(func() {
 		if err := data.RegisterCatalog(testCatalog); err != nil {
 			panic(err)
 		}
 	})
-	fs := simfs.New(simfs.Device{Name: "test-mem"}, false)
+	fs := connector.NewMem("test-mem")
 	fs.AddCatalog(testCatalog, 7)
 	reg := udf.NewRegistry()
 	if err := reg.Register(udf.UDF{Name: "noop", Cost: udf.Cost{SizeFactor: 1}}); err != nil {

@@ -7,8 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"plumber/internal/connector"
 	"plumber/internal/data"
-	"plumber/internal/simfs"
 	"plumber/internal/stats"
 	"plumber/internal/trace"
 	"plumber/internal/udf"
@@ -220,7 +220,7 @@ func (s *sourceIter) worker(w int, fileCh <-chan string) {
 	// deferred Close guarantees the reader flushes its partial read
 	// accounting to observers no matter which path abandons the file.
 	stream := func(path string) bool {
-		var r *simfs.Reader
+		var r connector.Reader
 		err := rt.do("open", func() error {
 			var e error
 			r, e = s.p.opts.FS.Open(path)

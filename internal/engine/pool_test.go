@@ -4,9 +4,9 @@ import (
 	"testing"
 	"time"
 
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/pipeline"
-	"plumber/internal/simfs"
 	"plumber/internal/udf"
 )
 
@@ -132,7 +132,7 @@ func poolWorkload(t *testing.T, name string, par int, cpuPerElem float64, record
 	if err := data.RegisterCatalog(cat); err != nil {
 		t.Fatal(err)
 	}
-	fs := simfs.New(simfs.Device{Name: "pool-mem-" + name}, false)
+	fs := connector.NewMem("pool-mem-" + name)
 	fs.AddCatalog(cat, 11)
 	reg := udf.NewRegistry()
 	if err := reg.Register(udf.UDF{
@@ -392,7 +392,7 @@ func TestSharedPoolTenantAbort(t *testing.T) {
 	victimOpts.Pool, victimOpts.PoolTenant = pool, "victim"
 	victimOpts.Retry = Retry{MaxAttempts: 2, BaseBackoff: 20 * time.Microsecond}
 	survOpts.Pool, survOpts.PoolTenant = pool, "survivor"
-	victimOpts.FS.SetFaults(&simfs.FaultPlan{Rules: []simfs.FaultRule{
+	victimOpts.FS.SetFaults(&connector.FaultPlan{Rules: []connector.FaultRule{
 		{Name: "dead", ErrorRate: 1, Permanent: true},
 	}})
 

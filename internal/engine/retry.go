@@ -14,7 +14,7 @@ import (
 // source record reads, and UDF invocations. The zero value disables
 // retries: every failure surfaces on first occurrence (wrapped as a
 // *StageError). An error is considered retryable when it implements
-// `Transient() bool` returning true — simfs.FaultError does, and UDF
+// `Transient() bool` returning true — connector.FaultError does, and UDF
 // bodies can opt their errors in the same way; everything else is treated
 // as permanent.
 type Retry struct {
@@ -66,7 +66,7 @@ func (r Retry) Backoff(attempt int, rng *stats.RNG) time.Duration {
 // StageError is the typed error a pipeline stage surfaces once the retry
 // policy is exhausted (or immediately, for permanent and non-retryable
 // failures). It wraps the underlying cause, so errors.As reaches e.g. the
-// injected *simfs.FaultError.
+// injected *connector.FaultError.
 type StageError struct {
 	// Stage is the pipeline node that failed.
 	Stage string

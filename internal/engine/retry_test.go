@@ -7,9 +7,9 @@ import (
 	"testing"
 	"time"
 
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/pipeline"
-	"plumber/internal/simfs"
 	"plumber/internal/stats"
 	"plumber/internal/trace"
 	"plumber/internal/udf"
@@ -53,7 +53,7 @@ func TestRetryBackoffSchedule(t *testing.T) {
 // reach the caller, and the per-stage trace counters record the retries.
 func TestRetryAbsorbsScriptedSourceFaults(t *testing.T) {
 	fs, reg := testSetup(t)
-	fs.SetFaults(&simfs.FaultPlan{Seed: 1, Rules: []simfs.FaultRule{
+	fs.SetFaults(&connector.FaultPlan{Seed: 1, Rules: []connector.FaultRule{
 		{Name: "script", FailFirstReads: 2},
 	}})
 	g := canonicalGraph(t, 2)
@@ -103,11 +103,11 @@ func TestRetryAbsorbsScriptedSourceFaults(t *testing.T) {
 
 // TestPermanentFaultSurfacesTypedError pins fail-fast on unrecoverable
 // faults: no retry attempts are wasted, the caller gets a typed *StageError
-// wrapping the *simfs.FaultError, and the drain terminates promptly instead
+// wrapping the *connector.FaultError, and the drain terminates promptly instead
 // of hanging.
 func TestPermanentFaultSurfacesTypedError(t *testing.T) {
 	fs, reg := testSetup(t)
-	fs.SetFaults(&simfs.FaultPlan{Rules: []simfs.FaultRule{
+	fs.SetFaults(&connector.FaultPlan{Rules: []connector.FaultRule{
 		{Name: "dead", ErrorRate: 1, Permanent: true},
 	}})
 	p, err := New(canonicalGraph(t, 2), Options{
@@ -135,9 +135,9 @@ func TestPermanentFaultSurfacesTypedError(t *testing.T) {
 	if se.Attempts != 1 || se.GaveUp {
 		t.Fatalf("permanent fault got %d attempts (gaveUp=%v), want exactly 1 and no give-up", se.Attempts, se.GaveUp)
 	}
-	var fe *simfs.FaultError
+	var fe *connector.FaultError
 	if !errors.As(err, &fe) {
-		t.Fatalf("StageError does not unwrap to the injected *simfs.FaultError: %v", err)
+		t.Fatalf("StageError does not unwrap to the injected *connector.FaultError: %v", err)
 	}
 	es := p.ErrorStats()
 	if es.Errors == 0 || es.Retries != 0 {
@@ -150,7 +150,7 @@ func TestPermanentFaultSurfacesTypedError(t *testing.T) {
 // GaveUp.
 func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
 	fs, reg := testSetup(t)
-	fs.SetFaults(&simfs.FaultPlan{Rules: []simfs.FaultRule{
+	fs.SetFaults(&connector.FaultPlan{Rules: []connector.FaultRule{
 		{Name: "cursed", ErrorRate: 1},
 	}})
 	p, err := New(canonicalGraph(t, 1), Options{

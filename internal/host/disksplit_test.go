@@ -1,0 +1,125 @@
+package host_test
+
+import (
+	"math"
+	"testing"
+
+	"plumber/internal/host"
+	"plumber/internal/plan"
+	"plumber/internal/scenario"
+)
+
+// mixedTenants builds the mixed-backend scenario pair (real local files +
+// modeled cold object store) as arbiter tenants.
+func mixedTenants(t *testing.T) []host.Tenant {
+	t.Helper()
+	var tenants []host.Tenant
+	for _, s := range scenario.MixedBackendMix(true) {
+		w, err := scenario.Build(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Cleanup != nil {
+			t.Cleanup(w.Cleanup)
+		}
+		tenants = append(tenants, host.Tenant{
+			Name:          s.Name,
+			Weight:        1,
+			Graph:         w.Graph,
+			Source:        w.Source,
+			UDFs:          w.Registry,
+			Seed:          s.Seed,
+			WorkScale:     1,
+			DiskBandwidth: w.DiskBandwidth,
+		})
+	}
+	return tenants
+}
+
+// TestDiskSplitWaterFillsOnConnectorHints is the heterogeneous-storage
+// case: with equal weights, a blind split of the 200 MB/s global budget
+// would hand each tenant 100 MB/s — but the object-store connector's 12
+// MB/s bandwidth hint caps its share, and the freed 88 MB/s water-fills to
+// the local-FS tenant.
+func TestDiskSplitWaterFillsOnConnectorHints(t *testing.T) {
+	const global = 200e6
+	arb := host.NewArbiter(plan.Budget{Cores: 8, MemoryBytes: 0, DiskBandwidth: global})
+	var dec *host.Decision
+	var err error
+	for _, tn := range mixedTenants(t) {
+		if dec, err = arb.Add(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shares := map[string]host.Share{}
+	var total float64
+	for _, s := range dec.Shares {
+		shares[s.Tenant] = s
+		total += s.Budget.DiskBandwidth
+	}
+
+	cold := shares["cold-object"]
+	if math.Abs(cold.Budget.DiskBandwidth-12e6) > 1 {
+		t.Fatalf("cold-object disk share = %.0f, want capped at the connector's 12e6 hint", cold.Budget.DiskBandwidth)
+	}
+	local := shares["local-vision"]
+	if math.Abs(local.Budget.DiskBandwidth-188e6) > 1 {
+		t.Fatalf("local-vision disk share = %.0f, want the water-filled 188e6", local.Budget.DiskBandwidth)
+	}
+	if math.Abs(total-global) > 1 {
+		t.Fatalf("disk shares sum to %.0f, want the full %.0f budget", total, global)
+	}
+}
+
+// TestShareBudgetsCarrySourceHints confirms each share's plan budget
+// carries the tenant's per-source bandwidth hints, so the per-tenant solver
+// sees the real storage ceiling, not just the arbited scalar.
+func TestShareBudgetsCarrySourceHints(t *testing.T) {
+	arb := host.NewArbiter(plan.Budget{Cores: 8, MemoryBytes: 0, DiskBandwidth: 200e6})
+	var dec *host.Decision
+	var err error
+	for _, tn := range mixedTenants(t) {
+		if dec, err = arb.Add(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range dec.Shares {
+		if s.Tenant != "cold-object" {
+			continue
+		}
+		if len(s.Budget.SourceBandwidth) == 0 {
+			t.Fatalf("cold-object share budget carries no source bandwidth hints")
+		}
+		for node, bw := range s.Budget.SourceBandwidth {
+			if math.Abs(bw-12e6) > 1 {
+				t.Fatalf("hint for %s = %.0f, want the object store's 12e6", node, bw)
+			}
+		}
+	}
+}
+
+// TestDiskSplitNoGlobalBudgetUsesOwnCeilings pins the degenerate case: with
+// no global disk budget, each tenant's share is bounded only by its own
+// storage ceiling (0 = unbounded), exactly the pre-water-filling behavior.
+func TestDiskSplitNoGlobalBudgetUsesOwnCeilings(t *testing.T) {
+	arb := host.NewArbiter(plan.Budget{Cores: 8, MemoryBytes: 0})
+	var dec *host.Decision
+	var err error
+	for _, tn := range mixedTenants(t) {
+		if dec, err = arb.Add(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range dec.Shares {
+		switch s.Tenant {
+		case "cold-object":
+			if math.Abs(s.Budget.DiskBandwidth-12e6) > 1 {
+				t.Fatalf("cold-object share = %.0f, want its own 12e6 ceiling", s.Budget.DiskBandwidth)
+			}
+		case "local-vision":
+			if math.Abs(s.Budget.DiskBandwidth-400e6) > 1 {
+				t.Fatalf("local-vision share = %.0f, want its own 400e6 ceiling", s.Budget.DiskBandwidth)
+			}
+		}
+	}
+}

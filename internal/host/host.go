@@ -18,7 +18,10 @@
 // (plan.SolveCacheDemand's benefit-per-byte, granted to the highest
 // weighted bidders whose materialization actually fits — a tenant whose
 // cache cannot fit its slice no longer wastes it); disk bandwidth is split
-// in proportion to tenant weight. Every tenant's final share is
+// by weighted water-filling on each tenant's storage ceiling — the tighter
+// of its declared bandwidth and its connector's BandwidthHint — so a
+// tenant on slow cold storage takes only what its backend can draw and the
+// rest flows to tenants that can use it. Every tenant's final share is
 // materialized with rewrite.SolveShare into a validated program, and adding
 // or removing a tenant re-arbitrates without re-tracing incumbents.
 //
@@ -36,6 +39,7 @@ import (
 	"sort"
 	"sync"
 
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/engine"
 	"plumber/internal/ops"
@@ -58,8 +62,14 @@ type Tenant struct {
 	Weight float64
 	// Graph is the tenant's pipeline program.
 	Graph *pipeline.Graph
-	// FS serves the tenant's source shards.
+	// FS serves the tenant's source shards from the simulated filesystem.
+	// Leave nil when Source is set.
 	FS *simfs.FS
+	// Source is the tenant's storage connector; when nil, FS is wrapped in
+	// the simfs adapter. Setting Source lets tenants read from any backend
+	// (local files, the modeled object store), and the backend's
+	// BandwidthHint participates in the arbiter's disk water-filling.
+	Source connector.Connector
 	// UDFs resolves the tenant's UDF names and randomness closure.
 	UDFs *udf.Registry
 	// Seed drives shuffles and randomized UDFs during the planning trace.
@@ -134,6 +144,46 @@ type Arbiter struct {
 type tenantState struct {
 	Tenant
 	analysis *ops.Analysis
+	src      connector.Connector
+}
+
+// source resolves the tenant's connector, defaulting to the simfs adapter.
+func (t *Tenant) source() connector.Connector {
+	if t.Source != nil {
+		return t.Source
+	}
+	return connector.FromSimFS(t.FS)
+}
+
+// sourceHints maps the tenant's source Datasets to the connector's
+// bandwidth hint, so plans model the source at the backend's actual speed.
+// Nil when the backend reports no hint (unbounded), preserving the
+// single-scalar model.
+func (t *tenantState) sourceHints() map[string]float64 {
+	hint := t.src.BandwidthHint()
+	if hint <= 0 || t.analysis == nil {
+		return nil
+	}
+	var m map[string]float64
+	for _, n := range t.analysis.Nodes {
+		if n.IOBytesPerMinibatch > 0 {
+			if m == nil {
+				m = make(map[string]float64)
+			}
+			m[n.Name] = hint
+		}
+	}
+	return m
+}
+
+// diskCap is the tenant's own storage ceiling: the tighter of its declared
+// DiskBandwidth and the connector's bandwidth hint (0 = unbounded).
+func (t *tenantState) diskCap() float64 {
+	c := t.DiskBandwidth
+	if h := t.src.BandwidthHint(); h > 0 && (c <= 0 || h < c) {
+		c = h
+	}
+	return c
 }
 
 // NewArbiter returns an arbiter over the global envelope. A non-positive
@@ -160,8 +210,8 @@ func (a *Arbiter) Add(t Tenant) (*Decision, error) {
 	if t.Name == "" {
 		return nil, fmt.Errorf("host: tenant needs a name")
 	}
-	if t.Graph == nil || t.FS == nil {
-		return nil, fmt.Errorf("host: tenant %q needs a graph and a filesystem", t.Name)
+	if t.Graph == nil || (t.FS == nil && t.Source == nil) {
+		return nil, fmt.Errorf("host: tenant %q needs a graph and a storage source", t.Name)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -174,11 +224,12 @@ func (a *Arbiter) Add(t Tenant) (*Decision, error) {
 		return nil, fmt.Errorf("host: %d tenants need at least one core each, budget has %d",
 			len(a.tenants)+1, a.budget.Cores)
 	}
-	an, err := a.traceTenant(t)
+	src := t.source()
+	an, err := a.traceTenant(t, src)
 	if err != nil {
 		return nil, fmt.Errorf("host: trace tenant %q: %w", t.Name, err)
 	}
-	a.tenants = append(a.tenants, &tenantState{Tenant: t, analysis: an})
+	a.tenants = append(a.tenants, &tenantState{Tenant: t, analysis: an, src: src})
 	return a.arbitrateLocked()
 }
 
@@ -226,22 +277,68 @@ func (t *tenantState) weight() float64 {
 }
 
 // shareBudget carves tenant t's slice of the envelope for a given core
-// count and memory slice: disk bandwidth is split in proportion to weight
-// and memory comes from the benefit-driven split (splitMemoryLocked), both
-// of which water-filling on cores then takes as fixed. A tenant's own
-// device ceiling caps its disk slice — shared bandwidth it cannot
-// physically draw must not inflate its rate curve.
-func (a *Arbiter) shareBudget(t *tenantState, cores int, weightSum float64, memory int64) plan.Budget {
-	frac := t.weight() / weightSum
-	b := plan.Budget{
-		Cores:         cores,
-		MemoryBytes:   memory,
-		DiskBandwidth: a.budget.DiskBandwidth * frac,
+// count, disk-bandwidth slice (from splitDiskLocked), and memory slice
+// (from splitMemoryLocked) — all of which water-filling on cores takes as
+// fixed. The tenant's connector bandwidth hint rides along as a per-source
+// bound so plans model the source at the backend's actual speed.
+func (a *Arbiter) shareBudget(t *tenantState, cores int, disk float64, memory int64) plan.Budget {
+	return plan.Budget{
+		Cores:           cores,
+		MemoryBytes:     memory,
+		DiskBandwidth:   disk,
+		SourceBandwidth: t.sourceHints(),
 	}
-	if t.DiskBandwidth > 0 && (b.DiskBandwidth == 0 || b.DiskBandwidth > t.DiskBandwidth) {
-		b.DiskBandwidth = t.DiskBandwidth
+}
+
+// splitDiskLocked partitions the global disk-bandwidth budget by weighted
+// water-filling on each tenant's storage ceiling — the tighter of its
+// declared DiskBandwidth and its connector's BandwidthHint — instead of
+// blindly by weight: a tenant capped below its proportional slice (cold
+// object storage behind a fast host) takes only its cap, and the freed
+// bandwidth is re-split among tenants whose backends can actually draw it.
+// With no global budget, each tenant is bounded only by its own ceiling
+// (0 = unbounded).
+func (a *Arbiter) splitDiskLocked(weightSum float64) []float64 {
+	n := len(a.tenants)
+	out := make([]float64, n)
+	caps := make([]float64, n)
+	for i, t := range a.tenants {
+		caps[i] = t.diskCap()
 	}
-	return b
+	total := a.budget.DiskBandwidth
+	if total <= 0 {
+		copy(out, caps)
+		return out
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	remaining, remWeight := total, weightSum
+	for {
+		capped := false
+		for i, t := range a.tenants {
+			if !active[i] || caps[i] <= 0 {
+				continue
+			}
+			if share := remaining * t.weight() / remWeight; share > caps[i] {
+				out[i] = caps[i]
+				remaining -= caps[i]
+				remWeight -= t.weight()
+				active[i] = false
+				capped = true
+			}
+		}
+		if !capped || remWeight <= 0 {
+			break
+		}
+	}
+	for i, t := range a.tenants {
+		if active[i] && remWeight > 0 {
+			out[i] = remaining * t.weight() / remWeight
+		}
+	}
+	return out
 }
 
 // cacheFitSlack pads a granted memory slice a few percent above the
@@ -259,7 +356,7 @@ const cacheFitSlack = 1.05
 // A tenant whose cache cannot fit — or who has no legal cache point at all
 // — cedes its would-be slice to tenants that can use it; whatever remains
 // after all fitting demands are served is split by weight as headroom.
-func (a *Arbiter) splitMemoryLocked(weightSum float64, coreOf func(i int) int) ([]int64, error) {
+func (a *Arbiter) splitMemoryLocked(weightSum float64, disk []float64, coreOf func(i int) int) ([]int64, error) {
 	n := len(a.tenants)
 	mem := make([]int64, n)
 	if a.budget.MemoryBytes <= 0 {
@@ -277,11 +374,9 @@ func (a *Arbiter) splitMemoryLocked(weightSum float64, coreOf func(i int) int) (
 			cores = 1
 		}
 		probe := plan.Budget{
-			Cores:         cores,
-			DiskBandwidth: a.budget.DiskBandwidth * t.weight() / weightSum,
-		}
-		if t.DiskBandwidth > 0 && (probe.DiskBandwidth == 0 || probe.DiskBandwidth > t.DiskBandwidth) {
-			probe.DiskBandwidth = t.DiskBandwidth
+			Cores:           cores,
+			DiskBandwidth:   disk[i],
+			SourceBandwidth: t.sourceHints(),
 		}
 		d, err := plan.SolveCacheDemand(t.analysis, probe)
 		if err != nil {
@@ -338,13 +433,18 @@ func (a *Arbiter) arbitrateLocked() (*Decision, error) {
 		weightSum += t.weight()
 	}
 
-	// Memory splits first, by marginal cache benefit priced at an even core
+	// Disk splits first: weighted water-filling over each tenant's storage
+	// ceiling (declared bandwidth and connector hint), fixed for the rest
+	// of the arbitration.
+	disk := a.splitDiskLocked(weightSum)
+
+	// Memory splits next, by marginal cache benefit priced at an even core
 	// split; core water-filling below takes each tenant's memory slice as
 	// fixed. (Memory barely moves the rate curves — the fill epoch that
 	// prices cores runs with any planned cache still cold — so this
 	// provisional split does not distort the core solution.)
 	evenCores := a.budget.Cores / n
-	mem, err := a.splitMemoryLocked(weightSum, func(int) int { return evenCores })
+	mem, err := a.splitMemoryLocked(weightSum, disk, func(int) int { return evenCores })
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +461,7 @@ func (a *Arbiter) arbitrateLocked() (*Decision, error) {
 		if v, ok := memo[i][c]; ok {
 			return v, nil
 		}
-		v, err := a.predictedRate(a.tenants[i], a.shareBudget(a.tenants[i], c, weightSum, mem[i]))
+		v, err := a.predictedRate(a.tenants[i], a.shareBudget(a.tenants[i], c, disk[i], mem[i]))
 		if err != nil {
 			return 0, err
 		}
@@ -412,14 +512,14 @@ func (a *Arbiter) arbitrateLocked() (*Decision, error) {
 	// (each filling its own cache copy), and a slice sized at the probe
 	// would silently fail the final plan's fit check — dedicated memory
 	// wasted, which is exactly what the benefit-driven split exists to stop.
-	mem, err = a.splitMemoryLocked(weightSum, func(i int) int { return cores[i] })
+	mem, err = a.splitMemoryLocked(weightSum, disk, func(i int) int { return cores[i] })
 	if err != nil {
 		return nil, err
 	}
 
 	dec := &Decision{Budget: a.budget, TracesUsed: a.traces}
 	for i, t := range a.tenants {
-		share := a.shareBudget(t, cores[i], weightSum, mem[i])
+		share := a.shareBudget(t, cores[i], disk[i], mem[i])
 		program, trail, p, err := rewrite.SolveShare(t.analysis, share)
 		if err != nil {
 			return nil, fmt.Errorf("host: solve share for tenant %q: %w", t.Name, err)
@@ -449,12 +549,13 @@ func (a *Arbiter) arbitrateLocked() (*Decision, error) {
 			evenCores++
 		}
 		even := plan.Budget{
-			Cores:         evenCores,
-			MemoryBytes:   a.budget.MemoryBytes / int64(n),
-			DiskBandwidth: a.budget.DiskBandwidth / float64(n),
+			Cores:           evenCores,
+			MemoryBytes:     a.budget.MemoryBytes / int64(n),
+			DiskBandwidth:   a.budget.DiskBandwidth / float64(n),
+			SourceBandwidth: t.sourceHints(),
 		}
-		if t.DiskBandwidth > 0 && (even.DiskBandwidth == 0 || even.DiskBandwidth > t.DiskBandwidth) {
-			even.DiskBandwidth = t.DiskBandwidth
+		if cap := t.diskCap(); cap > 0 && (even.DiskBandwidth == 0 || even.DiskBandwidth > cap) {
+			even.DiskBandwidth = cap
 		}
 		r, err := a.predictedRate(a.tenants[i], even)
 		if err != nil {
@@ -467,8 +568,9 @@ func (a *Arbiter) arbitrateLocked() (*Decision, error) {
 }
 
 // traceTenant runs the tenant's one planning trace and operationalizes it,
-// mirroring the façade's Trace + Analyze without importing it.
-func (a *Arbiter) traceTenant(t Tenant) (*ops.Analysis, error) {
+// mirroring the façade's Trace + Analyze without importing it. All reads go
+// through the tenant's storage connector.
+func (a *Arbiter) traceTenant(t Tenant, src connector.Connector) (*ops.Analysis, error) {
 	if err := t.Graph.Validate(); err != nil {
 		return nil, err
 	}
@@ -476,10 +578,10 @@ func (a *Arbiter) traceTenant(t Tenant) (*ops.Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.FS.AddObserver(col)
-	defer t.FS.RemoveObserver(col)
+	src.AddObserver(col)
+	defer src.RemoveObserver(col)
 	p, err := engine.New(t.Graph, engine.Options{
-		FS:        t.FS,
+		FS:        src,
 		UDFs:      t.UDFs,
 		Collector: col,
 		WorkScale: t.WorkScale,

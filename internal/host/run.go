@@ -413,7 +413,7 @@ func (a *Arbiter) RunConcurrent(dec *Decision, opts RunOptions) (*RunReport, err
 		}
 		r := &runner{share: share}
 		eopts := engine.Options{
-			FS:         t.FS,
+			FS:         t.src,
 			UDFs:       t.UDFs,
 			WorkScale:  t.WorkScale,
 			Spin:       opts.Spin || t.Spin,
@@ -431,8 +431,8 @@ func (a *Arbiter) RunConcurrent(dec *Decision, opts RunOptions) (*RunReport, err
 				return nil, err
 			}
 			col.SetTenant(share.Tenant)
-			t.FS.AddObserver(col)
-			defer t.FS.RemoveObserver(col)
+			t.src.AddObserver(col)
+			defer t.src.RemoveObserver(col)
 			r.col = col
 			eopts.Collector = col
 		}

@@ -307,15 +307,32 @@ func (a *Analysis) NextParallelizableBottleneck() (NodeAnalysis, bool) {
 // pipeline that does perform I/O has ceiling 0 when bandwidth <= 0, since
 // no bytes can be served.
 func (a *Analysis) DiskBoundMinibatchesPerSec(bandwidth float64) float64 {
+	return a.DiskBoundWithSources(bandwidth, nil)
+}
+
+// DiskBoundWithSources is DiskBoundMinibatchesPerSec with per-source
+// bandwidth hints (by Dataset name): each I/O node is bounded by the
+// tighter of the global bandwidth and its own hint, and the ceiling is the
+// minimum across I/O nodes. A nil map reproduces
+// DiskBoundMinibatchesPerSec exactly.
+func (a *Analysis) DiskBoundWithSources(bandwidth float64, src map[string]float64) float64 {
+	bound := math.Inf(1)
 	for _, n := range a.Nodes {
-		if n.IOBytesPerMinibatch > 0 {
-			if bandwidth <= 0 {
-				return 0
-			}
-			return bandwidth / n.IOBytesPerMinibatch
+		if n.IOBytesPerMinibatch <= 0 {
+			continue
+		}
+		bw := bandwidth
+		if v, ok := src[n.Name]; ok && v > 0 && (bw <= 0 || v < bw) {
+			bw = v
+		}
+		if bw <= 0 {
+			return 0
+		}
+		if db := bw / n.IOBytesPerMinibatch; db < bound {
+			bound = db
 		}
 	}
-	return math.Inf(1)
+	return bound
 }
 
 // CPUBoundMinibatchesPerSec is the aggregate work-conservation ceiling:

@@ -30,6 +30,13 @@ type Hypothetical struct {
 	Cores int
 	// DiskBandwidth bounds source I/O in bytes/second; 0 means unbounded.
 	DiskBandwidth float64
+	// SourceBandwidth bounds individual source nodes (by Dataset name) in
+	// bytes/second, overriding DiskBandwidth for that node when tighter —
+	// the connector's bandwidth hint, so a multi-backend plan does not
+	// model cold object storage at local-disk speed. Absent or
+	// non-positive entries fall back to DiskBandwidth; a nil map leaves
+	// behavior exactly as before.
+	SourceBandwidth map[string]float64
 }
 
 // PredictRate returns the modeled throughput ceiling, in root
@@ -71,9 +78,15 @@ func (a *Analysis) PredictRate(h Hypothetical) float64 {
 				bound = cap
 			}
 		}
-		if n.IOBytesPerMinibatch > 0 && h.DiskBandwidth > 0 {
-			if db := h.DiskBandwidth / n.IOBytesPerMinibatch; db < bound {
-				bound = db
+		if n.IOBytesPerMinibatch > 0 {
+			bw := h.DiskBandwidth
+			if v, ok := h.SourceBandwidth[n.Name]; ok && v > 0 && (bw <= 0 || v < bw) {
+				bw = v
+			}
+			if bw > 0 {
+				if db := bw / n.IOBytesPerMinibatch; db < bound {
+					bound = db
+				}
 			}
 		}
 	}
@@ -92,10 +105,18 @@ func (a *Analysis) PredictRate(h Hypothetical) float64 {
 // PredictObservedRate multiplies back in. Returns 1 when the as-traced
 // shape has no finite modeled bound to calibrate against.
 func (a *Analysis) Efficiency(cores int, diskBandwidth float64) float64 {
+	return a.EfficiencyWithSources(cores, diskBandwidth, nil)
+}
+
+// EfficiencyWithSources is Efficiency with per-source bandwidth hints
+// applied to the as-traced baseline, so calibration and prediction see the
+// same storage model. A nil map reproduces Efficiency exactly.
+func (a *Analysis) EfficiencyWithSources(cores int, diskBandwidth float64, src map[string]float64) float64 {
 	base := a.PredictRate(Hypothetical{
 		OuterParallelism: a.Snapshot.Graph.OuterParallelism,
 		Cores:            cores,
 		DiskBandwidth:    diskBandwidth,
+		SourceBandwidth:  src,
 	})
 	if math.IsInf(base, 1) || base <= 0 {
 		return 1
@@ -111,5 +132,5 @@ func (a *Analysis) PredictObservedRate(h Hypothetical) float64 {
 	if math.IsInf(r, 1) {
 		return r
 	}
-	return a.Efficiency(h.Cores, h.DiskBandwidth) * r
+	return a.EfficiencyWithSources(h.Cores, h.DiskBandwidth, h.SourceBandwidth) * r
 }

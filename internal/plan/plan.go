@@ -38,6 +38,11 @@ type Budget struct {
 	// DiskBandwidth is available read bandwidth in bytes/second; zero means
 	// unbounded (in-memory source).
 	DiskBandwidth float64 `json:"disk_bandwidth,omitempty"`
+	// SourceBandwidth bounds individual source Datasets (by name) in
+	// bytes/second — the storage connector's bandwidth hint, tighter than
+	// (or instead of) the global DiskBandwidth for that source. Nil keeps
+	// the single-scalar model.
+	SourceBandwidth map[string]float64 `json:"source_bandwidth,omitempty"`
 }
 
 // Plan is one joint allocation: every knob the planner would set, plus the
@@ -79,6 +84,9 @@ type Plan struct {
 	// prediction (cache still filling) — what a single verifying trace of
 	// the planned shape should observe.
 	PredictedFillMinibatchesPerSec float64 `json:"predicted_fill_minibatches_per_sec,omitempty"`
+	// SourceBandwidth echoes the budget's per-source bandwidth hints the
+	// plan was solved under, so Hypothetical predictions reuse them.
+	SourceBandwidth map[string]float64 `json:"source_bandwidth,omitempty"`
 	// Notes is the human-readable allocation rationale, one line per
 	// decision.
 	Notes []string `json:"notes,omitempty"`
@@ -105,6 +113,7 @@ func (p *Plan) Hypothetical(warm bool, cores int, diskBandwidth float64) ops.Hyp
 		OuterParallelism: p.OuterParallelism,
 		Cores:            cores,
 		DiskBandwidth:    diskBandwidth,
+		SourceBandwidth:  p.SourceBandwidth,
 	}
 }
 
@@ -138,14 +147,14 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 		cores = unboundedCores
 	}
 	g := a.Snapshot.Graph
-	p := &Plan{Parallelism: make(map[string]int)}
+	p := &Plan{Parallelism: make(map[string]int), SourceBandwidth: b.SourceBandwidth}
 
 	// Hard bounds no core assignment can beat: the disk ceiling, the
 	// aggregate CPU work-conservation ceiling, and (before replication) the
 	// slowest fundamentally sequential Dataset.
 	diskBound := math.Inf(1)
-	if b.DiskBandwidth > 0 {
-		diskBound = a.DiskBoundMinibatchesPerSec(b.DiskBandwidth)
+	if b.DiskBandwidth > 0 || len(b.SourceBandwidth) > 0 {
+		diskBound = a.DiskBoundWithSources(b.DiskBandwidth, b.SourceBandwidth)
 	}
 	cpuBound := a.CPUBoundMinibatchesPerSec(cores)
 	seqBound := math.Inf(1)
@@ -306,6 +315,7 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 			OuterParallelism: outer,
 			Cores:            cores,
 			DiskBandwidth:    b.DiskBandwidth,
+			SourceBandwidth:  b.SourceBandwidth,
 		})
 		// Total CPU cost per minibatch, for the work-saved fallback below.
 		var cpuPerMB float64
@@ -335,6 +345,7 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 				OuterParallelism: outer,
 				Cores:            cores,
 				DiskBandwidth:    b.DiskBandwidth,
+				SourceBandwidth:  b.SourceBandwidth,
 			})
 			benefit := steady - noCache
 			if math.IsInf(steady, 1) {
@@ -385,7 +396,7 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 	}
 
 	// Predictions, calibrated by the planning trace's observed efficiency.
-	p.Efficiency = stats.FiniteOrZero(a.Efficiency(cores, b.DiskBandwidth))
+	p.Efficiency = stats.FiniteOrZero(a.EfficiencyWithSources(cores, b.DiskBandwidth, b.SourceBandwidth))
 	p.PredictedMinibatchesPerSec = stats.FiniteOrZero(
 		a.PredictObservedRate(p.Hypothetical(true, cores, b.DiskBandwidth)))
 	p.PredictedFillMinibatchesPerSec = stats.FiniteOrZero(
@@ -445,6 +456,7 @@ func SolveCacheDemand(a *ops.Analysis, b Budget) (CacheDemand, error) {
 		OuterParallelism: outer,
 		Cores:            cores,
 		DiskBandwidth:    b.DiskBandwidth,
+		SourceBandwidth:  b.SourceBandwidth,
 	})
 	warm := a.PredictRate(ops.Hypothetical{
 		Parallelism:      p.Parallelism,
@@ -453,6 +465,7 @@ func SolveCacheDemand(a *ops.Analysis, b Budget) (CacheDemand, error) {
 		OuterParallelism: outer,
 		Cores:            cores,
 		DiskBandwidth:    b.DiskBandwidth,
+		SourceBandwidth:  b.SourceBandwidth,
 	})
 	switch {
 	case math.IsInf(warm, 1) && !math.IsInf(base, 1):

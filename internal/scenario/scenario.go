@@ -26,7 +26,10 @@ package scenario
 
 import (
 	"fmt"
+	"os"
+	"time"
 
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/pipeline"
 	"plumber/internal/simfs"
@@ -89,6 +92,13 @@ type Spec struct {
 	// the same workload, device model included.
 	Device simfs.Device `json:"device"`
 
+	// Backend selects the storage connector serving the shards: "simfs"
+	// (default, in-memory simulated filesystem), "localfs" (catalog
+	// materialized to real files in a temp dir — set Workload.Cleanup
+	// free), or "objectstore" (the modeled S3-like store, configured from
+	// Device). Content is bit-identical across backends.
+	Backend string `json:"backend,omitempty"`
+
 	// Seed drives shard content and any randomized UDFs.
 	Seed uint64 `json:"seed"`
 }
@@ -96,14 +106,21 @@ type Spec struct {
 // Workload is one fully materialized scenario: everything a Trace/Optimize
 // call (or a multi-tenant arbiter slot) needs.
 type Workload struct {
-	Spec     Spec
-	Catalog  data.Catalog
-	FS       *simfs.FS
+	Spec    Spec
+	Catalog data.Catalog
+	// FS is the simulated filesystem backing the workload; nil for the
+	// localfs and objectstore backends. Prefer Source, which is always set.
+	FS *simfs.FS
+	// Source is the storage connector every read goes through.
+	Source   connector.Connector
 	Graph    *pipeline.Graph
 	Registry *udf.Registry
 	// DiskBandwidth is the budget hint for bandwidth-starved scenarios: the
 	// device's total bandwidth in bytes/second, 0 when unbounded.
 	DiskBandwidth float64
+	// Cleanup releases backend resources (the localfs temp dir); nil when
+	// there is nothing to release.
+	Cleanup func()
 }
 
 func (s Spec) normalized() Spec {
@@ -179,8 +196,6 @@ func Build(spec Spec) (*Workload, error) {
 	if dev.Name == "" {
 		dev = simfs.Device{Name: "scenario-mem"}
 	}
-	fs := simfs.New(dev, false)
-	fs.AddCatalog(cat, s.Seed)
 
 	reg := udf.NewRegistry()
 	b := pipeline.NewBuilder().Interleave(cat.Name, 1)
@@ -231,11 +246,57 @@ func Build(spec Spec) (*Workload, error) {
 		return nil, err
 	}
 
-	w := &Workload{Spec: s, Catalog: cat, FS: fs, Graph: g, Registry: reg}
+	w := &Workload{Spec: s, Catalog: cat, Graph: g, Registry: reg}
 	if dev.TotalBandwidth > 0 {
 		w.DiskBandwidth = dev.TotalBandwidth
 	}
+	switch s.Backend {
+	case "", "simfs":
+		fs := simfs.New(dev, false)
+		fs.AddCatalog(cat, s.Seed)
+		w.FS = fs
+		w.Source = connector.FromSimFS(fs)
+	case "localfs":
+		dir, err := os.MkdirTemp("", "plumber-localfs-")
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: localfs temp dir: %w", s.Name, err)
+		}
+		lfs := connector.NewLocalFS(dir)
+		if err := lfs.MaterializeCatalog(cat, s.Seed); err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("scenario %s: materialize catalog: %w", s.Name, err)
+		}
+		lfs.SetBandwidthHint(w.DiskBandwidth)
+		w.Source = lfs
+		w.Cleanup = func() { os.RemoveAll(dir) }
+	case "objectstore":
+		w.Source = connector.NewMemObjectStore(cat, s.Seed, objectStoreConfig(s, dev))
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown backend %q (want simfs, localfs, or objectstore)", s.Name, s.Backend)
+	}
 	return w, nil
+}
+
+// objectStoreConfig derives the modeled store from the spec's device:
+// request latency from the device's read latency (defaulting to 1ms with a
+// log-normal tail), per-stream and aggregate bandwidth straight from the
+// device, and a short cold-start ramp so the first reads pay the cold
+// frontend.
+func objectStoreConfig(s Spec, dev simfs.Device) connector.ObjectStoreConfig {
+	lat := dev.ReadLatency
+	if lat <= 0 {
+		lat = time.Millisecond
+	}
+	return connector.ObjectStoreConfig{
+		Name:               dev.Name,
+		RequestLatency:     lat,
+		TailSigma:          0.5,
+		PerStreamBandwidth: dev.PerStreamBandwidth,
+		TotalBandwidth:     dev.TotalBandwidth,
+		ColdStartSeconds:   0.5,
+		ColdStartFactor:    2,
+		Seed:               s.Seed,
+	}
 }
 
 // Suite returns the canonical scenario matrix. quick shrinks every catalog
@@ -304,7 +365,7 @@ func Suite(quick bool) []Spec {
 		{
 			// Cold storage: an 8MB/s device makes the disk bound the binding
 			// ceiling well before the CPU bound.
-			Name:                "cold-storage",
+			Name:                coldStorageName,
 			Files:               8,
 			RecordsPerFile:      256 / scale,
 			MeanRecordBytes:     8 << 10,
@@ -315,6 +376,57 @@ func Suite(quick bool) []Spec {
 				PerStreamBandwidth: 2 * mb,
 			},
 			BatchSize: 16,
+		},
+	}
+}
+
+const coldStorageName = "cold-storage"
+
+// MixedBackendMix is the two-tenant mixed-backend scenario: one tenant
+// reads real files from local disk, the other reads the modeled cold
+// object store. Arbitrated together, the object-store tenant's bandwidth
+// hint caps its disk share and the freed bandwidth water-fills to the
+// local tenant — the heterogeneous-storage case a weight-proportional
+// split gets wrong.
+func MixedBackendMix(quick bool) []Spec {
+	scale := 1
+	if quick {
+		scale = 4
+	}
+	const mb = 1e6
+	return []Spec{
+		{
+			// The vision shape on real local files.
+			Name:                "local-vision",
+			Backend:             "localfs",
+			Files:               6,
+			RecordsPerFile:      256 / scale,
+			MeanRecordBytes:     8 << 10,
+			DecodeAmplification: 4,
+			DecodeCPUPerByte:    5e-9,
+			BatchSize:           16,
+			Device: simfs.Device{
+				Name:           "mixed-local",
+				TotalBandwidth: 400 * mb,
+			},
+		},
+		{
+			// The cold-storage shape behind the modeled object store: low
+			// aggregate bandwidth, per-request latency with a log-normal
+			// tail, and a cold-start ramp.
+			Name:                "cold-object",
+			Backend:             "objectstore",
+			Files:               8,
+			RecordsPerFile:      256 / scale,
+			MeanRecordBytes:     8 << 10,
+			DecodeCPUPerElement: 4e-6,
+			BatchSize:           16,
+			Device: simfs.Device{
+				Name:               "mixed-object",
+				TotalBandwidth:     12 * mb,
+				PerStreamBandwidth: 4 * mb,
+				ReadLatency:        500 * time.Microsecond,
+			},
 		},
 	}
 }

@@ -113,8 +113,10 @@ type FaultStats struct {
 	DelayNanos int64 `json:"delay_nanos"`
 }
 
-// faultInjector is the runtime state behind an installed FaultPlan.
-type faultInjector struct {
+// Injector is the runtime state behind an installed FaultPlan. It is
+// exported so storage connectors outside this package (the local-FS backend)
+// can reuse the exact same fault machinery on their own read paths.
+type Injector struct {
 	mu    sync.Mutex
 	plan  FaultPlan
 	rng   *stats.RNG
@@ -123,8 +125,9 @@ type faultInjector struct {
 	stats FaultStats
 }
 
-func newFaultInjector(plan FaultPlan) *faultInjector {
-	return &faultInjector{
+// NewInjector returns a fresh injector for a plan; the ramp clock starts now.
+func NewInjector(plan FaultPlan) *Injector {
+	return &Injector{
 		plan:  plan,
 		rng:   stats.NewRNG(plan.Seed),
 		reads: make(map[string][]int64),
@@ -132,11 +135,11 @@ func newFaultInjector(plan FaultPlan) *faultInjector {
 	}
 }
 
-// inject evaluates the plan for one read call on path. stalled is the
+// Inject evaluates the plan for one read call on path. stalled is the
 // calling reader's per-rule stall latch (allocated here on first use). The
 // returned delay must be slept by the caller before returning the error (a
 // faulting backend is slow and broken, not just broken).
-func (fi *faultInjector) inject(path string, off int64, stalled *[]bool) (time.Duration, error) {
+func (fi *Injector) Inject(path string, off int64, stalled *[]bool) (time.Duration, error) {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	counts := fi.reads[path]
@@ -192,7 +195,8 @@ func (fi *faultInjector) inject(path string, off int64, stalled *[]bool) (time.D
 	return delay, err
 }
 
-func (fi *faultInjector) snapshot() FaultStats {
+// Stats snapshots what the injector has delivered so far.
+func (fi *Injector) Stats() FaultStats {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	return fi.stats
@@ -208,7 +212,7 @@ func (fs *FS) SetFaults(plan *FaultPlan) {
 		fs.faults = nil
 		return
 	}
-	fs.faults = newFaultInjector(*plan)
+	fs.faults = NewInjector(*plan)
 }
 
 // FaultStats reports what the installed plan has injected so far; zero
@@ -220,10 +224,10 @@ func (fs *FS) FaultStats() FaultStats {
 	if fi == nil {
 		return FaultStats{}
 	}
-	return fi.snapshot()
+	return fi.Stats()
 }
 
-func (fs *FS) injector() *faultInjector {
+func (fs *FS) injector() *Injector {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.faults

@@ -38,7 +38,7 @@ type FS struct {
 	observers []ReadObserver
 	bytesRead int64
 	readCalls int64
-	faults    *faultInjector
+	faults    *Injector
 }
 
 type fileEntry struct {
@@ -174,24 +174,32 @@ func (fs *FS) observe(path string, n, calls int64) {
 // materialize generates the shard's framed content on first access.
 func (e *fileEntry) materialize() []byte {
 	e.once.Do(func() {
-		rng := stats.NewRNG(e.seed ^ hash64(e.spec.Name))
-		var buf writeBuffer
-		buf.grow(int(e.spec.TotalBytes))
-		w := data.NewRecordWriter(&buf)
-		payload := make([]byte, 0)
-		for _, sz := range e.spec.RecordSizes {
-			if int64(cap(payload)) < sz {
-				payload = make([]byte, sz)
-			}
-			payload = payload[:sz]
-			fill(payload, rng)
-			if err := w.Write(payload); err != nil {
-				panic(fmt.Sprintf("simfs: materializing %s: %v", e.spec.Name, err))
-			}
-		}
-		e.content = buf.b
+		e.content = FileContent(e.spec, e.seed)
 	})
 	return e.content
+}
+
+// FileContent generates the deterministic framed TFRecord bytes for a shard
+// spec under a catalog seed — the exact bytes a simfs Reader would serve.
+// Other backends (the local-FS connector) use it to materialize catalogs so
+// that every backend agrees on content bit-for-bit.
+func FileContent(spec data.FileSpec, seed uint64) []byte {
+	rng := stats.NewRNG(seed ^ hash64(spec.Name))
+	var buf writeBuffer
+	buf.grow(int(spec.TotalBytes))
+	w := data.NewRecordWriter(&buf)
+	payload := make([]byte, 0)
+	for _, sz := range spec.RecordSizes {
+		if int64(cap(payload)) < sz {
+			payload = make([]byte, sz)
+		}
+		payload = payload[:sz]
+		fill(payload, rng)
+		if err := w.Write(payload); err != nil {
+			panic(fmt.Sprintf("simfs: materializing %s: %v", spec.Name, err))
+		}
+	}
+	return buf.b
 }
 
 // fill writes deterministic pseudo-random bytes; only the first words of
@@ -273,7 +281,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 	if fi := r.fs.injector(); fi != nil {
 		// Faults fire before any byte is served: a failed read consumes no
 		// offset, so retries replay the exact same range.
-		delay, err := fi.inject(r.path, int64(r.off), &r.stalled)
+		delay, err := fi.Inject(r.path, int64(r.off), &r.stalled)
 		if delay > 0 {
 			time.Sleep(delay)
 		}

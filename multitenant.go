@@ -39,7 +39,9 @@ func NewArbiter(budget Budget) *Arbiter {
 // the decision under real contention with Arbiter.RunConcurrent. Each
 // tenant is traced exactly once; the cross-tenant core split is solved by
 // water-filling on the tenants' predicted rate curves, cache memory by
-// marginal cache benefit, disk bandwidth by weight, and every share is
+// marginal cache benefit, disk bandwidth by weighted water-filling capped
+// at each tenant's storage ceiling (its own DiskBandwidth limit and its
+// connector's bandwidth hint, whichever binds), and every share is
 // materialized as a validated per-tenant program (Decision.Shares[i].Program).
 func ArbitrateAll(tenants []Tenant, budget Budget) (*Arbiter, *Decision, error) {
 	if len(tenants) == 0 {

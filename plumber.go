@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"plumber/internal/connector"
 	"plumber/internal/data"
 	"plumber/internal/engine"
 	"plumber/internal/ops"
@@ -28,10 +29,18 @@ import (
 	"plumber/internal/udf"
 )
 
+// Connector is the storage interface every engine read goes through; see
+// internal/connector for the simfs, local-FS, and object-store backends.
+type Connector = connector.Connector
+
 // Options configures the façade's engine runs.
 type Options struct {
-	// FS serves the source shards. Required.
+	// FS serves the source shards from the simulated filesystem. One of FS
+	// or Source is required; when both are set, Source wins.
 	FS *simfs.FS
+	// Source is the storage connector serving the source shards; when nil,
+	// FS is wrapped in the simfs adapter (behavior-preserving).
+	Source Connector
 	// UDFs resolves Map/Filter function names and the randomness closure
 	// that gates caching. Optional when the graph uses no UDF nodes.
 	UDFs *udf.Registry
@@ -77,6 +86,18 @@ type Options struct {
 	Caches *engine.CacheStore
 }
 
+// source resolves the configured storage connector (nil when neither FS
+// nor Source is set).
+func (o Options) source() Connector {
+	if o.Source != nil {
+		return o.Source
+	}
+	if o.FS != nil {
+		return connector.FromSimFS(o.FS)
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
 	if o.Machine.Name == "" {
 		o.Machine.Name = "plumber"
@@ -117,8 +138,9 @@ const defaultMaxSteps = 32
 // it (to EOF, or MaxMinibatches root elements if set), and returns the
 // joined snapshot of the serialized program and every Dataset's counters.
 func Trace(g *pipeline.Graph, opts Options) (*trace.Snapshot, error) {
-	if opts.FS == nil {
-		return nil, errors.New("plumber: Options.FS is required")
+	src := opts.source()
+	if src == nil {
+		return nil, errors.New("plumber: Options.FS or Options.Source is required")
 	}
 	opts = opts.withDefaults()
 	if err := g.Validate(); err != nil {
@@ -128,10 +150,10 @@ func Trace(g *pipeline.Graph, opts Options) (*trace.Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts.FS.AddObserver(col)
-	defer opts.FS.RemoveObserver(col)
+	src.AddObserver(col)
+	defer src.RemoveObserver(col)
 	p, err := engine.New(g, engine.Options{
-		FS:        opts.FS,
+		FS:        src,
 		UDFs:      opts.UDFs,
 		Collector: col,
 		WorkScale: opts.WorkScale,
