@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	plumberbench [-quick] [-json BENCH_engine.json]               # engine hot path
+//	plumberbench [-engine] [-quick] [-handoff ring|channel] [-json BENCH_engine.json] # engine hot path
 //	plumberbench -tuner [-quick] [-json BENCH_tuner.json]         # closed-loop tuner
 //	plumberbench -planner [-quick] [-json BENCH_planner.json]     # planner vs greedy
 //	plumberbench -scenarios [-quick] [-json BENCH_scenarios.json] # scenario matrix + arbiter
@@ -10,13 +10,17 @@
 //	plumberbench -connectors [-quick] [-json BENCH_connectors.json] # storage backends head-to-head
 //
 // -json sets the output path; each suite has a default filename (-out is a
-// deprecated alias). The default suite runs the engine hot-path
-// configurations (per-element baseline, chunked+pooled untraced and traced,
-// parallelism sweep) and writes BENCH_engine.json with two acceptance
-// ratios:
+// deprecated alias). The default (or -engine) suite runs the engine hot-path
+// configurations — per-element baseline, chunked+pooled channel edge and the
+// sharded-ring edge (each untraced and traced), and a parallelism sweep —
+// and writes BENCH_engine.json with the acceptance ratios:
 //
 //   - chunked_pooled_speedup_over_baseline: >= 2.0 is the target
 //   - traced_fraction_of_untraced: >= 0.85 is the target
+//   - ring_handoff_speedup_over_chunked_pooled: >= 1.0 is the target
+//
+// -handoff ring|channel forces every engine spec onto one stage-edge
+// implementation (the CI smoke path that proves both edges drain the suite).
 //
 // With -tuner it instead runs plumber.Optimize end to end on the synthetic
 // tuner catalog and writes BENCH_tuner.json — per-step capacity, the
@@ -82,6 +86,8 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run the reduced CI smoke suite")
+	engineSuite := flag.Bool("engine", false, "run the engine hot-path suite (the default when no suite flag is given)")
+	handoff := flag.String("handoff", "", "engine suite only: force every spec's stage edge to 'ring' or 'channel'")
 	tuner := flag.Bool("tuner", false, "run the closed-loop tuner benchmark instead of the engine suite")
 	planner := flag.Bool("planner", false, "run the planner-vs-greedy comparison instead of the engine suite")
 	scenarios := flag.Bool("scenarios", false, "run the scenario matrix + multi-tenant arbitration instead of the engine suite")
@@ -96,14 +102,20 @@ func main() {
 		path = *out
 	}
 	picked := 0
-	for _, b := range []bool{*tuner, *planner, *scenarios, *chaos, *connectors} {
+	for _, b := range []bool{*engineSuite, *tuner, *planner, *scenarios, *chaos, *connectors} {
 		if b {
 			picked++
 		}
 	}
+	if *handoff != "" && *handoff != "ring" && *handoff != "channel" {
+		fatal(fmt.Errorf("-handoff must be 'ring' or 'channel', got %q", *handoff))
+	}
+	if *handoff != "" && (*tuner || *planner || *scenarios || *chaos || *connectors) {
+		fatal(fmt.Errorf("-handoff only applies to the engine suite"))
+	}
 	switch {
 	case picked > 1:
-		fatal(fmt.Errorf("-tuner, -planner, -scenarios, -chaos, and -connectors are mutually exclusive"))
+		fatal(fmt.Errorf("-engine, -tuner, -planner, -scenarios, -chaos, and -connectors are mutually exclusive"))
 	case *tuner:
 		runTuner(*quick, path)
 	case *planner:
@@ -115,7 +127,7 @@ func main() {
 	case *connectors:
 		runConnectors(*quick, path)
 	default:
-		runEngine(*quick, path)
+		runEngine(*quick, *handoff, path)
 	}
 }
 
@@ -217,19 +229,19 @@ func runScenarios(quick bool, out string) {
 	fmt.Printf("wrote %s\n", out)
 }
 
-func runEngine(quick bool, out string) {
+func runEngine(quick bool, handoff, out string) {
 	if out == "" {
 		out = "BENCH_engine.json"
 	}
-	rep, err := bench.RunSuite(quick)
+	rep, err := bench.RunSuiteHandoff(quick, handoff)
 	if err != nil {
 		fatal(err)
 	}
 	writeJSON(out, rep)
-	fmt.Printf("%-28s %14s %12s %12s %10s\n", "config", "examples/sec", "MB/sec", "ns/example", "allocs/ex")
+	fmt.Printf("%-28s %-8s %14s %12s %12s %10s\n", "config", "handoff", "examples/sec", "MB/sec", "ns/example", "allocs/ex")
 	for _, r := range rep.Results {
-		fmt.Printf("%-28s %14.0f %12.1f %12.0f %10.2f\n",
-			r.Spec.Name, r.ExamplesPerSec, r.BytesPerSec/1e6, r.NsPerExample, r.AllocsPerExample)
+		fmt.Printf("%-28s %-8s %14.0f %12.1f %12.0f %10.2f\n",
+			r.Spec.Name, r.Spec.Handoff, r.ExamplesPerSec, r.BytesPerSec/1e6, r.NsPerExample, r.AllocsPerExample)
 	}
 	for k, v := range rep.Comparisons {
 		fmt.Printf("%s = %.3f\n", k, v)

@@ -65,6 +65,10 @@ type Spec struct {
 	PrefetchDepth int `json:"prefetch_depth"`
 	// ChunkSize is the worker handoff granularity; 1 = per-element baseline.
 	ChunkSize int `json:"chunk_size"`
+	// Handoff selects the stage-edge implementation: "ring" (sharded SPMC
+	// rings + arena payload views) or "channel" (the buffered-Go-channel
+	// A/B baseline). Empty means the engine default (ring).
+	Handoff string `json:"handoff,omitempty"`
 	// DisablePool turns off pooled record buffers and payload recycling.
 	DisablePool bool `json:"disable_pool"`
 	// Traced attaches a trace.Collector (the "tracing on" configuration).
@@ -188,6 +192,7 @@ func Run(spec Spec) (Result, error) {
 			UDFs:              reg,
 			Seed:              42,
 			ChunkSize:         s.ChunkSize,
+			Handoff:           engine.HandoffKind(s.Handoff),
 			SampleEvery:       s.SampleEvery,
 			DisableBufferPool: s.DisablePool,
 		}
@@ -211,7 +216,7 @@ func Run(spec Spec) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		wp, err := engine.New(wg, engine.Options{FS: fs, UDFs: reg, Seed: 42, ChunkSize: s.ChunkSize, DisableBufferPool: s.DisablePool})
+		wp, err := engine.New(wg, engine.Options{FS: fs, UDFs: reg, Seed: 42, ChunkSize: s.ChunkSize, Handoff: engine.HandoffKind(s.Handoff), DisableBufferPool: s.DisablePool})
 		if err != nil {
 			return Result{}, err
 		}
@@ -304,7 +309,9 @@ type Report struct {
 }
 
 // Suite returns the canonical configurations: the per-element baseline, the
-// chunked+pooled engine (untraced and traced), and a parallelism sweep.
+// chunked+pooled channel-edge engine (untraced and traced), the ring-edge
+// engine (untraced and traced), and a parallelism sweep. Every spec carries
+// an explicit Handoff so the checked-in document is self-describing.
 func Suite(quick bool) []Spec {
 	cat := Catalog.Name
 	epochs := 3
@@ -313,9 +320,11 @@ func Suite(quick bool) []Spec {
 		epochs = 2
 	}
 	specs := []Spec{
-		{Name: "baseline_per_element", Catalog: cat, Parallelism: 4, ChunkSize: 1, DisablePool: true, Epochs: epochs},
-		{Name: "chunked_pooled", Catalog: cat, Parallelism: 4, Epochs: epochs},
-		{Name: "chunked_pooled_traced", Catalog: cat, Parallelism: 4, Traced: true, Epochs: epochs},
+		{Name: "baseline_per_element", Catalog: cat, Parallelism: 4, ChunkSize: 1, DisablePool: true, Handoff: "channel", Epochs: epochs},
+		{Name: "chunked_pooled", Catalog: cat, Parallelism: 4, Handoff: "channel", Epochs: epochs},
+		{Name: "chunked_pooled_traced", Catalog: cat, Parallelism: 4, Handoff: "channel", Traced: true, Epochs: epochs},
+		{Name: "ring_handoff", Catalog: cat, Parallelism: 4, Handoff: "ring", Epochs: epochs},
+		{Name: "ring_handoff_traced", Catalog: cat, Parallelism: 4, Handoff: "ring", Traced: true, Epochs: epochs},
 	}
 	if !quick {
 		for _, par := range []int{1, 2, 8} {
@@ -323,6 +332,14 @@ func Suite(quick bool) []Spec {
 				Name:        fmt.Sprintf("chunked_pooled_par%d", par),
 				Catalog:     cat,
 				Parallelism: par,
+				Handoff:     "channel",
+				Epochs:      epochs,
+			})
+			specs = append(specs, Spec{
+				Name:        fmt.Sprintf("ring_handoff_par%d", par),
+				Catalog:     cat,
+				Parallelism: par,
+				Handoff:     "ring",
 				Epochs:      epochs,
 			})
 		}
@@ -330,10 +347,18 @@ func Suite(quick bool) []Spec {
 	return specs
 }
 
-// RunSuite measures every spec and assembles the report, including the two
+// RunSuite measures every spec and assembles the report, including the
 // acceptance ratios: chunked_pooled speedup over the per-element baseline,
-// and traced throughput as a fraction of untraced.
+// traced throughput as a fraction of untraced, and the ring edge's speedup
+// over the channel edge at the same fidelity.
 func RunSuite(quick bool) (*Report, error) {
+	return RunSuiteHandoff(quick, "")
+}
+
+// RunSuiteHandoff is RunSuite with an optional stage-edge override: when
+// handoff is non-empty ("ring" or "channel"), every spec is forced to that
+// edge — the CI smoke path that proves both implementations drain the suite.
+func RunSuiteHandoff(quick bool, handoff string) (*Report, error) {
 	rep := &Report{
 		Schema:      "plumber/bench-engine/v1",
 		Cores:       runtime.NumCPU(),
@@ -342,6 +367,9 @@ func RunSuite(quick bool) (*Report, error) {
 	}
 	byName := map[string]Result{}
 	for _, s := range Suite(quick) {
+		if handoff != "" {
+			s.Handoff = handoff
+		}
 		r, err := Run(s)
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %w", s.Name, err)
@@ -350,11 +378,16 @@ func RunSuite(quick bool) (*Report, error) {
 		byName[s.Name] = r
 	}
 	base, hot, traced := byName["baseline_per_element"], byName["chunked_pooled"], byName["chunked_pooled_traced"]
+	ring, ringTraced := byName["ring_handoff"], byName["ring_handoff_traced"]
 	if base.ExamplesPerSec > 0 {
 		rep.Comparisons["chunked_pooled_speedup_over_baseline"] = hot.ExamplesPerSec / base.ExamplesPerSec
 	}
 	if hot.ExamplesPerSec > 0 {
 		rep.Comparisons["traced_fraction_of_untraced"] = traced.ExamplesPerSec / hot.ExamplesPerSec
+		rep.Comparisons["ring_handoff_speedup_over_chunked_pooled"] = ring.ExamplesPerSec / hot.ExamplesPerSec
+	}
+	if ring.ExamplesPerSec > 0 {
+		rep.Comparisons["ring_traced_fraction_of_untraced"] = ringTraced.ExamplesPerSec / ring.ExamplesPerSec
 	}
 	return rep, nil
 }

@@ -32,9 +32,19 @@ package data
 //     Prefetch buffers) is pass-through and needs no copy.
 //   - UDF bodies must not retain the input payload after returning when
 //     buffer pooling is enabled; the returned element may alias the input.
+//   - A payload with a non-nil Owner is a borrowed view (a sub-slice of an
+//     arena block, not a pooled buffer): it must be released through
+//     Owner.ReleasePayload, never through PutBuf — its capacity is not a
+//     pool size class, and returning a view to the pool while its arena
+//     block is still live would hand the same bytes to two owners.
 type Element struct {
 	// Payload is the materialized content, possibly nil in simulation.
 	Payload []byte
+	// Owner, when non-nil, owns Payload's backing storage (an engine arena
+	// block). The element holds one reference; whoever retires the element
+	// releases it exactly once via ReleasePayload. Nil means Payload is
+	// pool-allocated (PutBuf) or garbage-collected.
+	Owner PayloadOwner
 	// Size is the logical size in bytes. Invariant: if Payload != nil then
 	// Size == int64(len(Payload)).
 	Size int64
@@ -46,9 +56,29 @@ type Element struct {
 	Index int64
 }
 
-// Clone returns a deep copy of the element.
+// PayloadOwner owns the backing storage of a borrowed payload view.
+// ReleasePayload returns the view's reference; implementations recycle the
+// underlying block once every view into it has been released.
+type PayloadOwner interface {
+	ReleasePayload(p []byte)
+}
+
+// Release returns the payload to its owner, if it has one, and reports
+// whether it did. Callers that would otherwise PutBuf a payload must try
+// Release first — a borrowed view must never enter the buffer pool.
+func (e Element) Release() bool {
+	if e.Owner == nil {
+		return false
+	}
+	e.Owner.ReleasePayload(e.Payload)
+	return true
+}
+
+// Clone returns a deep copy of the element. The copy owns its own storage:
+// it drops any Owner, and the original's reference stays with the original.
 func (e Element) Clone() Element {
 	out := e
+	out.Owner = nil
 	if e.Payload != nil {
 		out.Payload = append([]byte(nil), e.Payload...)
 	}
@@ -68,6 +98,9 @@ func (e Element) WithSize(size int64) Element {
 			grown := make([]byte, size)
 			copy(grown, out.Payload)
 			out.Payload = grown
+			// Fresh storage: the copy is not a borrowed view. The caller
+			// still holds (and must release) the original's reference.
+			out.Owner = nil
 		}
 	}
 	return out

@@ -82,6 +82,8 @@ type RecordReader struct {
 	r       io.Reader
 	scratch [RecordHeaderBytes]byte
 	pooled  bool
+	alloc   func(n int) []byte
+	unalloc func(p []byte)
 }
 
 // NewRecordReader returns a reader consuming framed records from r.
@@ -94,6 +96,16 @@ func NewRecordReader(r io.Reader) *RecordReader {
 // Element payload-ownership rules: the consumer owns the buffer and may
 // recycle it with PutBuf once it no longer needs the contents.
 func (rr *RecordReader) SetPooling(on bool) { rr.pooled = on }
+
+// SetAlloc installs a custom payload allocator (the engine's per-worker
+// arenas). alloc may return nil to decline a size, in which case Next falls
+// back to the pool (or make); unalloc takes back a buffer alloc returned
+// when a read fails mid-record. Records served from alloc are borrowed
+// views: the caller attaches the owning arena to the Element it builds.
+func (rr *RecordReader) SetAlloc(alloc func(n int) []byte, unalloc func(p []byte)) {
+	rr.alloc = alloc
+	rr.unalloc = unalloc
+}
 
 // Next reads the next record. It returns io.EOF cleanly at end of stream and
 // io.ErrUnexpectedEOF or a checksum error on corruption.
@@ -114,31 +126,45 @@ func (rr *RecordReader) Next() ([]byte, error) {
 		return nil, fmt.Errorf("tfrecord: record length %d exceeds limit", length)
 	}
 	var payload []byte
-	if rr.pooled {
-		payload = GetBuf(int(length))
-	} else {
-		payload = make([]byte, length)
+	fromAlloc := false
+	if rr.alloc != nil {
+		payload = rr.alloc(int(length))
+		fromAlloc = payload != nil
+	}
+	if payload == nil {
+		if rr.pooled {
+			payload = GetBuf(int(length))
+		} else {
+			payload = make([]byte, length)
+		}
 	}
 	if _, err := io.ReadFull(rr.r, payload); err != nil {
-		rr.discard(payload)
+		rr.discard(payload, fromAlloc)
 		return nil, fmt.Errorf("tfrecord: reading payload: %w", err)
 	}
 	var footer [RecordFooterBytes]byte
 	if _, err := io.ReadFull(rr.r, footer[:]); err != nil {
-		rr.discard(payload)
+		rr.discard(payload, fromAlloc)
 		return nil, fmt.Errorf("tfrecord: reading footer: %w", err)
 	}
 	wantCRC := binary.LittleEndian.Uint32(footer[:])
 	if got := MaskedCRC(payload); got != wantCRC {
-		rr.discard(payload)
+		rr.discard(payload, fromAlloc)
 		return nil, fmt.Errorf("tfrecord: payload checksum mismatch: got %#x want %#x", got, wantCRC)
 	}
 	return payload, nil
 }
 
-// discard recycles a pooled payload abandoned by a failed read, so retried
-// records do not leak one pool buffer per attempt.
-func (rr *RecordReader) discard(payload []byte) {
+// discard takes back a payload abandoned by a failed read — to the custom
+// allocator if it came from there, else to the pool — so retried records do
+// not leak one buffer per attempt.
+func (rr *RecordReader) discard(payload []byte, fromAlloc bool) {
+	if fromAlloc {
+		if rr.unalloc != nil {
+			rr.unalloc(payload)
+		}
+		return
+	}
 	if rr.pooled && payload != nil {
 		PutBuf(payload)
 	}

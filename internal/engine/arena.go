@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"plumber/internal/data"
+)
+
+// Zero-copy payload views.
+//
+// With the ring handoff, source workers stop drawing one pooled buffer per
+// record; each worker bump-allocates record payloads out of its private
+// arena block and hands elements downstream as borrowed views
+// (data.Element.Owner = the block). The block is the reclamation epoch:
+// it holds one fill reference while the worker is still carving views out
+// of it, plus one reference per live view. A view is released when its
+// element retires — dropped by a filter or map predicate, copied out by
+// Batch, or recycled by the root consumer — which under chunked execution
+// happens at chunk granularity. When the worker seals the block (it rolled
+// over to a new epoch, or the worker exited) and the last view is released,
+// the whole block returns to a pool in one operation: per-record GetBuf and
+// PutBuf disappear from the hot path, and consecutive records land
+// physically adjacent for the downstream scan.
+//
+// Views must NEVER be handed to data.PutBuf: their capacities are not pool
+// size classes, and a view entering the buffer pool while its block is live
+// would alias two owners onto the same bytes. Every engine recycle site
+// therefore goes through Pipeline.releasePayload, which routes owned views
+// to their block and only pool-owned buffers to PutBuf. Views are built
+// with three-index slices, so even an append cannot scribble past a view's
+// end into its neighbor.
+
+const (
+	// arenaBlockBytes is one epoch's capacity. 256 KiB keeps a block well
+	// inside the L2 of anything we run on while amortizing pool traffic
+	// over hundreds of typical records.
+	arenaBlockBytes = 256 << 10
+	// arenaMaxRecord is the largest record placed in an arena; bigger ones
+	// fall back to the buffer pool so one huge record cannot pin an
+	// almost-empty block or force a fresh epoch per record.
+	arenaMaxRecord = arenaBlockBytes / 4
+)
+
+// arenaBlockPool recycles sealed, fully released blocks.
+var arenaBlockPool = sync.Pool{
+	New: func() any {
+		return &arenaBlock{buf: make([]byte, arenaBlockBytes)}
+	},
+}
+
+// arenaBlock is one reclamation epoch: a fixed byte region plus a reference
+// count (1 fill reference held by the producing worker until the block is
+// sealed, +1 per live view). It implements data.PayloadOwner, so elements
+// carry the release path with them.
+type arenaBlock struct {
+	buf  []byte
+	refs atomic.Int64
+}
+
+// ReleasePayload returns one view's reference (data.PayloadOwner).
+func (b *arenaBlock) ReleasePayload(_ []byte) { b.release() }
+
+func (b *arenaBlock) release() {
+	n := b.refs.Add(-1)
+	if n == 0 {
+		poisonArena(b.buf)
+		arenaBlockPool.Put(b)
+		return
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("engine: arena block released %d times past zero (double release of a payload view)", -n))
+	}
+}
+
+// arena is a single worker's bump allocator. It is not safe for concurrent
+// use — each source worker owns one — but the views it hands out are
+// released from arbitrary goroutines (the block refcount is atomic).
+type arena struct {
+	cur *arenaBlock
+	off int
+	// last is the block backing the most recent alloc, nil when the most
+	// recent request was declined; owner() reads it to tag the element
+	// built from that allocation.
+	last *arenaBlock
+}
+
+func newArena() *arena { return &arena{} }
+
+// alloc carves an n-byte view out of the current epoch, advancing to a
+// fresh block when the current one is full. It returns nil (declining the
+// request) for empty or oversized records, which the caller routes to the
+// buffer pool instead.
+func (a *arena) alloc(n int) []byte {
+	if n <= 0 || n > arenaMaxRecord {
+		a.last = nil
+		return nil
+	}
+	if a.cur == nil || a.off+n > len(a.cur.buf) {
+		a.seal()
+		a.cur = arenaBlockPool.Get().(*arenaBlock)
+		a.cur.refs.Store(1) // the fill reference
+		a.off = 0
+	}
+	v := a.cur.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	a.cur.refs.Add(1)
+	a.last = a.cur
+	return v
+}
+
+// unalloc takes back the most recent alloc (a failed record read). The
+// bytes are not reusable — the bump pointer has moved on — but the view's
+// reference must drop or the epoch never reclaims.
+func (a *arena) unalloc(_ []byte) {
+	if a.last != nil {
+		a.last.release()
+		a.last = nil
+	}
+}
+
+// owner returns the PayloadOwner for the most recent alloc, or nil when it
+// was declined (pool-allocated payload).
+func (a *arena) owner() data.PayloadOwner {
+	if a.last == nil {
+		return nil
+	}
+	return a.last
+}
+
+// seal drops the fill reference of the current epoch: once the last view is
+// released the block recycles. Call on rollover and on worker exit.
+func (a *arena) seal() {
+	if a.cur != nil {
+		a.cur.release()
+		a.cur = nil
+		a.last = nil
+	}
+}

@@ -1,0 +1,19 @@
+//go:build arena_debug
+
+package engine
+
+// arenaDebug reports whether arena poisoning is compiled in.
+const arenaDebug = true
+
+// arenaPoison is the fill byte stamped over reclaimed blocks; any stage
+// still reading a released view sees 0xDB garbage instead of silently
+// stale record bytes, turning use-after-release into a loud test failure
+// (checksums break, payload assertions fail).
+const arenaPoison = 0xDB
+
+// poisonArena stamps a reclaimed block before it returns to the pool.
+func poisonArena(buf []byte) {
+	for i := range buf {
+		buf[i] = arenaPoison
+	}
+}

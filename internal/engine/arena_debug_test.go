@@ -1,0 +1,24 @@
+//go:build arena_debug
+
+package engine
+
+import "testing"
+
+// TestArenaPoisonOnReclaim only runs under -tags=arena_debug: a reclaimed
+// block must be stamped with the poison byte, so any stage still reading a
+// released view sees loud garbage instead of silently stale record bytes.
+func TestArenaPoisonOnReclaim(t *testing.T) {
+	a := newArena()
+	v := a.alloc(64)
+	for i := range v {
+		v[i] = 0xAA
+	}
+	b := a.cur
+	a.seal()
+	b.ReleasePayload(v) // last reference: poisoned and recycled
+	for i, c := range v {
+		if c != arenaPoison {
+			t.Fatalf("reclaimed view byte %d = %#x, want poison %#x", i, c, arenaPoison)
+		}
+	}
+}

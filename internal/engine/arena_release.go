@@ -1,0 +1,11 @@
+//go:build !arena_debug
+
+package engine
+
+// arenaDebug reports whether arena poisoning is compiled in (see
+// arena_debug.go; enable with -tags=arena_debug).
+const arenaDebug = false
+
+// poisonArena is a no-op in release builds: reclaimed blocks keep their
+// bytes until the next fill overwrites them.
+func poisonArena(_ []byte) {}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"plumber/internal/data"
+)
+
+// TestArenaEpochReclamation walks one epoch through its reference-count
+// lifecycle: the fill reference plus one per view, releases landing from
+// another goroutine, and the block reaching zero only after it is sealed and
+// the last view retires.
+func TestArenaEpochReclamation(t *testing.T) {
+	a := newArena()
+	v1 := a.alloc(100)
+	if v1 == nil || len(v1) != 100 || cap(v1) != 100 {
+		t.Fatalf("alloc(100): len=%d cap=%d, want a 100-byte three-index view", len(v1), cap(v1))
+	}
+	b := a.cur
+	if got := b.refs.Load(); got != 2 {
+		t.Fatalf("refs after first alloc = %d, want 2 (fill ref + view)", got)
+	}
+	if a.owner() != data.PayloadOwner(b) {
+		t.Fatal("owner() does not tag the backing block")
+	}
+	v2 := a.alloc(50)
+	if &v2[0] != &b.buf[100] {
+		t.Fatal("second view is not bump-allocated adjacent to the first")
+	}
+	if got := b.refs.Load(); got != 3 {
+		t.Fatalf("refs after second alloc = %d, want 3", got)
+	}
+
+	// Views are released from arbitrary goroutines (the refcount is atomic).
+	released := make(chan struct{})
+	go func() {
+		b.ReleasePayload(v1)
+		close(released)
+	}()
+	<-released
+	if got := b.refs.Load(); got != 2 {
+		t.Fatalf("refs after one view release = %d, want 2", got)
+	}
+
+	a.seal() // drops the fill reference
+	if got := b.refs.Load(); got != 1 {
+		t.Fatalf("refs after seal = %d, want 1 (one live view)", got)
+	}
+	b.ReleasePayload(v2) // last reference: the block recycles
+	if got := b.refs.Load(); got != 0 {
+		t.Fatalf("refs after final release = %d, want 0 (recycled)", got)
+	}
+}
+
+// TestArenaViewsCannotScribble pins the three-index-slice guarantee: an
+// append past a view's end must reallocate, never write into the neighboring
+// view's bytes.
+func TestArenaViewsCannotScribble(t *testing.T) {
+	a := newArena()
+	v1 := a.alloc(10)
+	v2 := a.alloc(10)
+	b := a.cur
+	v2[0] = 42
+	grown := append(v1, 0xFF)
+	if &grown[0] == &v1[0] {
+		t.Fatal("append grew in place past the view's capacity")
+	}
+	if v2[0] != 42 {
+		t.Fatal("append into one view scribbled over its neighbor")
+	}
+	b.ReleasePayload(v1)
+	b.ReleasePayload(v2)
+	a.seal()
+}
+
+// TestArenaDoubleReleasePanics: releasing a view past zero is a double-free
+// of the whole epoch and must fail loudly, not corrupt the pool.
+func TestArenaDoubleReleasePanics(t *testing.T) {
+	a := newArena()
+	v := a.alloc(8)
+	b := a.cur
+	a.seal()
+	b.ReleasePayload(v) // refs hit zero: block recycled
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+		// Repair the poisoned refcount so the pooled block is reusable by
+		// later tests (alloc re-stores the fill ref anyway; this keeps the
+		// invariant tidy).
+		b.refs.Store(0)
+	}()
+	b.ReleasePayload(v)
+}
+
+// TestArenaDeclineAndUnalloc: empty and oversized requests are declined (the
+// caller falls back to the buffer pool, owner() reads nil), and unalloc
+// returns the most recent view's reference after a failed record read.
+func TestArenaDeclineAndUnalloc(t *testing.T) {
+	a := newArena()
+	if a.alloc(0) != nil || a.owner() != nil {
+		t.Fatal("alloc(0) was not declined")
+	}
+	if a.alloc(arenaMaxRecord+1) != nil || a.owner() != nil {
+		t.Fatalf("alloc(%d) above arenaMaxRecord was not declined", arenaMaxRecord+1)
+	}
+	v := a.alloc(16)
+	b := a.cur
+	before := b.refs.Load()
+	a.unalloc(v)
+	if got := b.refs.Load(); got != before-1 {
+		t.Fatalf("refs after unalloc = %d, want %d", got, before-1)
+	}
+	if a.owner() != nil {
+		t.Fatal("owner() still tags a block after unalloc")
+	}
+	a.seal()
+	if got := b.refs.Load(); got != 0 {
+		t.Fatalf("refs after seal = %d, want 0 (no live views)", got)
+	}
+}
+
+// TestArenaRolloverSealsEpoch: filling a block and allocating once more
+// advances to a fresh epoch; the old block's fill reference drops on
+// rollover, so it reclaims as soon as its outstanding views retire.
+func TestArenaRolloverSealsEpoch(t *testing.T) {
+	a := newArena()
+	perBlock := arenaBlockBytes / arenaMaxRecord // exact fit
+	var views [][]byte
+	for i := 0; i < perBlock; i++ {
+		views = append(views, a.alloc(arenaMaxRecord))
+	}
+	first := a.cur
+	if a.off != arenaBlockBytes {
+		t.Fatalf("block not exactly full: off=%d", a.off)
+	}
+	v := a.alloc(1)
+	if a.cur == first {
+		t.Fatal("full block did not roll over to a fresh epoch")
+	}
+	if got := first.refs.Load(); got != int64(perBlock) {
+		t.Fatalf("sealed block refs = %d, want %d (views only, fill ref dropped)", got, perBlock)
+	}
+	for _, view := range views {
+		first.ReleasePayload(view)
+	}
+	if got := first.refs.Load(); got != 0 {
+		t.Fatalf("sealed block refs after releases = %d, want 0 (recycled)", got)
+	}
+	a.unalloc(v)
+	a.seal()
+}
+
+// TestArenaConcurrentViewRelease is the -race workout for epoch reclamation:
+// one worker bump-allocates across several epochs while four goroutines
+// release the views concurrently — the pattern the engine runs when
+// downstream stages retire borrowed views on other goroutines.
+func TestArenaConcurrentViewRelease(t *testing.T) {
+	a := newArena()
+	type view struct {
+		o data.PayloadOwner
+		v []byte
+	}
+	const n = 1024 // 1024 x 1 KiB spans several 256 KiB epochs
+	ch := make(chan view, n)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range ch {
+				r.o.ReleasePayload(r.v)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		v := a.alloc(1 << 10)
+		if v == nil {
+			t.Fatal("alloc declined a 1 KiB record")
+		}
+		v[0] = byte(i) // touch the view so races with release are visible
+		ch <- view{a.owner(), v}
+	}
+	a.seal()
+	close(ch)
+	wg.Wait()
+}

@@ -49,8 +49,16 @@ type Options struct {
 	Spin bool
 	// Seed drives shuffling and any randomized UDFs.
 	Seed uint64
-	// ChannelSlack is the per-worker output-channel capacity, in chunks, for
-	// parallel stages (default 2).
+	// Handoff selects the stage-edge implementation for parallel stages:
+	// HandoffRing (the default) hands chunks through sharded SPMC ring
+	// buffers; HandoffChannel keeps the buffered-Go-channel edge as an A/B
+	// baseline. Any other value is rejected by New.
+	Handoff HandoffKind
+	// ChannelSlack is the per-worker edge depth, in chunks, for parallel
+	// stages: the buffered-channel capacity per worker, or the ring shard's
+	// logical depth (its slot count is ChannelSlack rounded up to a power
+	// of two). Values below MinChannelSlack are replaced by
+	// DefaultChannelSlack.
 	ChannelSlack int
 	// ChunkSize is the number of elements a worker hands off per channel
 	// send. Chunking amortizes channel synchronization across many elements;
@@ -107,8 +115,20 @@ type Pipeline struct {
 	// assembly; recycle additionally allows operators that copy payloads
 	// (Batch) and the root consumer to return buffers to the pool. recycle
 	// implies pool; recycle is off when the chain contains a Cache node.
-	pool    bool
-	recycle bool
+	// viewArena additionally serves source records as zero-copy views into
+	// per-worker arena blocks (see arena.go); it requires recycle — views
+	// only reclaim if every stage retires the elements it drops — and the
+	// ring handoff, so the channel baseline measures the PR-1 engine
+	// unchanged.
+	pool      bool
+	recycle   bool
+	viewArena bool
+
+	// rootGate admits the root consumer's sequential stages (filter,
+	// shuffle, batch driven by Next callers) to the shared pool; nil
+	// without a pool. Segments driven by other goroutines (prefetch, map
+	// workers) get their own gates at build time.
+	rootGate *seqGate
 
 	// Cancellation: cancelCh wakes consumers blocked on a worker handoff,
 	// interrupts (one doneLatch per parallel iterator, including those the
@@ -155,8 +175,16 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 			return nil, fmt.Errorf("engine: pool tenant %q not admitted", opts.PoolTenant)
 		}
 	}
-	if opts.ChannelSlack <= 0 {
-		opts.ChannelSlack = 2
+	switch opts.Handoff {
+	case "", HandoffRing:
+		opts.Handoff = HandoffRing
+	case HandoffChannel:
+	default:
+		return nil, fmt.Errorf("engine: unknown Options.Handoff %q (want %q or %q)",
+			opts.Handoff, HandoffRing, HandoffChannel)
+	}
+	if opts.ChannelSlack < MinChannelSlack {
+		opts.ChannelSlack = DefaultChannelSlack
 	}
 	if opts.ChunkSize <= 0 {
 		opts.ChunkSize = DefaultChunkSize
@@ -183,12 +211,16 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 	}
 	p.pool = !opts.DisableBufferPool
 	p.recycle = p.pool && !hasCache
+	p.viewArena = p.recycle && opts.Handoff == HandoffRing
 	outer := g.OuterParallelism
 	if outer < 1 {
 		outer = 1
 	}
+	// All outer-parallelism replicas are driven by the same consumer
+	// goroutine (round-robin), so they share the root segment's gate.
+	p.rootGate = p.gate(p.cancelCh)
 	build := func(replica int, seedShift uint64) (iterator, error) {
-		return p.buildChain(chain, len(chain)-1, replica, opts.Seed^seedShift)
+		return p.buildChain(chain, len(chain)-1, replica, opts.Seed^seedShift, p.rootGate)
 	}
 	if outer == 1 {
 		root, err := build(0, 0)
@@ -356,7 +388,9 @@ func (p *Pipeline) Close() error {
 		close(p.watchStop)
 		p.watchStop = nil
 	}
-	return p.root.Close()
+	err := p.root.Close()
+	p.rootGate.close() // return the root segment's admission slot, if held
+	return err
 }
 
 // Drain pulls up to max elements (all if max <= 0), returning the count
@@ -391,12 +425,28 @@ func (p *Pipeline) DrainCtx(ctx context.Context, max int64) (elements, examples 
 	return p.Drain(max)
 }
 
-// Recycle returns a root element's payload to the buffer pool, if the
-// pipeline's configuration makes that safe (pooling enabled and no Cache
-// node retaining elements). Callers that consume root elements and do not
-// keep their payloads should call it to close the pooling loop.
+// Recycle returns a root element's payload to its owner — the arena block
+// it is a view into, or the buffer pool — if the pipeline's configuration
+// makes that safe (pooling enabled and no Cache node retaining elements).
+// Callers that consume root elements and do not keep their payloads should
+// call it to close the recycling loop.
 func (p *Pipeline) Recycle(e data.Element) {
-	if p.recycle && e.Payload != nil {
+	p.releasePayload(e)
+}
+
+// releasePayload retires an element this stage solely owns. Arena views go
+// back to their block (never to the buffer pool — a view's capacity is not
+// a pool size class, and its block may have other live views); pooled
+// buffers go back to the pool. Every engine-side recycle site must come
+// through here rather than calling data.PutBuf directly.
+func (p *Pipeline) releasePayload(e data.Element) {
+	if !p.recycle {
+		return
+	}
+	if e.Release() {
+		return
+	}
+	if e.Payload != nil {
 		data.PutBuf(e.Payload)
 	}
 }
@@ -407,14 +457,20 @@ func (p *Pipeline) Recycle(e data.Element) {
 // outer-parallelism replica index; each replica materializes its own cache
 // entries, since replicas are independent pipeline instances whose fills
 // must not interleave.
-func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint64) (iterator, error) {
+//
+// g is the admission gate of the sequential segment this node's Next runs
+// in. Parallel stages (map, prefetch) end the segment: the stages below
+// them run on their worker/prefetch goroutines, under a fresh gate bound to
+// the parallel stage's latch. Sequential stages and pass-throughs inherit g
+// (Repeat's factory captures it, so epoch rebuilds stay in the segment).
+func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint64, g *seqGate) (iterator, error) {
 	n := chain[idx]
 	handle := p.handle(n.Name)
 	childFactory := func() (iterator, error) {
 		if idx == 0 {
 			return nil, fmt.Errorf("engine: node %q has no child", n.Name)
 		}
-		return p.buildChain(chain, idx-1, replica, seed)
+		return p.buildChain(chain, idx-1, replica, seed, g)
 	}
 	switch n.Kind {
 	case pipeline.KindSource, pipeline.KindInterleave:
@@ -426,9 +482,11 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 		if n.Kind == pipeline.KindInterleave {
 			par = n.EffectiveParallelism()
 		}
-		return newSource(p, n.Name, cat, par, handle, seed), nil
+		return newSource(p, n.Name, cat, par, handle, seed, g), nil
 	case pipeline.KindMap:
-		child, err := childFactory()
+		latch := p.iterLatch()
+		childGate := p.gate(latch.ch)
+		child, err := p.buildChain(chain, idx-1, replica, seed, childGate)
 		if err != nil {
 			return nil, err
 		}
@@ -436,7 +494,7 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 		if err != nil {
 			return nil, err
 		}
-		return newMapIter(p, n.Name, child, u, n.EffectiveParallelism(), handle, seed), nil
+		return newMapIter(p, n.Name, child, u, n.EffectiveParallelism(), handle, seed, latch, g, childGate), nil
 	case pipeline.KindFilter:
 		child, err := childFactory()
 		if err != nil {
@@ -446,13 +504,13 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 		if err != nil {
 			return nil, err
 		}
-		return newFilterIter(p, n.Name, child, u, handle), nil
+		return newFilterIter(p, n.Name, child, u, handle, g), nil
 	case pipeline.KindShuffle:
 		child, err := childFactory()
 		if err != nil {
 			return nil, err
 		}
-		return newShuffleIter(child, n.BufferSize, handle, stats.NewRNG(seed^hashName(n.Name))), nil
+		return newShuffleIter(child, n.BufferSize, handle, stats.NewRNG(seed^hashName(n.Name)), g), nil
 	case pipeline.KindRepeat:
 		return newRepeatIter(childFactory, n.Count, handle), nil
 	case pipeline.KindBatch:
@@ -460,13 +518,15 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 		if err != nil {
 			return nil, err
 		}
-		return newBatchIter(p, child, n.BatchSize, handle), nil
+		return newBatchIter(p, child, n.BatchSize, handle, g), nil
 	case pipeline.KindPrefetch:
-		child, err := childFactory()
+		latch := p.iterLatch()
+		childGate := p.gate(latch.ch)
+		child, err := p.buildChain(chain, idx-1, replica, seed, childGate)
 		if err != nil {
 			return nil, err
 		}
-		return newPrefetchIter(p, child, n.BufferSize, handle), nil
+		return newPrefetchIter(p, child, n.BufferSize, handle, latch, g, childGate), nil
 	case pipeline.KindCache:
 		key := n.Name
 		if replica > 0 {
@@ -504,6 +564,15 @@ func (p *Pipeline) handle(name string) *trace.NodeStats {
 
 // DefaultChunkSize is the default number of elements per worker handoff.
 const DefaultChunkSize = 64
+
+// Stage-edge depth bounds: MinChannelSlack is the smallest usable per-worker
+// edge depth (one in-flight chunk — below that the edge cannot decouple
+// producer from consumer at all), and DefaultChannelSlack is what New
+// substitutes for any Options.ChannelSlack below the minimum.
+const (
+	MinChannelSlack     = 1
+	DefaultChannelSlack = 2
+)
 
 // chunkSize returns the normalized per-handoff element count.
 func (p *Pipeline) chunkSize() int { return p.opts.ChunkSize }
@@ -654,7 +723,11 @@ type slot struct {
 	pool   *SharedPool
 	tenant string
 	done   <-chan struct{}
-	rel    func()
+	// seq tags holds by consumer-side sequential stages, so the pool can
+	// report how much of a tenant's occupancy its gated sequential work
+	// contributed (PoolStats.HeldSecondsSequential).
+	seq bool
+	rel func()
 }
 
 func (p *Pipeline) slot(done <-chan struct{}) slot {
@@ -667,7 +740,7 @@ func (s *slot) acquire() bool {
 	if s.pool == nil || s.rel != nil {
 		return true
 	}
-	rel, ok := s.pool.Acquire(s.tenant, s.done)
+	rel, ok := s.pool.acquireSlot(s.tenant, s.done, s.seq)
 	if !ok {
 		return false
 	}
@@ -691,4 +764,103 @@ func (s *slot) yield() bool {
 	}
 	s.release()
 	return s.acquire()
+}
+
+// seqGate subjects the consumer-side sequential stages (filter, shuffle,
+// batch) to shared-pool admission. One gate serves one driving goroutine's
+// whole sequential segment: the root consumer's stack of sequential
+// iterators, a prefetch goroutine's, or a map worker's below-map pulls
+// (serialized by the map's childMu, so gate state needs no lock). Nested
+// gated stages share the slot through a reentrancy depth instead of each
+// holding one — a share-1 tenant with batch-over-filter would deadlock
+// against itself otherwise.
+//
+// The "never hold a slot across a blocking handoff" invariant holds on both
+// edges of the segment: a chunkReceiver about to block on an empty upstream
+// edge releases the gate's slot first (unblock/reacquire), and a prefetch
+// emitter about to block on its full downstream edge releases it the same
+// way workers do (chunkEmitter.sl). At chunk boundaries — every `every`
+// consumed elements — tick yields the slot so waiting guaranteed tenants
+// get in; preemption latency for sequential work is therefore bounded by
+// one chunk, same as for workers.
+type seqGate struct {
+	sl    slot
+	every int
+	n     int
+	depth int
+}
+
+// gate returns a seqGate for one sequential segment whose lifetime is
+// bounded by done, or nil when the pipeline has no pool (every method
+// no-ops on nil).
+func (p *Pipeline) gate(done <-chan struct{}) *seqGate {
+	if p.opts.Pool == nil {
+		return nil
+	}
+	sl := p.slot(done)
+	sl.seq = true
+	return &seqGate{sl: sl, every: p.chunkSize()}
+}
+
+// enter admits the calling stage, acquiring the segment's slot at depth 0.
+// It returns false when the pipeline is shutting down or the tenant was
+// evicted; the stage surfaces that as io.EOF and unwinds.
+func (g *seqGate) enter() bool {
+	if g == nil {
+		return true
+	}
+	g.depth++
+	if g.depth > 1 {
+		return true
+	}
+	return g.sl.acquire()
+}
+
+// exit undoes enter. The slot deliberately stays held across Next calls —
+// tick yields it at chunk boundaries, blocking edges release it, and close
+// frees it when the segment's driver finishes — so back-to-back sequential
+// Nexts don't pay an admission round-trip each.
+func (g *seqGate) exit() {
+	if g != nil {
+		g.depth--
+	}
+}
+
+// tick marks one consumed element; every `every` elements it yields the
+// slot (release + blocking re-acquire), the sequential stages' chunk-
+// boundary preemption point.
+func (g *seqGate) tick() bool {
+	if g == nil || g.sl.pool == nil {
+		return true
+	}
+	if g.n++; g.n < g.every {
+		return true
+	}
+	g.n = 0
+	return g.sl.yield()
+}
+
+// unblock releases the segment's slot before a blocking upstream receive;
+// reacquire takes it back once data (or EOF) arrived. At depth 0 — no gated
+// stage on the stack — both no-op beyond returning the idle slot.
+func (g *seqGate) unblock() {
+	if g == nil {
+		return
+	}
+	g.sl.release()
+}
+
+func (g *seqGate) reacquire() bool {
+	if g == nil || g.depth == 0 {
+		return true
+	}
+	return g.sl.acquire()
+}
+
+// close releases whatever the gate still holds; call when the segment's
+// driving goroutine finishes.
+func (g *seqGate) close() {
+	if g != nil {
+		g.sl.release()
+	}
 }

@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"plumber/internal/data"
+)
+
+// TestRingHandoffGeometry pins the shard layout: one ring per producer, slot
+// capacity rounded up to a power of two, and the logical depth limit kept at
+// the requested (possibly non-power-of-two) value.
+func TestRingHandoffGeometry(t *testing.T) {
+	r := newRingHandoff(2, 3)
+	if len(r.shards) != 2 {
+		t.Fatalf("shards = %d, want 2 (one per producer)", len(r.shards))
+	}
+	if got := len(r.shards[0].slots); got != 4 {
+		t.Fatalf("slot capacity = %d, want 4 (3 rounded up to a power of two)", got)
+	}
+	if r.limit != 3 {
+		t.Fatalf("logical depth limit = %d, want the requested 3", r.limit)
+	}
+}
+
+// TestRingHandoffConcurrentStealWrapAround is the -race workout for the ring:
+// three producers push 400 chunks each through depth-2 shards (hundreds of
+// sequence-counter laps), while two consumers with separate shard-affinity
+// cursors drain and steal concurrently. Every chunk must arrive exactly once.
+func TestRingHandoffConcurrentStealWrapAround(t *testing.T) {
+	const (
+		producers   = 3
+		perProducer = 400
+		depth       = 2
+	)
+	r := newRingHandoff(producers, depth)
+
+	var pwg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		pwg.Add(1)
+		go func(w int) {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				c := []item{{elem: data.Element{Index: int64(w*perProducer + i)}}}
+				if !r.send(w, c, nil) {
+					t.Errorf("producer %d: send %d rejected on an open ring", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		pwg.Wait()
+		r.close()
+	}()
+
+	got := make(chan int64, producers*perProducer)
+	var cwg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			prefer := c
+			for {
+				chunk, ok := r.recv(&prefer, nil)
+				if !ok {
+					return
+				}
+				for _, it := range chunk {
+					got <- it.elem.Index
+				}
+			}
+		}(c)
+	}
+	cwg.Wait()
+	close(got)
+
+	seen := make(map[int64]bool, producers*perProducer)
+	for idx := range got {
+		if seen[idx] {
+			t.Fatalf("chunk %d delivered twice", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("delivered %d chunks, want %d", len(seen), producers*perProducer)
+	}
+}
+
+// TestRingHandoffCancelDuringPark verifies a consumer parked on an empty ring
+// wakes on cancellation with ok == false, and a producer parked on a full
+// shard wakes on its done channel the same way. The register-then-recheck
+// protocol makes this correct whether or not the waiter has actually parked
+// when the channel closes.
+func TestRingHandoffCancelDuringPark(t *testing.T) {
+	r := newRingHandoff(1, 1)
+	cancel := make(chan struct{})
+	recvOK := make(chan bool, 1)
+	go func() {
+		prefer := 0
+		_, ok := r.recv(&prefer, cancel)
+		recvOK <- ok
+	}()
+	time.Sleep(5 * time.Millisecond) // give the consumer time to park
+	close(cancel)
+	select {
+	case ok := <-recvOK:
+		if ok {
+			t.Fatal("recv on an empty canceled ring reported data")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked consumer did not wake on cancel")
+	}
+
+	if !r.trySend(0, []item{{}}) {
+		t.Fatal("could not fill the depth-1 shard")
+	}
+	done := make(chan struct{})
+	sendOK := make(chan bool, 1)
+	go func() {
+		sendOK <- r.send(0, []item{{}}, done)
+	}()
+	time.Sleep(5 * time.Millisecond) // give the producer time to park
+	close(done)
+	select {
+	case ok := <-sendOK:
+		if ok {
+			t.Fatal("send on a full ring succeeded after done closed")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked producer did not wake on done")
+	}
+}
+
+// TestPoolEvictWakesParkedRingProducer pins the satellite regression: a
+// producer parked on a full shard is outside Acquire, so Pool.Evict's cond
+// broadcast alone cannot reach it — the OnInterrupt hook must. The send must
+// return false (chunk not accepted) rather than re-park forever.
+func TestPoolEvictWakesParkedRingProducer(t *testing.T) {
+	pool := NewSharedPool(1)
+	if err := pool.Admit("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	r := newRingHandoff(1, 1)
+	r.abort = func() bool { return pool.Evicted("t") }
+	r.unregister = pool.OnInterrupt(r.wakeAll)
+	defer r.detach()
+
+	if !r.trySend(0, []item{{}}) {
+		t.Fatal("could not fill the depth-1 shard")
+	}
+	sendOK := make(chan bool, 1)
+	go func() {
+		sendOK <- r.send(0, []item{{}}, nil)
+	}()
+	time.Sleep(5 * time.Millisecond) // give the producer time to park
+	pool.Evict("t")
+	select {
+	case ok := <-sendOK:
+		if ok {
+			t.Fatal("send succeeded for an evicted tenant")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("eviction stranded the parked ring producer")
+	}
+}
+
+// TestEvictionDoesNotStrandParkedConsumer is the engine-level half of the
+// same regression: a tenant whose only slot is held by a wedged worker has
+// its real workers blocked in Acquire and its root consumer parked on an
+// empty ring. Evicting the tenant must unwind the whole pipeline — failed
+// acquires wind the workers down, the closing edge wakes the consumer — so
+// Drain returns instead of hanging.
+func TestEvictionDoesNotStrandParkedConsumer(t *testing.T) {
+	pool := NewSharedPool(1)
+	if err := pool.Admit("victim", 1); err != nil {
+		t.Fatal(err)
+	}
+	// A stand-in for a wedged worker: holds the tenant's only slot for the
+	// whole test, so the pipeline's workers all block in Acquire.
+	wedged, ok := pool.Acquire("victim", nil)
+	if !ok {
+		t.Fatal("wedged acquire aborted")
+	}
+
+	graph, opts := poolWorkload(t, "strand-victim", 2, 1e-4, 40)
+	opts.Pool, opts.PoolTenant = pool, "victim"
+	p, err := New(graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := make(chan error, 1)
+	go func() {
+		_, _, derr := p.Drain(0)
+		result <- derr
+	}()
+	// Let the workers block in Acquire and the consumer park on the ring.
+	time.Sleep(20 * time.Millisecond)
+	pool.Evict("victim")
+	select {
+	case <-result:
+		// Unwound — with or without an error; the regression is the hang.
+	case <-time.After(10 * time.Second):
+		t.Fatal("eviction stranded the parked consumer")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close after eviction: %v", err)
+	}
+	wedged() // settles against the reclaim debt
+}
+
+// TestChannelSlackClamped pins the documented minimum: edge depths below
+// MinChannelSlack are replaced by DefaultChannelSlack (the ring derives its
+// shard capacity from the same normalized knob), while legal values pass
+// through untouched.
+func TestChannelSlackClamped(t *testing.T) {
+	fs, reg := testSetup(t)
+	for _, slack := range []int{-3, 0} {
+		p, err := New(canonicalGraph(t, 2), Options{FS: fs, UDFs: reg, ChannelSlack: slack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.opts.ChannelSlack != DefaultChannelSlack {
+			t.Fatalf("ChannelSlack %d normalized to %d, want DefaultChannelSlack (%d)",
+				slack, p.opts.ChannelSlack, DefaultChannelSlack)
+		}
+		p.Close()
+	}
+	p, err := New(canonicalGraph(t, 2), Options{FS: fs, UDFs: reg, ChannelSlack: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.opts.ChannelSlack != 5 {
+		t.Fatalf("legal ChannelSlack rewritten to %d, want 5", p.opts.ChannelSlack)
+	}
+	p.Close()
+}
+
+// TestHandoffKindsAgree drains the canonical chain under both edge
+// implementations and requires identical element/example totals — the A/B
+// baseline only means something if the two edges are observationally
+// equivalent.
+func TestHandoffKindsAgree(t *testing.T) {
+	total := int64(testCatalog.NumFiles * testCatalog.RecordsPerFile)
+	wantBatches := total / 8
+	for _, kind := range []HandoffKind{HandoffRing, HandoffChannel} {
+		fs, reg := testSetup(t)
+		p, err := New(canonicalGraph(t, 4), Options{FS: fs, UDFs: reg, Handoff: kind})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		elements, examples, err := p.Drain(0)
+		p.Close()
+		if err != nil {
+			t.Fatalf("%s: drain: %v", kind, err)
+		}
+		if elements != wantBatches || examples != total {
+			t.Fatalf("%s: got %d elements / %d examples, want %d / %d",
+				kind, elements, examples, wantBatches, total)
+		}
+	}
+	fs, reg := testSetup(t)
+	if _, err := New(canonicalGraph(t, 1), Options{FS: fs, UDFs: reg, Handoff: "bogus"}); err == nil {
+		t.Fatal("bogus Handoff kind accepted")
+	}
+}

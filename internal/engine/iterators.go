@@ -46,13 +46,16 @@ func putChunk(c []item) {
 }
 
 // chunkEmitter accumulates items on the producer side and flushes full
-// chunks to out, aborting when done closes. When sl is set, a flush that
-// would block releases the held pool slot first: a worker must never sit on
-// a shared-pool slot while waiting for channel room, both because the slot
-// buys CPU the worker is not using and because a tenant whose sources hold
-// every slot while its maps wait for one would deadlock against itself.
+// chunks to the stage's handoff edge, aborting when done closes. When sl is
+// set, a flush that would block releases the held pool slot first: a worker
+// must never sit on a shared-pool slot while waiting for edge room, both
+// because the slot buys CPU the worker is not using and because a tenant
+// whose sources hold every slot while its maps wait for one would deadlock
+// against itself. (For a prefetch goroutine, sl is its sequential gate's
+// slot — the same invariant, one level up.)
 type chunkEmitter struct {
-	out  chan<- []item
+	h    handoff
+	w    int // producer index: which ring shard this emitter owns
 	done <-chan struct{}
 	size int
 	sl   *slot
@@ -77,37 +80,37 @@ func (ce *chunkEmitter) flush() bool {
 	if len(ce.buf) == 0 {
 		return true
 	}
-	// Fast path: room in the channel, the slot (if any) stays held.
-	select {
-	case ce.out <- ce.buf:
+	// Fast path: room on the edge, the slot (if any) stays held.
+	if ce.h.trySend(ce.w, ce.buf) {
 		ce.buf = nil
 		return true
-	default:
 	}
 	if ce.sl != nil {
 		ce.sl.release() // blocking send: give the slot back first
 	}
-	select {
-	case ce.out <- ce.buf:
+	if ce.h.send(ce.w, ce.buf, ce.done) {
 		ce.buf = nil
 		return true
-	case <-ce.done:
-		return false
 	}
+	return false
 }
 
 // chunkReceiver drains chunks on the consumer side, yielding one item at a
 // time and recycling emptied chunk slices. A blocked receive also wakes on
 // the pipeline's cancel channel, so a consumer never hangs on workers that
-// were canceled (or are wedged and will never close the channel); the
+// were canceled (or are wedged and will never close the edge); the
 // resulting io.EOF is translated to the cancellation cause at the pipeline
-// root.
+// root. A receive that has to block first releases the consuming segment's
+// sequential-admission slot (g.unblock) — the consumer-side half of the
+// "never hold a slot across a blocking handoff" invariant — and takes it
+// back once data arrives.
 type chunkReceiver struct {
 	pending []item
 	pos     int
+	prefer  int // shard affinity cursor for ring stealing
 }
 
-func (cr *chunkReceiver) next(out <-chan []item, cancel <-chan struct{}) (data.Element, error) {
+func (cr *chunkReceiver) next(h handoff, cancel <-chan struct{}, g *seqGate) (data.Element, error) {
 	for {
 		if cr.pos < len(cr.pending) {
 			it := cr.pending[cr.pos]
@@ -119,26 +122,19 @@ func (cr *chunkReceiver) next(out <-chan []item, cancel <-chan struct{}) (data.E
 			}
 			return it.elem, it.err
 		}
-		// Prefer data already handed off over cancellation, so cancel does
-		// not drop elements a worker has completed.
-		select {
-		case c, ok := <-out:
-			if !ok {
-				return data.Element{}, io.EOF
-			}
+		if c, ok := h.tryRecv(&cr.prefer); ok {
 			cr.pending, cr.pos = c, 0
 			continue
-		default:
 		}
-		select {
-		case c, ok := <-out:
-			if !ok {
-				return data.Element{}, io.EOF
-			}
-			cr.pending, cr.pos = c, 0
-		case <-cancel:
+		g.unblock()
+		c, ok := h.recv(&cr.prefer, cancel)
+		if !g.reacquire() {
+			return data.Element{}, io.EOF // shutting down; the chunk, if any, is abandoned
+		}
+		if !ok {
 			return data.Element{}, io.EOF
 		}
+		cr.pending, cr.pos = c, 0
 	}
 }
 
@@ -158,10 +154,11 @@ type sourceIter struct {
 	par    int
 	handle *trace.NodeStats
 	seed   uint64
+	gate   *seqGate // the consuming segment's admission gate
 
 	once    sync.Once
 	started bool
-	out     chan []item
+	out     handoff
 	latch   *doneLatch
 	wg      sync.WaitGroup
 	nextIdx int64
@@ -169,8 +166,8 @@ type sourceIter struct {
 	recv    chunkReceiver
 }
 
-func newSource(p *Pipeline, name string, cat data.Catalog, par int, handle *trace.NodeStats, seed uint64) *sourceIter {
-	return &sourceIter{p: p, name: name, cat: cat, par: par, handle: handle, seed: seed, latch: p.iterLatch()}
+func newSource(p *Pipeline, name string, cat data.Catalog, par int, handle *trace.NodeStats, seed uint64, gate *seqGate) *sourceIter {
+	return &sourceIter{p: p, name: name, cat: cat, par: par, handle: handle, seed: seed, gate: gate, latch: p.iterLatch()}
 }
 
 func (s *sourceIter) start() {
@@ -181,14 +178,14 @@ func (s *sourceIter) start() {
 		fileCh <- f
 	}
 	close(fileCh)
-	s.out = make(chan []item, s.par*s.p.opts.ChannelSlack)
+	s.out = s.p.newHandoff(s.par, s.p.opts.ChannelSlack)
 	s.wg.Add(s.par)
 	for w := 0; w < s.par; w++ {
 		go s.worker(w, fileCh)
 	}
 	go func() {
 		s.wg.Wait()
-		close(s.out)
+		s.out.close()
 	}()
 }
 
@@ -196,8 +193,17 @@ func (s *sourceIter) worker(w int, fileCh <-chan string) {
 	defer s.wg.Done()
 	sl := s.p.slot(s.latch.ch)
 	defer sl.release()
-	em := chunkEmitter{out: s.out, done: s.latch.ch, size: s.p.chunkSize(), sl: &sl}
+	em := chunkEmitter{h: s.out, w: w, done: s.latch.ch, size: s.p.chunkSize(), sl: &sl}
 	defer em.flush()
+	// Zero-copy payload views: this worker's records are carved out of its
+	// private arena and handed downstream as borrowed views (Element.Owner).
+	// The deferred seal drops the final epoch's fill reference so it can
+	// reclaim once downstream releases its views.
+	var ar *arena
+	if s.p.viewArena {
+		ar = newArena()
+		defer ar.seal()
+	}
 	tr := tracker{h: s.handle}
 	defer tr.flush()
 	rt := s.p.retrier(s.name, &tr, s.latch.ch, s.seed^uint64(w+1)*0x9e3779b97f4a7c15)
@@ -235,6 +241,9 @@ func (s *sourceIter) worker(w int, fileCh <-chan string) {
 		defer r.Close()
 		rr := data.NewRecordReader(r)
 		rr.SetPooling(s.p.pool)
+		if ar != nil {
+			rr.SetAlloc(ar.alloc, ar.unalloc)
+		}
 		for {
 			// Reading records is this worker's CPU work: it happens under a
 			// pool slot (a no-op re-check when already held — the emitter
@@ -280,6 +289,9 @@ func (s *sourceIter) worker(w int, fileCh <-chan string) {
 				Count:   1,
 				Index:   idxNext,
 			}
+			if ar != nil {
+				e.Owner = ar.owner() // nil when the arena declined this size
+			}
 			idxNext++
 			if modelCPU {
 				s.p.accountCPU(&tr.ls, parsePerByte*float64(len(rec))+parsePerElem)
@@ -311,7 +323,7 @@ func (s *sourceIter) Next() (data.Element, error) {
 	if s.initErr != nil {
 		return data.Element{}, s.initErr
 	}
-	return s.recv.next(s.out, s.p.cancelCh)
+	return s.recv.next(s.out, s.p.cancelCh, s.gate)
 }
 
 func (s *sourceIter) Close() error {
@@ -319,9 +331,14 @@ func (s *sourceIter) Close() error {
 	s.latch.close()
 	if s.started {
 		if s.p.opts.Pool != nil {
-			s.p.opts.Pool.Interrupt() // wake workers blocked in Acquire
+			s.p.opts.Pool.Interrupt() // wake workers blocked in Acquire or parked on the ring
 		}
 		s.wg.Wait()
+		s.out.detach()
+		if s.handle != nil {
+			parks, steals := s.out.stats()
+			trace.AddHandoff(s.handle, parks, steals)
+		}
 	}
 	return nil
 }
@@ -341,10 +358,15 @@ type mapIter struct {
 	par    int
 	handle *trace.NodeStats
 	seed   uint64
+	// gate is the consuming segment's admission gate (for blocked receives
+	// on m.out); childGate covers the below-map sequential segment, whose
+	// stages run on worker goroutines under childMu.
+	gate      *seqGate
+	childGate *seqGate
 
 	once    sync.Once
 	started bool
-	out     chan []item
+	out     handoff
 	latch   *doneLatch
 	wg      sync.WaitGroup
 	childMu sync.Mutex
@@ -352,20 +374,20 @@ type mapIter struct {
 	recv    chunkReceiver
 }
 
-func newMapIter(p *Pipeline, name string, child iterator, u udf.UDF, par int, handle *trace.NodeStats, seed uint64) *mapIter {
-	return &mapIter{p: p, name: name, child: child, u: u, par: par, handle: handle, seed: seed, latch: p.iterLatch()}
+func newMapIter(p *Pipeline, name string, child iterator, u udf.UDF, par int, handle *trace.NodeStats, seed uint64, latch *doneLatch, gate, childGate *seqGate) *mapIter {
+	return &mapIter{p: p, name: name, child: child, u: u, par: par, handle: handle, seed: seed, latch: latch, gate: gate, childGate: childGate}
 }
 
 func (m *mapIter) start() {
 	m.started = true
-	m.out = make(chan []item, m.par*m.p.opts.ChannelSlack)
+	m.out = m.p.newHandoff(m.par, m.p.opts.ChannelSlack)
 	m.wg.Add(m.par)
 	for w := 0; w < m.par; w++ {
 		go m.worker(w)
 	}
 	go func() {
 		m.wg.Wait()
-		close(m.out)
+		m.out.close()
 	}()
 }
 
@@ -373,7 +395,7 @@ func (m *mapIter) worker(w int) {
 	defer m.wg.Done()
 	sl := m.p.slot(m.latch.ch)
 	defer sl.release()
-	em := chunkEmitter{out: m.out, done: m.latch.ch, size: m.p.chunkSize(), sl: &sl}
+	em := chunkEmitter{h: m.out, w: w, done: m.latch.ch, size: m.p.chunkSize(), sl: &sl}
 	defer em.flush()
 	tr := tracker{h: m.handle}
 	defer tr.flush()
@@ -405,6 +427,11 @@ func (m *mapIter) worker(w int) {
 				break
 			}
 		}
+		// Gated sequential stages below this map keep their segment's slot
+		// warm between pulls; return it before this worker goes off to apply
+		// UDFs under its own slot, or a share-1 tenant would deadlock
+		// against itself (UDF acquire waiting on the idle childGate hold).
+		m.childGate.unblock()
 		m.childMu.Unlock()
 		// Apply the UDF to the chunk under a pool slot, returned before the
 		// next pull so shares enforce per chunk. The pull above holds no
@@ -429,10 +456,8 @@ func (m *mapIter) worker(w int) {
 			}
 			if !keep {
 				// The dropped element's sole owner is this worker (UDF
-				// bodies must not retain inputs); recycle its buffer.
-				if m.p.recycle && it.elem.Payload != nil {
-					data.PutBuf(it.elem.Payload)
-				}
+				// bodies must not retain inputs); retire its payload.
+				m.p.releasePayload(it.elem)
 				continue
 			}
 			tr.produced(out)
@@ -477,13 +502,12 @@ func (m *mapIter) apply(in data.Element, ls *trace.LocalStats, sm *trace.Sampler
 		newSize := int64(float64(in.Size) * m.u.Cost.SizeFactor)
 		if grow := in.Payload != nil && newSize > int64(len(in.Payload)); grow && m.p.pool {
 			// Amplifying UDF (decode-style): grow through the pool and
-			// recycle the input, which WithSize's plain make would strand.
+			// retire the input — back to its arena block if it is a view,
+			// else to the pool — which WithSize's plain make would strand.
 			buf := data.GetBuf(int(newSize))
 			n := copy(buf, in.Payload)
 			clear(buf[n:])
-			if m.p.recycle {
-				data.PutBuf(in.Payload)
-			}
+			m.p.releasePayload(in)
 			out = data.Element{Payload: buf, Size: newSize, Count: in.Count, Index: in.Index}
 		} else {
 			out = in.WithSize(newSize)
@@ -498,17 +522,23 @@ func (m *mapIter) apply(in data.Element, ls *trace.LocalStats, sm *trace.Sampler
 
 func (m *mapIter) Next() (data.Element, error) {
 	m.once.Do(m.start)
-	return m.recv.next(m.out, m.p.cancelCh)
+	return m.recv.next(m.out, m.p.cancelCh, m.gate)
 }
 
 func (m *mapIter) Close() error {
 	m.latch.close()
 	if m.started {
 		if m.p.opts.Pool != nil {
-			m.p.opts.Pool.Interrupt() // wake workers blocked in Acquire
+			m.p.opts.Pool.Interrupt() // wake workers blocked in Acquire or parked on the ring
 		}
 		m.wg.Wait()
+		m.out.detach()
+		if m.handle != nil {
+			parks, steals := m.out.stats()
+			trace.AddHandoff(m.handle, parks, steals)
+		}
 	}
+	m.childGate.close()
 	return m.child.Close()
 }
 
@@ -519,14 +549,15 @@ type filterIter struct {
 	p     *Pipeline
 	child iterator
 	u     udf.UDF
+	g     *seqGate
 	tr    tracker
 	sm    trace.Sampler
 	rng   uint64
 	rt    retrier
 }
 
-func newFilterIter(p *Pipeline, name string, child iterator, u udf.UDF, handle *trace.NodeStats) *filterIter {
-	f := &filterIter{p: p, child: child, u: u, tr: tracker{h: handle}, sm: trace.NewSampler(p.sampleEvery()), rng: 0x2545f4914f6cdd1d}
+func newFilterIter(p *Pipeline, name string, child iterator, u udf.UDF, handle *trace.NodeStats, g *seqGate) *filterIter {
+	f := &filterIter{p: p, child: child, u: u, g: g, tr: tracker{h: handle}, sm: trace.NewSampler(p.sampleEvery()), rng: 0x2545f4914f6cdd1d}
 	// Filter runs on the consumer goroutine; its retry backoffs abort on
 	// pipeline cancellation rather than an iterator latch.
 	f.rt = p.retrier(name, &f.tr, p.cancelCh, p.opts.Seed^hashName(name))
@@ -534,12 +565,22 @@ func newFilterIter(p *Pipeline, name string, child iterator, u udf.UDF, handle *
 }
 
 func (f *filterIter) Next() (data.Element, error) {
+	// Filter is CPU work on the consumer goroutine: it runs under the
+	// segment's sequential-admission slot, ticking once per consumed
+	// element so shares enforce at chunk granularity.
+	if !f.g.enter() {
+		return data.Element{}, io.EOF
+	}
+	defer f.g.exit()
 	for {
 		in, err := f.child.Next()
 		if err != nil {
 			return data.Element{}, err
 		}
 		f.tr.consumed()
+		if !f.g.tick() {
+			return data.Element{}, io.EOF
+		}
 		var start time.Time
 		sampled := f.tr.traced() && f.sm.Tick()
 		if sampled {
@@ -571,10 +612,8 @@ func (f *filterIter) Next() (data.Element, error) {
 			f.tr.produced(out)
 			return out, nil
 		}
-		// Dropped: this iterator is the payload's sole owner; recycle it.
-		if f.p.recycle && in.Payload != nil {
-			data.PutBuf(in.Payload)
-		}
+		// Dropped: this iterator is the payload's sole owner; retire it.
+		f.p.releasePayload(in)
 	}
 }
 
@@ -589,6 +628,7 @@ func (f *filterIter) Close() error {
 type shuffleIter struct {
 	child iterator
 	size  int
+	g     *seqGate
 	tr    tracker
 	rng   *stats.RNG
 
@@ -597,11 +637,15 @@ type shuffleIter struct {
 	eof    bool
 }
 
-func newShuffleIter(child iterator, size int, handle *trace.NodeStats, rng *stats.RNG) *shuffleIter {
-	return &shuffleIter{child: child, size: size, tr: tracker{h: handle}, rng: rng}
+func newShuffleIter(child iterator, size int, handle *trace.NodeStats, rng *stats.RNG, g *seqGate) *shuffleIter {
+	return &shuffleIter{child: child, size: size, g: g, tr: tracker{h: handle}, rng: rng}
 }
 
 func (s *shuffleIter) Next() (data.Element, error) {
+	if !s.g.enter() {
+		return data.Element{}, io.EOF
+	}
+	defer s.g.exit()
 	var start time.Time
 	traced := s.tr.traced()
 	if traced {
@@ -618,6 +662,9 @@ func (s *shuffleIter) Next() (data.Element, error) {
 				return data.Element{}, err
 			}
 			s.tr.consumed()
+			if !s.g.tick() {
+				return data.Element{}, io.EOF
+			}
 			s.buf = append(s.buf, e)
 		}
 		s.filled = true
@@ -640,6 +687,9 @@ func (s *shuffleIter) Next() (data.Element, error) {
 			return data.Element{}, err
 		} else {
 			s.tr.consumed()
+			if !s.g.tick() {
+				return data.Element{}, io.EOF
+			}
 			s.buf[i] = e
 		}
 	}
@@ -722,6 +772,7 @@ type batchIter struct {
 	p     *Pipeline
 	child iterator
 	size  int
+	g     *seqGate
 	tr    tracker
 	eof   bool
 	// lastCap remembers the previous batch payload's final capacity so the
@@ -731,14 +782,21 @@ type batchIter struct {
 	lastCap int
 }
 
-func newBatchIter(p *Pipeline, child iterator, size int, handle *trace.NodeStats) *batchIter {
-	return &batchIter{p: p, child: child, size: size, tr: tracker{h: handle}}
+func newBatchIter(p *Pipeline, child iterator, size int, handle *trace.NodeStats, g *seqGate) *batchIter {
+	return &batchIter{p: p, child: child, size: size, g: g, tr: tracker{h: handle}}
 }
 
 func (b *batchIter) Next() (data.Element, error) {
 	if b.eof {
 		return data.Element{}, io.EOF
 	}
+	// Batch assembly (payload concatenation) is consumer-side CPU work; it
+	// runs under the segment's sequential-admission slot like filter and
+	// shuffle.
+	if !b.g.enter() {
+		return data.Element{}, io.EOF
+	}
+	defer b.g.exit()
 	var start time.Time
 	traced := b.tr.traced()
 	if traced {
@@ -756,6 +814,9 @@ func (b *batchIter) Next() (data.Element, error) {
 			return data.Element{}, err
 		}
 		b.tr.consumed()
+		if !b.g.tick() {
+			return data.Element{}, io.EOF
+		}
 		out.Size += e.Size
 		out.Count += e.Count
 		if e.Payload != nil {
@@ -773,9 +834,9 @@ func (b *batchIter) Next() (data.Element, error) {
 				}
 			}
 			payload = append(payload, e.Payload...)
-			if b.p.recycle {
-				data.PutBuf(e.Payload)
-			}
+			// Copied out: retire the child payload — an arena view back to
+			// its block, a pooled buffer back to the pool.
+			b.p.releasePayload(e)
 		}
 		if i == 0 {
 			out.Index = e.Index
@@ -821,17 +882,21 @@ type prefetchIter struct {
 	child  iterator
 	size   int
 	handle *trace.NodeStats
+	// gate is the consuming segment's gate; childGate covers the
+	// sequential stages the prefetch goroutine drives below this point.
+	gate      *seqGate
+	childGate *seqGate
 
 	once    sync.Once
 	started bool
-	out     chan []item
+	out     handoff
 	latch   *doneLatch
 	wg      sync.WaitGroup
 	recv    chunkReceiver
 }
 
-func newPrefetchIter(p *Pipeline, child iterator, size int, handle *trace.NodeStats) *prefetchIter {
-	return &prefetchIter{p: p, child: child, size: size, handle: handle, latch: p.iterLatch()}
+func newPrefetchIter(p *Pipeline, child iterator, size int, handle *trace.NodeStats, latch *doneLatch, gate, childGate *seqGate) *prefetchIter {
+	return &prefetchIter{p: p, child: child, size: size, handle: handle, latch: latch, gate: gate, childGate: childGate}
 }
 
 func (p *prefetchIter) start() {
@@ -851,12 +916,18 @@ func (p *prefetchIter) start() {
 		depth = 1
 	}
 	p.started = true
-	p.out = make(chan []item, depth)
+	p.out = p.p.newHandoff(1, depth)
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
-		defer close(p.out)
-		em := chunkEmitter{out: p.out, done: p.latch.ch, size: cs}
+		defer p.out.close()
+		defer p.childGate.close()
+		em := chunkEmitter{h: p.out, w: 0, done: p.latch.ch, size: cs}
+		if p.childGate != nil {
+			// A blocking flush must not sit on the sequential segment's
+			// admission slot (same invariant as the worker emitters).
+			em.sl = &p.childGate.sl
+		}
 		defer em.flush()
 		tr := tracker{h: p.handle}
 		defer tr.flush()
@@ -875,10 +946,10 @@ func (p *prefetchIter) start() {
 			if !em.add(item{elem: e}) {
 				return
 			}
-			// Consumer starving (channel drained): hand over the partial
+			// Consumer starving (edge drained): hand over the partial
 			// chunk now instead of waiting for it to fill. Only this
 			// goroutine sends, so the observed room cannot vanish.
-			if len(em.buf) > 0 && len(p.out) == 0 {
+			if len(em.buf) > 0 && p.out.empty() {
 				if !em.flush() {
 					return
 				}
@@ -889,13 +960,21 @@ func (p *prefetchIter) start() {
 
 func (p *prefetchIter) Next() (data.Element, error) {
 	p.once.Do(p.start)
-	return p.recv.next(p.out, p.p.cancelCh)
+	return p.recv.next(p.out, p.p.cancelCh, p.gate)
 }
 
 func (p *prefetchIter) Close() error {
 	p.latch.close()
 	if p.started {
+		if p.p.opts.Pool != nil {
+			p.p.opts.Pool.Interrupt() // wake a producer parked on the ring
+		}
 		p.wg.Wait()
+		p.out.detach()
+		if p.handle != nil {
+			parks, steals := p.out.stats()
+			trace.AddHandoff(p.handle, parks, steals)
+		}
 	}
 	return p.child.Close()
 }

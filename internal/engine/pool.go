@@ -45,16 +45,24 @@ type SharedPool struct {
 	guarWaiting int
 	tenants     map[string]*poolTenant
 	order       []string
+	// hooks are interrupt listeners (parked ring-handoff waiters) invoked by
+	// Interrupt and Evict: a waiter parked on a full or empty ring is not
+	// blocked in Acquire, so the cond broadcast alone cannot reach it.
+	hooks    map[int]func()
+	nextHook int
 }
 
 // poolTenant is one tenant's admission state and accounting.
 type poolTenant struct {
-	share     int
-	inflight  int
-	peak      int
-	heldNanos int64
-	acquires  int64
-	borrows   int64
+	share    int
+	inflight int
+	peak     int
+	// heldNanos is total slot-hold time; heldSeqNanos is the part accrued by
+	// sequential consumer-side stages (filter/shuffle/batch), a subset.
+	heldNanos    int64
+	heldSeqNanos int64
+	acquires     int64
+	borrows      int64
 	// evicted marks a tenant whose guarantee was reclaimed (failure
 	// isolation); its Acquire calls fail instead of blocking or panicking.
 	evicted bool
@@ -123,6 +131,15 @@ func (p *SharedPool) Admitted(tenant string) bool {
 // engine validates admission at construction, so this is a programming
 // error, not a runtime condition.
 func (p *SharedPool) Acquire(tenant string, done <-chan struct{}) (release func(), ok bool) {
+	return p.acquireSlot(tenant, done, false)
+}
+
+// acquireSlot is Acquire with a stage-kind tag: sequential marks slots held
+// by consumer-side sequential stages (filter/shuffle/batch), whose hold time
+// is additionally accumulated into the tenant's sequential bucket so the
+// measured share report can show how much of a tenant's occupancy came from
+// its gated sequential work.
+func (p *SharedPool) acquireSlot(tenant string, done <-chan struct{}, sequential bool) (release func(), ok bool) {
 	p.mu.Lock()
 	t, admitted := p.tenants[tenant]
 	if !admitted {
@@ -203,10 +220,59 @@ func (p *SharedPool) Acquire(tenant string, done <-chan struct{}) (release func(
 				t.inflight--
 			}
 			t.heldNanos += int64(held)
+			if sequential {
+				t.heldSeqNanos += int64(held)
+			}
 			p.mu.Unlock()
 			p.cond.Broadcast()
 		})
 	}, true
+}
+
+// Evicted reports whether the tenant's admission has been reclaimed. Parked
+// ring-handoff waiters re-check it on every interrupt wake: an evicted
+// tenant's producers must abort rather than re-park, since no consumer will
+// drain their shards again.
+func (p *SharedPool) Evicted(tenant string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.tenants[tenant]
+	return ok && t.evicted
+}
+
+// OnInterrupt registers a hook invoked by Interrupt and Evict, returning its
+// unregister function. Pipelines register their ring-handoff wake-alls here
+// so pool-level interruption reaches waiters parked outside Acquire.
+func (p *SharedPool) OnInterrupt(f func()) (unregister func()) {
+	p.mu.Lock()
+	if p.hooks == nil {
+		p.hooks = make(map[int]func())
+	}
+	id := p.nextHook
+	p.nextHook++
+	p.hooks[id] = f
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.hooks, id)
+		p.mu.Unlock()
+	}
+}
+
+// runHooks snapshots the hook set under the mutex and invokes it unlocked
+// (hooks touch their own notifier locks; holding the pool mutex across them
+// invites lock-order cycles). The ring waiters' register-then-recheck park
+// protocol makes the post-unlock invocation safe against lost wakeups.
+func (p *SharedPool) runHooks() {
+	p.mu.Lock()
+	hooks := make([]func(), 0, len(p.hooks))
+	for _, f := range p.hooks {
+		hooks = append(hooks, f)
+	}
+	p.mu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
 }
 
 // Evict reclaims a tenant's admission for failure isolation: its guarantee
@@ -218,9 +284,9 @@ func (p *SharedPool) Acquire(tenant string, done <-chan struct{}) (release func(
 // redistributed to survivors with Grow.
 func (p *SharedPool) Evict(tenant string) int {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	t, ok := p.tenants[tenant]
 	if !ok || t.evicted {
+		p.mu.Unlock()
 		return 0
 	}
 	freed := t.share
@@ -233,6 +299,10 @@ func (p *SharedPool) Evict(tenant string) int {
 	// Freed capacity and the eviction itself unblock waiters (including the
 	// evicted tenant's own, which now fail fast).
 	p.cond.Broadcast()
+	p.mu.Unlock()
+	// Reach waiters parked outside Acquire (ring-handoff parks) too: the
+	// evicted tenant's producers re-check Evicted on wake and abort.
+	p.runHooks()
 	return freed
 }
 
@@ -270,8 +340,9 @@ func (p *SharedPool) Grow(tenant string, delta int) error {
 // (both under the mutex) and be lost, hanging that worker forever.
 func (p *SharedPool) Interrupt() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.runHooks() // wake ring-handoff waiters parked outside Acquire
 }
 
 // PoolStats is one tenant's admission accounting.
@@ -287,6 +358,11 @@ type PoolStats struct {
 	// HeldSeconds accumulates slot-hold time (core-seconds the tenant
 	// occupied); the ratio across tenants is the share each actually got.
 	HeldSeconds float64 `json:"held_seconds"`
+	// HeldSecondsSequential is the subset of HeldSeconds accrued by
+	// consumer-side sequential stages (filter/shuffle/batch) — the admission
+	// surface PR 8 added. Nonzero means the tenant's sequential work is
+	// being gated and charged, not running outside the share.
+	HeldSecondsSequential float64 `json:"held_seconds_sequential,omitempty"`
 	// Acquires counts slot grants; Borrows counts grants beyond the share.
 	Acquires int64 `json:"acquires"`
 	Borrows  int64 `json:"borrows"`
@@ -303,14 +379,15 @@ func (p *SharedPool) Stats() []PoolStats {
 	for _, name := range p.order {
 		t := p.tenants[name]
 		out = append(out, PoolStats{
-			Tenant:      name,
-			ShareCores:  t.share,
-			InFlight:    t.inflight,
-			PeakWorkers: t.peak,
-			HeldSeconds: float64(t.heldNanos) / 1e9,
-			Acquires:    t.acquires,
-			Borrows:     t.borrows,
-			Evicted:     t.evicted,
+			Tenant:                name,
+			ShareCores:            t.share,
+			InFlight:              t.inflight,
+			PeakWorkers:           t.peak,
+			HeldSeconds:           float64(t.heldNanos) / 1e9,
+			HeldSecondsSequential: float64(t.heldSeqNanos) / 1e9,
+			Acquires:              t.acquires,
+			Borrows:               t.borrows,
+			Evicted:               t.evicted,
 		})
 	}
 	return out
@@ -325,6 +402,7 @@ func (p *SharedPool) ResetStats() {
 	for _, t := range p.tenants {
 		t.peak = t.inflight
 		t.heldNanos = 0
+		t.heldSeqNanos = 0
 		t.acquires = 0
 		t.borrows = 0
 	}

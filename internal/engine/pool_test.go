@@ -274,6 +274,133 @@ func TestConcurrentTenantsReceiveArbitratedShares(t *testing.T) {
 	}
 }
 
+// seqPoolWorkload builds a pipeline whose CPU weight sits in consumer-side
+// sequential stages — Filter (spin UDF), Shuffle, Batch — rather than in
+// parallel map workers, over its own private filesystem. Its slot occupancy
+// therefore comes almost entirely through the sequential-admission gate.
+func seqPoolWorkload(t *testing.T, name string, par int, cpuPerElem float64, records int) (*pipeline.Graph, Options) {
+	t.Helper()
+	cat := data.Catalog{
+		Name:                  "poolseq-" + name,
+		NumFiles:              4,
+		RecordsPerFile:        records / 4,
+		MeanRecordBytes:       512,
+		RecordBytesStddevFrac: 0.2,
+		DecodeAmplification:   1,
+	}
+	if err := data.RegisterCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+	fs := connector.NewMem("poolseq-mem-" + name)
+	fs.AddCatalog(cat, 11)
+	reg := udf.NewRegistry()
+	if err := reg.Register(udf.UDF{
+		Name: "pool_seq_spin",
+		Cost: udf.Cost{CPUPerElement: cpuPerElem, SizeFactor: 1}, // KeepFraction 1: all records survive
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := pipeline.NewBuilder().
+		Interleave(cat.Name, par).
+		Filter("pool_seq_spin").
+		Shuffle(16).
+		Batch(8).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, Options{
+		FS: fs, UDFs: reg, WorkScale: 1, Spin: true, Seed: 11,
+		ChunkSize: 8,
+	}
+}
+
+// TestSequentialHeavyTenantHeldToArbitratedShare is the PR-8 admission test:
+// a tenant whose CPU lives in filter/shuffle/batch — stages that run on the
+// consumer goroutine, which before sequential gating occupied a core without
+// ever holding a pool slot — must now be charged and held to its arbitrated
+// share against a map-heavy tenant with a 3:1 split. Workloads are sized 3:1
+// so both stay busy for the whole window; without sequential admission the
+// seq tenant's held time would be near zero and big's fraction would sit
+// above the window's ceiling. Run under -race in CI.
+func TestSequentialHeavyTenantHeldToArbitratedShare(t *testing.T) {
+	const (
+		capacity = 4
+		bigShare = 3
+		cpuCost  = 2e-3
+		seqRecs  = 40
+	)
+	pool := NewSharedPool(capacity)
+	if err := pool.Admit("big", bigShare); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Admit("seq", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	bigGraph, bigOpts := poolWorkload(t, "seq-big", capacity, cpuCost, 3*seqRecs)
+	seqGraph, seqOpts := seqPoolWorkload(t, "seq-small", capacity, cpuCost, seqRecs)
+	bigOpts.Pool, bigOpts.PoolTenant = pool, "big"
+	seqOpts.Pool, seqOpts.PoolTenant = pool, "seq"
+
+	drain := func(g *pipeline.Graph, o Options, errCh chan<- error) {
+		p, err := New(g, o)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		if _, _, err := p.Drain(0); err != nil {
+			p.Close()
+			errCh <- err
+			return
+		}
+		errCh <- p.Close()
+	}
+	errs := make(chan error, 2)
+	go drain(bigGraph, bigOpts, errs)
+	go drain(seqGraph, seqOpts, errs)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	held := map[string]float64{}
+	var seqStats PoolStats
+	for _, s := range pool.Stats() {
+		held[s.Tenant] = s.HeldSeconds
+		if s.Tenant == "seq" {
+			seqStats = s
+		}
+		if s.PeakWorkers > capacity {
+			t.Fatalf("tenant %s peak %d exceeds pool capacity %d", s.Tenant, s.PeakWorkers, capacity)
+		}
+	}
+	total := held["big"] + held["seq"]
+	if total <= 0 {
+		t.Fatal("no held core-seconds recorded")
+	}
+	// The sequential tenant's occupancy must be visible in the accounting at
+	// all (the pre-gating failure mode is a near-zero charge), and must come
+	// predominantly from the gated sequential stages — its source reads are
+	// microseconds against 2ms of modeled filter spin per record.
+	if seqStats.HeldSecondsSequential <= 0 {
+		t.Fatal("sequential stages accrued no held time — filter/shuffle/batch are not gated")
+	}
+	if frac := seqStats.HeldSecondsSequential / seqStats.HeldSeconds; frac < 0.5 {
+		t.Fatalf("sequential held fraction = %.3f of the seq tenant's %.3fs, want > 0.5",
+			frac, seqStats.HeldSeconds)
+	}
+	// Same window as TestConcurrentTenantsReceiveArbitratedShares: ~0.75
+	// under sustained 3:1 contention, generous tolerance for tails and chunk
+	// granularity. An ungated consumer thread would push big's fraction to
+	// ~1.0 (seq holds nothing), outside the ceiling.
+	if frac := held["big"] / total; frac < 0.60 || frac > 0.92 {
+		t.Fatalf("big held fraction = %.3f (big %.3fs, seq %.3fs incl. %.3fs sequential), want ~0.75 within [0.60, 0.92]",
+			frac, held["big"], held["seq"], seqStats.HeldSecondsSequential)
+	}
+}
+
 // TestSharedPoolEvictAndGrow pins the failure-isolation contract driven
 // directly: eviction frees the guarantee immediately (even with slots still
 // held by wedged workers), late releases settle against the reclaim debt

@@ -110,6 +110,11 @@ type MeasuredShare struct {
 	// pool capacity.
 	HeldCoreSeconds   float64 `json:"held_core_seconds"`
 	HeldShareFraction float64 `json:"held_share_fraction"`
+	// SequentialHeldCoreSeconds is the subset of HeldCoreSeconds accrued by
+	// the tenant's consumer-side sequential stages (filter/shuffle/batch)
+	// under pool admission; nonzero confirms the tenant's sequential work
+	// is charged against its share rather than running ungated.
+	SequentialHeldCoreSeconds float64 `json:"sequential_held_core_seconds,omitempty"`
 	// PeakWorkers above ShareCores is work-conserving borrowing in action
 	// (another tenant idled); Borrows counts slot grants beyond the share.
 	PeakWorkers int   `json:"peak_workers"`
@@ -522,6 +527,7 @@ func (a *Arbiter) RunConcurrent(dec *Decision, opts RunOptions) (*RunReport, err
 		}
 		if ps, ok := poolStats[r.share.Tenant]; ok {
 			ms.HeldCoreSeconds = ps.HeldSeconds
+			ms.SequentialHeldCoreSeconds = ps.HeldSecondsSequential
 			if heldTotal > 0 {
 				ms.HeldShareFraction = ps.HeldSeconds / heldTotal
 			}

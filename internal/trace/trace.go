@@ -73,6 +73,16 @@ type NodeStats struct {
 	// GaveUp counts transient failures abandoned because the retry policy's
 	// attempt budget or per-element deadline ran out (a subset of Errors).
 	GaveUp int64 `json:"gave_up,omitempty"`
+	// HandoffParks counts waiter parks on this node's stage-handoff edge
+	// (ring handoff: producer blocked on a full shard or consumer on empty
+	// rings after the spin window) — the residual synchronization the
+	// lock-free edge could not avoid. The channel edge cannot observe its
+	// own futex waits, so channel runs report 0.
+	HandoffParks int64 `json:"handoff_parks,omitempty"`
+	// HandoffSteals counts consumer pops served from a non-preferred shard
+	// (cross-shard work stealing); high rates mean producer output is
+	// imbalanced across workers.
+	HandoffSteals int64 `json:"handoff_steals,omitempty"`
 }
 
 // CPUSeconds returns accumulated active CPU time in seconds.
@@ -238,6 +248,18 @@ func AddWall(ns *NodeStats, d time.Duration) {
 	atomic.AddInt64(&ns.WallNanos, int64(d))
 }
 
+// AddHandoff records stage-handoff waiter parks and cross-shard steals.
+// The engine publishes these once per edge at iterator Close (they are
+// cheap ring-level atomics, not per-element counters).
+func AddHandoff(ns *NodeStats, parks, steals int64) {
+	if parks != 0 {
+		atomic.AddInt64(&ns.HandoffParks, parks)
+	}
+	if steals != 0 {
+		atomic.AddInt64(&ns.HandoffSteals, steals)
+	}
+}
+
 // Snapshot captures the current counters. duration is the tracing timeframe
 // T; pass 0 to use wallclock since collector creation. totalFiles is the
 // catalog's shard count.
@@ -273,6 +295,8 @@ func (c *Collector) Snapshot(duration time.Duration, totalFiles int) *Snapshot {
 			Retries:          atomic.LoadInt64(&ns.Retries),
 			Errors:           atomic.LoadInt64(&ns.Errors),
 			GaveUp:           atomic.LoadInt64(&ns.GaveUp),
+			HandoffParks:     atomic.LoadInt64(&ns.HandoffParks),
+			HandoffSteals:    atomic.LoadInt64(&ns.HandoffSteals),
 		}
 		snap.Nodes[name] = &cp
 	}
