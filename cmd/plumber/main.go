@@ -9,6 +9,15 @@
 //	plumber plan     [-graph graph.json] [-out plan.json] [-apply planned-graph.json] [budget flags] [workload flags]
 //	plumber optimize [-graph graph.json] [-out tuner.json] [-mode plan-first|greedy] [budget flags] [workload flags]
 //	plumber arbitrate [-tenants vision,tiny-files] [-weights 1,1] [-run] [-out arbiter.json] [budget flags]
+//	plumber watch    [-duration 6s] [-ramp-after 2s] [-ramp-mbps 8] [-min-replans N] [budget flags]
+//
+// watch runs the demo chain on a throttled simulated device with the live
+// doctor attached: every interval it differences the trace counters, prints
+// per-stage rates, the bottleneck, and heuristic diagnoses, and hot-applies
+// a fresh plan through the quiesce/patch/resume lifecycle when the measured
+// rate drifts from the baseline. -ramp-after/-ramp-mbps inject a delivered-
+// bandwidth change mid-run (the canonical drift); -min-replans N makes the
+// exit status assert that at least N replans fired.
 //
 // arbitrate admits canonical scenario workloads (internal/scenario) as
 // tenants of one shared resource envelope, traces each once, solves the
@@ -224,6 +233,8 @@ func main() {
 		err = runOptimize(os.Args[2:])
 	case "arbitrate":
 		err = runArbitrate(os.Args[2:])
+	case "watch":
+		err = runWatch(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -245,6 +256,7 @@ func usage() {
   plumber plan     [-graph graph.json] [-out plan.json] [-apply planned-graph.json] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
   plumber optimize [-graph graph.json] [-out tuner.json] [-mode plan-first|greedy] [-cores N] [-memory-mb M] [-bw-mbps B] [workload flags]
   plumber arbitrate [-tenants vision,tiny-files] [-weights 1,1] [-run] [-out arbiter.json] [-quick] [-cores N] [-memory-mb M] [-bw-mbps B]
+  plumber watch    [-duration 6s] [-interval 500ms] [-drift 0.3] [-ramp-after 2s] [-ramp-mbps 8] [-min-replans N] [-out watch.json] [budget flags]
 
 run "plumber <subcommand> -h" for the full flag list`)
 }

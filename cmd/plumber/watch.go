@@ -1,0 +1,200 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"plumber/internal/connector"
+	"plumber/internal/data"
+	"plumber/internal/doctor"
+	"plumber/internal/engine"
+	"plumber/internal/pipeline"
+	"plumber/internal/plan"
+	"plumber/internal/simfs"
+	"plumber/internal/trace"
+	"plumber/internal/udf"
+)
+
+// runWatch runs the demo chain on a throttled simulated device for a fixed
+// wall-clock window with the doctor attached: per-interval stage health and
+// diagnoses stream to stdout, and when the measured root rate drifts beyond
+// the threshold from the calibrated baseline the doctor re-solves the
+// allocation and hot-applies it through the quiesce/patch/resume lifecycle —
+// the consumer keeps draining across the swap. -ramp-after/-ramp-mbps change
+// the device's delivered bandwidth mid-run, the canonical drift injection;
+// -min-replans turns the run into a CI assertion.
+func runWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	files := fs.Int("files", 4, "synthetic catalog: shard count")
+	recordsPerFile := fs.Int("records-per-file", 512, "synthetic catalog: records per shard")
+	recordBytes := fs.Int64("record-bytes", 1024, "synthetic catalog: mean record size")
+	batch := fs.Int("batch", 32, "demo chain: batch size")
+	epochs := fs.Int("epochs", 4096, "demo chain: Repeat count (keeps the pipeline live for the whole window)")
+	udfCPUMicros := fs.Float64("udf-cpu-us", 20, "modeled UDF cost in CPU-microseconds per element")
+	workScale := fs.Float64("workscale", 1, "scale factor on modeled CPU time (0 disables CPU modeling)")
+	spin := fs.Bool("spin", false, "burn modeled CPU for real so wallclock reflects the cost model")
+	seed := fs.Uint64("seed", 42, "seed for shard content and shuffles")
+	duration := fs.Duration("duration", 6*time.Second, "how long to watch before exiting")
+	interval := fs.Duration("interval", 500*time.Millisecond, "doctor sampling period")
+	drift := fs.Float64("drift", 0.3, "relative measured-vs-predicted gap that triggers a replan")
+	cooldown := fs.Duration("cooldown", 0, "minimum time between replans (0 = 2x interval)")
+	replan := fs.Bool("replan", true, "hot-apply drift-triggered replans (false: diagnose only)")
+	deviceMBps := fs.Float64("device-mbps", 40, "simulated device aggregate read bandwidth in MB/s")
+	rampAfter := fs.Duration("ramp-after", 0, "change the delivered bandwidth this long into the run (0 = no ramp)")
+	rampMBps := fs.Float64("ramp-mbps", 0, "delivered bandwidth after the ramp in MB/s")
+	minReplans := fs.Int("min-replans", 0, "exit non-zero unless at least N drift-triggered replans happened")
+	out := fs.String("out", "", "optional output path for the watch report JSON")
+	cores, memoryMB, bwMBps := budgetFlags(fs)
+	fs.Parse(args)
+
+	if *rampAfter > 0 && *rampMBps <= 0 {
+		return fmt.Errorf("-ramp-after needs -ramp-mbps > 0 (the bandwidth to ramp to)")
+	}
+
+	cat := data.Catalog{
+		Name:                  "watch-synth",
+		NumFiles:              *files,
+		RecordsPerFile:        *recordsPerFile,
+		MeanRecordBytes:       *recordBytes,
+		RecordBytesStddevFrac: 0.25,
+		DecodeAmplification:   1,
+	}
+	if err := data.RegisterCatalog(cat); err != nil {
+		return err
+	}
+	reg := udf.NewRegistry()
+	cost := udf.Cost{CPUPerElement: *udfCPUMicros * 1e-6, SizeFactor: 1}
+	if err := reg.Register(udf.UDF{Name: demoUDF, Cost: cost}); err != nil {
+		return err
+	}
+	g, err := pipeline.NewBuilder().
+		Named("src").Interleave(cat.Name, 1).
+		Named("decode").Map(demoUDF, 1).
+		Repeat(int64(*epochs)).
+		Batch(*batch).
+		Build()
+	if err != nil {
+		return err
+	}
+
+	// A throttled simulated device: readers sleep in real time against the
+	// token bucket, so SetBandwidth mid-run genuinely changes the delivered
+	// rate the doctor measures.
+	dev := simfs.Device{Name: "watch", TotalBandwidth: *deviceMBps * 1e6, PerStreamBandwidth: *deviceMBps * 1e6 / 4}
+	sfs := simfs.New(dev, true)
+	sfs.AddCatalog(cat, *seed)
+	src := connector.FromSimFS(sfs)
+
+	col, err := trace.NewCollector(g, trace.Machine{Name: "watch", Cores: runtime.NumCPU()})
+	if err != nil {
+		return err
+	}
+	src.AddObserver(col)
+	defer src.RemoveObserver(col)
+	p, err := engine.New(g, engine.Options{
+		FS: src, UDFs: reg, Collector: col,
+		WorkScale: *workScale, Spin: *spin, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The consumer pumps for the whole window — including across quiesce
+	// barriers, where a pending patch resolves inside Next. EOF before the
+	// window closes just means the Repeat budget ran out early.
+	var delivered atomic.Int64
+	stop := make(chan struct{})
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e, err := p.Next()
+			if err == io.EOF {
+				runtime.Gosched()
+				continue
+			}
+			if err != nil {
+				return
+			}
+			delivered.Add(1)
+			p.Recycle(e)
+		}
+	}()
+
+	if *rampAfter > 0 {
+		toBytes := *rampMBps * 1e6
+		defer time.AfterFunc(*rampAfter, func() {
+			sfs.SetBandwidth(toBytes)
+			fmt.Printf("[watch] ramped delivered bandwidth %.0f -> %.0f MB/s\n", *deviceMBps, *rampMBps)
+		}).Stop()
+	}
+
+	d := doctor.New(p, col, doctor.Config{
+		Interval:      *interval,
+		DriftFraction: *drift,
+		Cooldown:      *cooldown,
+		Replan:        *replan,
+		Budget: plan.Budget{
+			Cores:         *cores,
+			MemoryBytes:   *memoryMB << 20,
+			DiskBandwidth: *bwMBps * 1e6,
+		},
+		UDFs:       reg,
+		TotalFiles: cat.NumFiles,
+		Out:        os.Stdout,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	start := time.Now()
+	d.Run(ctx) // returns when the window closes
+	wall := time.Since(start)
+
+	close(stop)
+	<-consumerDone
+	if err := p.Close(); err != nil {
+		return err
+	}
+
+	replans := d.Replans()
+	fmt.Printf("[watch] %v window: %d minibatches delivered, %d drift-triggered replans\n",
+		wall.Round(time.Millisecond), delivered.Load(), replans)
+
+	if *out != "" {
+		doc := map[string]any{
+			"duration_seconds":      wall.Seconds(),
+			"device_mbps":           *deviceMBps,
+			"delivered_minibatches": delivered.Load(),
+			"replans":               replans,
+			"reports":               d.Reports(),
+		}
+		if *rampAfter > 0 {
+			doc["ramp_after_seconds"] = rampAfter.Seconds()
+			doc["ramp_mbps"] = *rampMBps
+		}
+		j, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFile(*out, j); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if replans < *minReplans {
+		return fmt.Errorf("%d replans in %v, want at least %d", replans, wall.Round(time.Millisecond), *minReplans)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 //	plumberbench -scenarios [-quick] [-json BENCH_scenarios.json] # scenario matrix + arbiter
 //	plumberbench -chaos [-quick] [-json BENCH_chaos.json]         # fault injection + isolation
 //	plumberbench -connectors [-quick] [-json BENCH_connectors.json] # storage backends head-to-head
+//	plumberbench -retune [-quick] [-backend simfs|localfs|objectstore] [-json BENCH_retune.json] # hot-apply vs restart
 //
 // -json sets the output path; each suite has a default filename (-out is a
 // deprecated alias). The default (or -engine) suite runs the engine hot-path
@@ -73,6 +74,19 @@
 //     transient_retries > 0 on the injected legs)
 //   - localfs_fraction_of_simfs / objectstore_fraction_of_simfs:
 //     sanity-track how the real and modeled backends compare
+//
+// With -retune it answers the same induced plan drift two ways on one
+// backend (-backend, default simfs) and writes BENCH_retune.json: the hot
+// leg lets the live doctor re-solve the plan and apply it through the
+// engine's quiesce/patch/resume lifecycle while the consumer keeps
+// draining; the restart leg stops the consumer, tears the pipeline down,
+// re-plans from the accumulated trace, and rebuilds. Each leg reports its
+// steady rates, convergence time, throughput-dip depth/duration, and
+// in-flight elements preserved:
+//
+//   - hot_steady_fraction_of_restart_steady: >= 0.9 is the target
+//   - hot_elements_in_flight_preserved: > 0 is the target (the barrier
+//     drained the in-flight chunks to the consumer instead of dropping them)
 package main
 
 import (
@@ -93,6 +107,8 @@ func main() {
 	scenarios := flag.Bool("scenarios", false, "run the scenario matrix + multi-tenant arbitration instead of the engine suite")
 	chaos := flag.Bool("chaos", false, "run the fault-injection / graceful-degradation suite instead of the engine suite")
 	connectors := flag.Bool("connectors", false, "run the storage-connector comparison instead of the engine suite")
+	retune := flag.Bool("retune", false, "run the hot-apply vs restart-and-replan comparison instead of the engine suite")
+	backend := flag.String("backend", "", "retune suite only: storage connector to run on ('simfs', 'localfs', or 'objectstore'; default simfs)")
 	jsonOut := flag.String("json", "", "output path (default BENCH_<suite>.json)")
 	out := flag.String("out", "", "deprecated alias for -json")
 	flag.Parse()
@@ -102,7 +118,7 @@ func main() {
 		path = *out
 	}
 	picked := 0
-	for _, b := range []bool{*engineSuite, *tuner, *planner, *scenarios, *chaos, *connectors} {
+	for _, b := range []bool{*engineSuite, *tuner, *planner, *scenarios, *chaos, *connectors, *retune} {
 		if b {
 			picked++
 		}
@@ -110,12 +126,18 @@ func main() {
 	if *handoff != "" && *handoff != "ring" && *handoff != "channel" {
 		fatal(fmt.Errorf("-handoff must be 'ring' or 'channel', got %q", *handoff))
 	}
-	if *handoff != "" && (*tuner || *planner || *scenarios || *chaos || *connectors) {
+	if *handoff != "" && (*tuner || *planner || *scenarios || *chaos || *connectors || *retune) {
 		fatal(fmt.Errorf("-handoff only applies to the engine suite"))
+	}
+	if *backend != "" && *backend != "simfs" && *backend != "localfs" && *backend != "objectstore" {
+		fatal(fmt.Errorf("-backend must be 'simfs', 'localfs', or 'objectstore', got %q", *backend))
+	}
+	if *backend != "" && !*retune {
+		fatal(fmt.Errorf("-backend only applies to the retune suite"))
 	}
 	switch {
 	case picked > 1:
-		fatal(fmt.Errorf("-engine, -tuner, -planner, -scenarios, -chaos, and -connectors are mutually exclusive"))
+		fatal(fmt.Errorf("-engine, -tuner, -planner, -scenarios, -chaos, -connectors, and -retune are mutually exclusive"))
 	case *tuner:
 		runTuner(*quick, path)
 	case *planner:
@@ -126,9 +148,34 @@ func main() {
 		runChaos(*quick, path)
 	case *connectors:
 		runConnectors(*quick, path)
+	case *retune:
+		runRetune(*quick, *backend, path)
 	default:
 		runEngine(*quick, *handoff, path)
 	}
+}
+
+func runRetune(quick bool, backend, out string) {
+	if out == "" {
+		out = "BENCH_retune.json"
+	}
+	rep, err := bench.RunRetune(quick, backend)
+	if err != nil {
+		fatal(err)
+	}
+	writeJSON(out, rep)
+	for _, leg := range []bench.RetuneLeg{rep.Hot, rep.Restart} {
+		fmt.Printf("%-10s steady %8.1f -> %8.1f mb/s  converged %6.1fms  dip %3.0f%% for %6.1fms  in-flight preserved %d\n",
+			leg.Strategy, leg.SteadyPreRate, leg.SteadyPostRate, 1e3*leg.ConvergenceSeconds,
+			100*leg.ThroughputDipDepth, 1e3*leg.ThroughputDipSeconds, leg.ElementsInFlightPreserved)
+		if len(leg.Trail) > 0 {
+			fmt.Printf("  plan: %v\n", leg.Trail)
+		}
+	}
+	for k, v := range rep.Comparisons {
+		fmt.Printf("%s = %.3f\n", k, v)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 func runChaos(quick bool, out string) {

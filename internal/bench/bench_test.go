@@ -78,3 +78,46 @@ func TestScenarioReportRoundTrip(t *testing.T) {
 		t.Fatalf("round trip lost comparisons: %v", back.Comparisons)
 	}
 }
+
+// TestRetuneReportRoundTrip does the same for BENCH_retune.json.
+func TestRetuneReportRoundTrip(t *testing.T) {
+	rep := &RetuneReport{
+		Schema:    "plumber/bench-retune/v1",
+		HostCores: 8,
+		Backend:   "simfs",
+		Hot: RetuneLeg{
+			Strategy:                  "hot-apply",
+			SteadyPreRate:             480.5,
+			SteadyPostRate:            69000.2,
+			ConvergenceSeconds:        0.0003,
+			ThroughputDipDepth:        0.99,
+			ThroughputDipSeconds:      0.22,
+			ElementsInFlightPreserved: 4,
+			QuiesceSeconds:            0.0001,
+			Trail:                     []string{"plan: parallelism 1 -> 3"},
+			Delivered:                 1200,
+		},
+		Restart: RetuneLeg{Strategy: "restart", ThroughputDipDepth: 1, ConvergenceSeconds: 0.05},
+		Comparisons: map[string]float64{
+			"hot_steady_fraction_of_restart_steady": 1.11,
+			"hot_elements_in_flight_preserved":      4,
+		},
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RetuneReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Backend != "simfs" || back.Hot.ElementsInFlightPreserved != 4 || back.Hot.SteadyPostRate != 69000.2 {
+		t.Fatalf("round trip lost hot leg: %+v", back.Hot)
+	}
+	if back.Restart.ThroughputDipDepth != 1 {
+		t.Fatalf("round trip lost restart leg: %+v", back.Restart)
+	}
+	if back.Comparisons["hot_steady_fraction_of_restart_steady"] != 1.11 {
+		t.Fatalf("round trip lost comparisons: %v", back.Comparisons)
+	}
+}

@@ -1,0 +1,491 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plumber/internal/connector"
+	"plumber/internal/data"
+	"plumber/internal/engine"
+	"plumber/internal/ops"
+	"plumber/internal/pipeline"
+	"plumber/internal/plan"
+	"plumber/internal/rewrite"
+	"plumber/internal/simfs"
+	"plumber/internal/trace"
+	"plumber/internal/udf"
+)
+
+// RetuneLeg is one adaptation strategy measured on the shared drifting
+// workload: steady rate before and after the retune, how long the transition
+// took, and how deep the throughput dip went while it happened.
+type RetuneLeg struct {
+	// Strategy is "hot-apply" (engine.Reconfigure at a quiesce barrier) or
+	// "restart" (drain, tear down, rebuild with the planned graph).
+	Strategy string `json:"strategy"`
+	// SteadyPreRate/SteadyPostRate are minibatches/second over the tail of
+	// the warmup window and of the post-retune measure window.
+	SteadyPreRate  float64 `json:"steady_pre_rate"`
+	SteadyPostRate float64 `json:"steady_post_rate"`
+	// ConvergenceSeconds is trigger-to-new-plan-serving: for hot-apply, the
+	// time from the drift trigger until Reconfigure returned; for restart,
+	// the downtime from the last pre-stop element until the rebuilt engine
+	// delivered its first.
+	ConvergenceSeconds float64 `json:"convergence_seconds"`
+	// ThroughputDipDepth is 1 - min_bucket_rate/steady_post over the
+	// transition (1.0 = flow fully stopped); ThroughputDipSeconds is how
+	// long after the trigger the rate took to recover to 90% of steady.
+	ThroughputDipDepth   float64 `json:"throughput_dip_depth"`
+	ThroughputDipSeconds float64 `json:"throughput_dip_seconds"`
+	// ElementsInFlightPreserved counts buffered elements carried through
+	// the transition to the consumer instead of being dropped; a restart
+	// preserves none by construction.
+	ElementsInFlightPreserved int64 `json:"elements_in_flight_preserved"`
+	// QuiesceSeconds/ApplySeconds split the hot transition (zero for
+	// restart, which has no barrier).
+	QuiesceSeconds float64 `json:"quiesce_seconds,omitempty"`
+	ApplySeconds   float64 `json:"apply_seconds,omitempty"`
+	// Trail is the rewrites the new plan applied.
+	Trail []string `json:"trail,omitempty"`
+	// Delivered is the leg's total minibatch count (sanity: both legs
+	// really ran).
+	Delivered int64 `json:"delivered"`
+}
+
+// RetuneReport is the checked-in BENCH_retune.json document: the same
+// drift (a plan baseline the measured rate can't meet) retuned two ways on
+// the same workload and backend — hot-applied through the live
+// quiesce/patch/resume lifecycle versus a full restart-and-replan.
+type RetuneReport struct {
+	// Schema identifies the document format for future tooling.
+	Schema    string `json:"schema"`
+	HostCores int    `json:"host_cores"`
+	GoVersion string `json:"go_version"`
+	// Backend is the storage connector both legs ran on.
+	Backend string `json:"backend"`
+
+	Hot     RetuneLeg `json:"hot"`
+	Restart RetuneLeg `json:"restart"`
+
+	// Comparisons holds the acceptance numbers:
+	//   hot_steady_fraction_of_restart_steady >= 0.9 (the live swap lands
+	//   on the same plan without giving up steady throughput),
+	//   hot_elements_in_flight_preserved > 0 (the barrier drained, not
+	//   dropped, the in-flight chunks), and the two convergence times.
+	Comparisons map[string]float64 `json:"comparisons"`
+}
+
+var retuneCatalog = data.Catalog{
+	Name:                  "retune-synth",
+	NumFiles:              4,
+	RecordsPerFile:        256,
+	MeanRecordBytes:       2 << 10,
+	RecordBytesStddevFrac: 0.25,
+	DecodeAmplification:   1,
+}
+
+const (
+	retuneUDF    = "retune_decode"
+	retuneSeed   = 23
+	retuneSample = 25 * time.Millisecond
+)
+
+// retuneWorkload builds one leg's fresh pipeline: the all-sequential demo
+// chain wrapped in a long Repeat so the pipeline stays live for the whole
+// window, served by the chosen backend. The simfs leg throttles reads in
+// real time so rates are bandwidth-shaped; the localfs and objectstore legs
+// run at their natural speeds.
+func retuneWorkload(backend string, quick bool) (*pipeline.Graph, connector.Connector, *udf.Registry, func(), error) {
+	noop := func() {}
+	cat := retuneCatalog
+	if quick {
+		cat.RecordsPerFile /= 2
+	}
+	if err := data.RegisterCatalog(cat); err != nil {
+		return nil, nil, nil, noop, err
+	}
+	reg := udf.NewRegistry()
+	if err := reg.Register(udf.UDF{Name: retuneUDF, Cost: udf.Cost{CPUPerElement: 20e-6, SizeFactor: 1}}); err != nil {
+		return nil, nil, nil, noop, err
+	}
+	g, err := pipeline.NewBuilder().
+		Named("src").Interleave(cat.Name, 1).
+		Named("decode").Map(retuneUDF, 1).
+		Repeat(1 << 20).
+		Batch(16).
+		Build()
+	if err != nil {
+		return nil, nil, nil, noop, err
+	}
+
+	var src connector.Connector
+	cleanup := noop
+	switch backend {
+	case "", "simfs":
+		dev := simfs.Device{Name: "retune-dev", TotalBandwidth: 16e6, PerStreamBandwidth: 4e6}
+		sfs := simfs.New(dev, true)
+		sfs.AddCatalog(cat, retuneSeed)
+		src = connector.FromSimFS(sfs)
+	case "localfs":
+		dir, err := os.MkdirTemp("", "plumber-bench-retune-")
+		if err != nil {
+			return nil, nil, nil, noop, err
+		}
+		lfs := connector.NewLocalFS(dir)
+		if err := lfs.MaterializeCatalog(cat, retuneSeed); err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, nil, noop, err
+		}
+		src = lfs
+		cleanup = func() { os.RemoveAll(dir) }
+	case "objectstore":
+		src = connector.NewMemObjectStore(cat, retuneSeed, connector.ObjectStoreConfig{
+			Name: "retune-objectstore",
+			Seed: retuneSeed,
+		})
+	default:
+		return nil, nil, nil, noop, fmt.Errorf("unknown backend %q (want simfs, localfs, or objectstore)", backend)
+	}
+	return g, src, reg, cleanup, nil
+}
+
+// rateSample is one point on a leg's delivery timeline.
+type rateSample struct {
+	at  time.Duration
+	cum int64
+}
+
+// liveRun is one leg's running pipeline: an engine with its collector, a
+// consumer goroutine that pumps across quiesce barriers, and a sampler
+// recording the cumulative delivered count every retuneSample.
+type liveRun struct {
+	p     *engine.Pipeline
+	col   *trace.Collector
+	src   connector.Connector
+	start time.Time
+
+	delivered atomic.Int64
+	stop      chan struct{}
+	done      chan struct{}
+	stopOnce  sync.Once
+
+	mu      sync.Mutex
+	samples []rateSample
+}
+
+func startLive(g *pipeline.Graph, src connector.Connector, reg *udf.Registry) (*liveRun, error) {
+	col, err := trace.NewCollector(g, trace.Machine{Name: "bench-retune", Cores: runtime.NumCPU()})
+	if err != nil {
+		return nil, err
+	}
+	src.AddObserver(col)
+	p, err := engine.New(g, engine.Options{
+		FS: src, UDFs: reg, Collector: col, WorkScale: 1, Seed: retuneSeed,
+	})
+	if err != nil {
+		src.RemoveObserver(col)
+		return nil, err
+	}
+	l := &liveRun{
+		p: p, col: col, src: src, start: time.Now(),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go func() {
+		defer close(l.done)
+		t := time.NewTicker(retuneSample)
+		defer t.Stop()
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-t.C:
+				l.mu.Lock()
+				l.samples = append(l.samples, rateSample{at: time.Since(l.start), cum: l.delivered.Load()})
+				l.mu.Unlock()
+			}
+		}
+	}()
+	go func() {
+		for {
+			select {
+			case <-l.stop:
+				return
+			default:
+			}
+			e, err := p.Next()
+			if err == io.EOF {
+				runtime.Gosched() // pending reconfigs resolve at the barrier
+				continue
+			}
+			if err != nil {
+				return
+			}
+			l.delivered.Add(1)
+			p.Recycle(e)
+		}
+	}()
+	return l, nil
+}
+
+// halt parks the consumer and sampler; safe to call more than once.
+func (l *liveRun) halt() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+}
+
+// close halts and releases the pipeline.
+func (l *liveRun) close() error {
+	l.halt()
+	l.src.RemoveObserver(l.col)
+	return l.p.Close()
+}
+
+// timeline returns the sampled points so far.
+func (l *liveRun) timeline() []rateSample {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]rateSample(nil), l.samples...)
+}
+
+// rateBetween is the average delivery rate over [from, to] on the timeline.
+func rateBetween(tl []rateSample, from, to time.Duration) float64 {
+	var a, b *rateSample
+	for i := range tl {
+		if tl[i].at <= from {
+			a = &tl[i]
+		}
+		if tl[i].at <= to {
+			b = &tl[i]
+		}
+	}
+	if a == nil || b == nil || b.at <= a.at {
+		return 0
+	}
+	return float64(b.cum-a.cum) / (b.at - a.at).Seconds()
+}
+
+// dip scans bucket rates after the trigger: depth is 1 - min/steady, and
+// the duration runs until the first bucket back at 90% of steady.
+func dip(tl []rateSample, trigger time.Duration, steady float64) (depth, seconds float64) {
+	if steady <= 0 {
+		return 0, 0
+	}
+	minRate := steady
+	recovered := false
+	for i := 1; i < len(tl); i++ {
+		if tl[i].at <= trigger {
+			continue
+		}
+		dt := (tl[i].at - tl[i-1].at).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		r := float64(tl[i].cum-tl[i-1].cum) / dt
+		if r < minRate {
+			minRate = r
+		}
+		if !recovered && r >= 0.9*steady {
+			recovered = true
+			seconds = (tl[i].at - trigger).Seconds()
+		}
+	}
+	depth = 1 - minRate/steady
+	if depth < 0 {
+		depth = 0
+	}
+	if !recovered && len(tl) > 0 {
+		seconds = (tl[len(tl)-1].at - trigger).Seconds()
+	}
+	return depth, seconds
+}
+
+// retuneBudget is the envelope both legs re-plan under.
+func retuneBudget() plan.Budget {
+	return plan.Budget{Cores: 4, MemoryBytes: 64 << 20}
+}
+
+// solvePlanned re-plans from the collector's accumulated trace and
+// materializes the planned graph against g. Both legs run this inside
+// their transition window, so the solve cost is part of each convergence
+// time. Outer parallelism is clamped for both: the hot path cannot change
+// it on a live pipeline, and letting only the restart leg apply it would
+// compare plans instead of mechanisms.
+func solvePlanned(g *pipeline.Graph, col *trace.Collector, reg *udf.Registry) (*pipeline.Graph, rewrite.Trail, error) {
+	snap := col.Snapshot(0, retuneCatalog.NumFiles)
+	an, err := ops.Analyze(snap, reg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analyze: %w", err)
+	}
+	pl, err := plan.Solve(an, retuneBudget())
+	if err != nil {
+		return nil, nil, fmt.Errorf("solve: %w", err)
+	}
+	pl.OuterParallelism = 0
+	return rewrite.ApplyPlan(g, pl)
+}
+
+// runHotLeg re-plans from the live trace and applies the planned graph
+// through engine.Reconfigure: the consumer keeps draining while the edges
+// quiesce, swap, and resume.
+func runHotLeg(backend string, quick bool, warmup, measure time.Duration) (RetuneLeg, error) {
+	leg := RetuneLeg{Strategy: "hot-apply"}
+	g, src, reg, cleanup, err := retuneWorkload(backend, quick)
+	if err != nil {
+		return leg, err
+	}
+	defer cleanup()
+	l, err := startLive(g, src, reg)
+	if err != nil {
+		return leg, err
+	}
+	defer l.close()
+
+	time.Sleep(warmup)
+	trigger := time.Since(l.start)
+	ng, trail, err := solvePlanned(g, l.col, reg)
+	if err != nil {
+		return leg, fmt.Errorf("bench retune %s hot: %w", backend, err)
+	}
+	rec, err := l.p.Reconfigure(engine.Patch{Graph: ng})
+	if err != nil {
+		return leg, fmt.Errorf("bench retune %s hot apply: %w", backend, err)
+	}
+	converged := time.Since(l.start)
+	leg.ConvergenceSeconds = (converged - trigger).Seconds()
+	leg.ElementsInFlightPreserved = int64(rec.DrainedInFlight)
+	leg.QuiesceSeconds = rec.QuiesceDuration.Seconds()
+	leg.ApplySeconds = rec.ApplyDuration.Seconds()
+	for _, s := range trail {
+		leg.Trail = append(leg.Trail, s.Detail)
+	}
+
+	time.Sleep(measure)
+	l.halt()
+	tl := l.timeline()
+	if len(tl) == 0 {
+		return leg, fmt.Errorf("bench retune %s hot: no timeline samples", backend)
+	}
+	end := tl[len(tl)-1].at
+	leg.SteadyPreRate = rateBetween(tl, trigger-warmup/2, trigger)
+	leg.SteadyPostRate = rateBetween(tl, converged+(end-converged)/2, end)
+	leg.ThroughputDipDepth, leg.ThroughputDipSeconds = dip(tl, trigger, leg.SteadyPostRate)
+	leg.Delivered = l.delivered.Load()
+	return leg, nil
+}
+
+// runRestartLeg answers the same retune the traditional way: stop the
+// consumer, tear the pipeline down, re-plan from the accumulated trace, and
+// rebuild with the planned graph. Convergence is the full downtime from the
+// stop until the rebuilt engine delivers its first minibatch.
+func runRestartLeg(backend string, quick bool, warmup, measure time.Duration) (RetuneLeg, error) {
+	leg := RetuneLeg{Strategy: "restart"}
+	g, src, reg, cleanup, err := retuneWorkload(backend, quick)
+	if err != nil {
+		return leg, err
+	}
+	defer cleanup()
+	l, err := startLive(g, src, reg)
+	if err != nil {
+		return leg, err
+	}
+
+	time.Sleep(warmup)
+	trigger := time.Since(l.start)
+	preDelivered := l.delivered.Load()
+	preTL := l.timeline()
+	// Down: nothing flows until the rebuilt pipeline serves. Close flushes
+	// the sequential counter shards, so the snapshot sees the full run.
+	if err := l.close(); err != nil {
+		return leg, err
+	}
+	ng, trail, err := solvePlanned(g, l.col, reg)
+	if err != nil {
+		return leg, fmt.Errorf("bench retune %s restart: %w", backend, err)
+	}
+	for _, s := range trail {
+		leg.Trail = append(leg.Trail, s.Detail)
+	}
+	l2, err := startLive(ng, src, reg)
+	if err != nil {
+		return leg, err
+	}
+	defer l2.close()
+	for l2.delivered.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	leg.ConvergenceSeconds = (time.Since(l.start) - trigger).Seconds()
+
+	time.Sleep(measure)
+	l2.halt()
+	tl := l2.timeline()
+	if len(tl) == 0 {
+		return leg, fmt.Errorf("bench retune %s restart: no timeline samples", backend)
+	}
+	end := tl[len(tl)-1].at
+	leg.SteadyPreRate = rateBetween(preTL, trigger-warmup/2, trigger)
+	leg.SteadyPostRate = rateBetween(tl, end/2, end)
+	// The restart's dip is total by construction: the stream stops for the
+	// whole teardown-rebuild window.
+	leg.ThroughputDipDepth = 1
+	leg.ThroughputDipSeconds = leg.ConvergenceSeconds
+	leg.Delivered = preDelivered + l2.delivered.Load()
+	return leg, nil
+}
+
+// RunRetune measures hot-apply versus restart-and-replan on one backend and
+// returns the BENCH_retune.json document.
+func RunRetune(quick bool, backend string) (*RetuneReport, error) {
+	if backend == "" {
+		backend = "simfs"
+	}
+	rep := &RetuneReport{
+		Schema:      "plumber/bench-retune/v1",
+		HostCores:   runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		Backend:     backend,
+		Comparisons: map[string]float64{},
+	}
+	warmup, measure := time.Second, 2*time.Second
+	reps := 3
+	if quick {
+		warmup, measure = 500*time.Millisecond, time.Second
+		reps = 1
+	}
+	// Best of reps on the post-retune steady rate, per leg — the same
+	// convention as the engine suite. Each leg's steady rate is a short
+	// window on a live host, so a single draw is scheduler noise; the best
+	// rep is each mechanism's demonstrated capability, compared
+	// symmetrically.
+	var hot, restart RetuneLeg
+	for i := 0; i < reps; i++ {
+		h, err := runHotLeg(backend, quick, warmup, measure)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 || h.SteadyPostRate > hot.SteadyPostRate {
+			hot = h
+		}
+		r, err := runRestartLeg(backend, quick, warmup, measure)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 || r.SteadyPostRate > restart.SteadyPostRate {
+			restart = r
+		}
+	}
+	rep.Hot, rep.Restart = hot, restart
+	if restart.SteadyPostRate > 0 {
+		rep.Comparisons["hot_steady_fraction_of_restart_steady"] = hot.SteadyPostRate / restart.SteadyPostRate
+	}
+	rep.Comparisons["hot_elements_in_flight_preserved"] = float64(hot.ElementsInFlightPreserved)
+	rep.Comparisons["hot_convergence_seconds"] = hot.ConvergenceSeconds
+	rep.Comparisons["restart_convergence_seconds"] = restart.ConvergenceSeconds
+	rep.Comparisons["hot_dip_depth"] = hot.ThroughputDipDepth
+	rep.Comparisons["restart_dip_depth"] = restart.ThroughputDipDepth
+	return rep, nil
+}

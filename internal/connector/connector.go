@@ -64,6 +64,35 @@ type Reader interface {
 	Rewind(off int64) error
 }
 
+// Skipper is the optional forward-seek extension of Reader: SkipTo
+// repositions to a later offset without serving (or re-observing) the
+// skipped bytes. All three built-in backends implement it; the engine's
+// live-reconfiguration resume relies on it to reopen a partially-read
+// shard at the quiesce barrier without double-counting the prefix a
+// previous reader already consumed.
+type Skipper interface {
+	SkipTo(off int64) error
+}
+
+// SkipTo positions r at off from either direction. Forward skips use the
+// backend's Skipper fast path when available and otherwise fall back to
+// reading and discarding the prefix (which re-observes it, like a real
+// re-fetch); backward skips are Rewind.
+func SkipTo(r Reader, off int64) error {
+	cur := r.Offset()
+	switch {
+	case off == cur:
+		return nil
+	case off < cur:
+		return r.Rewind(off)
+	}
+	if s, ok := r.(Skipper); ok {
+		return s.SkipTo(off)
+	}
+	_, err := io.CopyN(io.Discard, r, off-cur)
+	return err
+}
+
 // Connector is a storage backend serving one catalog's shards.
 type Connector interface {
 	// Backend names the implementation: "simfs", "localfs", "objectstore".

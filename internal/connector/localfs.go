@@ -271,6 +271,23 @@ func (r *localReader) Path() string { return r.path }
 // Offset implements Reader.
 func (r *localReader) Offset() int64 { return r.off }
 
+// SkipTo fast-forwards past bytes a previous reader already served (and
+// observed) via a real seek; the skipped prefix is not re-observed. Used by
+// the engine's live-reconfiguration resume.
+func (r *localReader) SkipTo(off int64) error {
+	if r.closed {
+		return fmt.Errorf("localfs: skip %s: closed", r.path)
+	}
+	if off < r.off {
+		return fmt.Errorf("localfs: skip %s: offset %d before current %d", r.path, off, r.off)
+	}
+	if _, err := r.f.Seek(off, 0); err != nil {
+		return fmt.Errorf("localfs: skip %s: %w", r.path, err)
+	}
+	r.off = off
+	return nil
+}
+
 // Rewind implements Reader via a real seek; bytes served again after a
 // rewind are observed again, like a real re-fetch.
 func (r *localReader) Rewind(off int64) error {

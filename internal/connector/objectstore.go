@@ -189,6 +189,12 @@ func (r *objectReader) Offset() int64 { return r.inner.Offset() }
 // client's window, so a rewind pays no new request latency.
 func (r *objectReader) Rewind(off int64) error { return r.inner.Rewind(off) }
 
+// SkipTo fast-forwards to a later offset without transferring the skipped
+// bytes — a real object store would simply issue its next range request
+// from there. The skip itself is free; the first read at the new offset
+// starts a fresh range and pays request latency as usual.
+func (r *objectReader) SkipTo(off int64) error { return r.inner.SkipTo(off) }
+
 func fnv64(s string) uint64 {
 	var h uint64 = 0xcbf29ce484222325
 	for i := 0; i < len(s); i++ {

@@ -1,0 +1,465 @@
+// Package doctor closes the paper's tracing→model→retune loop online: it
+// samples a live engine's trace collector on a ticker, turns each interval
+// delta into the same resource-accounted analysis the offline planner uses,
+// renders per-stage health (rates, bottleneck, held pool share), runs
+// heuristic diagnoses (source starvation, cache thrash, share underuse),
+// and — when the measured root rate drifts beyond a threshold from the
+// plan's prediction — re-solves the allocation and hot-applies it to the
+// running pipeline through engine.Reconfigure. No restart, no dropped
+// elements: the quiesce/patch/resume lifecycle does the swap at a drained
+// barrier.
+package doctor
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"plumber/internal/engine"
+	"plumber/internal/ops"
+	"plumber/internal/pipeline"
+	"plumber/internal/plan"
+	"plumber/internal/rewrite"
+	"plumber/internal/trace"
+	"plumber/internal/udf"
+)
+
+// Engine is the slice of engine.Pipeline the doctor drives. Reconfigure is
+// called from the doctor's goroutine, never the consumer's — exactly the
+// calling contract engine.Reconfigure requires.
+type Engine interface {
+	Graph() *pipeline.Graph
+	Reconfigure(engine.Patch) (engine.ReconfigReport, error)
+}
+
+// Config tunes the sampling loop.
+type Config struct {
+	// Interval is the sampling period (default 500ms).
+	Interval time.Duration
+	// DriftFraction is the relative gap between measured and predicted root
+	// rate beyond which the doctor re-plans (default 0.3 = 30%).
+	DriftFraction float64
+	// Cooldown is the minimum time between two replans (default 2×Interval),
+	// so one drifting interval cannot trigger a reconfiguration storm.
+	Cooldown time.Duration
+	// MinElements is the minimum root completions an interval needs before
+	// it is diagnosed at all (default 8) — rate estimates from two elements
+	// are noise, not signal.
+	MinElements int64
+	// Predicted seeds the expected root rate (minibatches/second), e.g.
+	// plan.Solve's prediction for the running shape. Zero self-calibrates:
+	// the first healthy interval's measured rate becomes the baseline.
+	Predicted float64
+	// Replan enables hot-applying; false renders and diagnoses only.
+	Replan bool
+	// Budget is the resource envelope replans are solved under.
+	Budget plan.Budget
+	// UDFs resolves randomness for cache legality during analysis/replan.
+	UDFs *udf.Registry
+	// TotalFiles is the source catalog's shard count (dataset-size rescale).
+	TotalFiles int
+	// Pool and PoolTenant, when set, add held-share accounting and the
+	// share-underuse diagnosis.
+	Pool       *engine.SharedPool
+	PoolTenant string
+	// Out receives the rendered per-interval status; nil disables rendering.
+	Out io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.DriftFraction <= 0 {
+		c.DriftFraction = 0.3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * c.Interval
+	}
+	if c.MinElements <= 0 {
+		c.MinElements = 8
+	}
+	return c
+}
+
+// StageReport is one node's health over an interval.
+type StageReport struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`
+	Parallelism int     `json:"parallelism"`
+	RatePerSec  float64 `json:"rate_per_sec"`
+	Bottleneck  bool    `json:"bottleneck,omitempty"`
+}
+
+// Report is one sampled interval's verdict.
+type Report struct {
+	// Interval is the delta window this report covers.
+	Interval time.Duration `json:"interval"`
+	// Elements is the root completions in the window.
+	Elements int64 `json:"elements"`
+	// MeasuredRate and PredictedRate are root minibatches/second; Drift is
+	// |measured-predicted|/predicted.
+	MeasuredRate  float64 `json:"measured_rate"`
+	PredictedRate float64 `json:"predicted_rate,omitempty"`
+	Drift         float64 `json:"drift,omitempty"`
+	// Stages is per-node health, source → root.
+	Stages []StageReport `json:"stages,omitempty"`
+	// Bottleneck names the capacity-limiting stage.
+	Bottleneck string `json:"bottleneck,omitempty"`
+	// HeldShareFraction is held core-seconds over the tenant's entitlement
+	// for the window (pool-attached runs only).
+	HeldShareFraction float64 `json:"held_share_fraction,omitempty"`
+	// Diagnoses are the heuristic findings for the window.
+	Diagnoses []string `json:"diagnoses,omitempty"`
+	// Replanned marks a drift-triggered hot-apply; Reconfig is the engine's
+	// transition report and Trail the rewrites the new plan applied.
+	Replanned bool                   `json:"replanned,omitempty"`
+	Reconfig  *engine.ReconfigReport `json:"reconfig,omitempty"`
+	Trail     []string               `json:"trail,omitempty"`
+	// ReplanRejected carries the error of a replan the engine refused at
+	// the barrier (e.g. it would invalidate a mid-serve cache); the
+	// pipeline kept running unchanged.
+	ReplanRejected string `json:"replan_rejected,omitempty"`
+	// Skipped explains why the interval was not diagnosed (warming up, too
+	// few elements).
+	Skipped string `json:"skipped,omitempty"`
+}
+
+// Doctor samples one live pipeline.
+type Doctor struct {
+	eng Engine
+	col *trace.Collector
+	cfg Config
+
+	mu           sync.Mutex
+	prev         *trace.Snapshot
+	predicted    float64
+	lastReplan   time.Time
+	started      time.Time
+	servedCaches map[string]bool
+	prevHeld     float64
+	heldPrimed   bool
+	replans      int
+	reports      []*Report
+}
+
+// New returns a doctor for the pipeline whose counters col collects. The
+// engine must have been built with that collector or per-stage rates will
+// read zero.
+func New(eng Engine, col *trace.Collector, cfg Config) *Doctor {
+	cfg = cfg.withDefaults()
+	return &Doctor{
+		eng:          eng,
+		col:          col,
+		cfg:          cfg,
+		predicted:    cfg.Predicted,
+		servedCaches: make(map[string]bool),
+		started:      time.Now(),
+	}
+}
+
+// Run samples every Interval until ctx ends. The error is ctx's cause;
+// sampling problems are carried in the reports, not returned.
+func (d *Doctor) Run(ctx context.Context) error {
+	t := time.NewTicker(d.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			d.Step()
+		}
+	}
+}
+
+// Replans returns the number of drift-triggered hot-applies so far.
+func (d *Doctor) Replans() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.replans
+}
+
+// Reports returns the interval reports accumulated so far.
+func (d *Doctor) Reports() []*Report {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]*Report(nil), d.reports...)
+}
+
+// Step samples one interval: snapshot, delta against the previous sample,
+// diagnose, and (when drift warrants and Replan is on) hot-apply a new
+// plan. Safe to call from any single goroutine; the ticker loop and manual
+// callers must not interleave.
+func (d *Doctor) Step() *Report {
+	snap := d.col.Snapshot(0, d.cfg.TotalFiles)
+	d.mu.Lock()
+	prev := d.prev
+	d.prev = snap
+	d.mu.Unlock()
+
+	rep := &Report{}
+	defer func() {
+		d.mu.Lock()
+		d.reports = append(d.reports, rep)
+		d.mu.Unlock()
+		d.render(rep)
+	}()
+
+	if prev == nil {
+		rep.Skipped = "first sample (no previous snapshot to difference)"
+		return rep
+	}
+	delta := snap.Delta(prev)
+	rep.Interval = delta.Duration
+	if root, err := delta.RootStats(); err == nil {
+		rep.Elements = root.ElementsProduced
+	}
+	if rep.Elements < d.cfg.MinElements {
+		// Keep the window open instead of discarding it: sequential root
+		// iterators flush their counter shards in batches, so a thin
+		// interval often just means the flush hasn't landed yet. The next
+		// step differences against the same base, and the accumulated
+		// window's elements/duration still yield an accurate rate.
+		d.mu.Lock()
+		d.prev = prev
+		d.mu.Unlock()
+		rep.Skipped = fmt.Sprintf("only %d root elements in %v (min %d); extending the window", rep.Elements, delta.Duration.Round(time.Millisecond), d.cfg.MinElements)
+		return rep
+	}
+	an, err := ops.Analyze(delta, d.cfg.UDFs)
+	if err != nil {
+		rep.Skipped = fmt.Sprintf("interval not analyzable: %v", err)
+		return rep
+	}
+	rep.MeasuredRate = an.ObservedRate
+	bn := an.Bottleneck()
+	rep.Bottleneck = bn.Name
+	for _, n := range an.Nodes {
+		rate := float64(n.Completions) / delta.Duration.Seconds()
+		rep.Stages = append(rep.Stages, StageReport{
+			Name:        n.Name,
+			Kind:        string(n.Kind),
+			Parallelism: n.Parallelism,
+			RatePerSec:  rate,
+			Bottleneck:  n.Name == bn.Name,
+		})
+	}
+	d.diagnose(rep, an, delta)
+
+	// Drift detection against the plan's prediction. A zero baseline
+	// self-calibrates from this first healthy interval.
+	d.mu.Lock()
+	predicted := d.predicted
+	if predicted <= 0 {
+		d.predicted = an.ObservedRate
+		predicted = 0
+	}
+	sinceReplan := time.Since(d.lastReplan)
+	if d.lastReplan.IsZero() {
+		sinceReplan = time.Since(d.started)
+	}
+	d.mu.Unlock()
+	if predicted <= 0 {
+		rep.PredictedRate = an.ObservedRate
+		rep.Skipped = "baseline calibrated from this interval"
+		return rep
+	}
+	rep.PredictedRate = predicted
+	rep.Drift = math.Abs(an.ObservedRate-predicted) / predicted
+	if rep.Drift <= d.cfg.DriftFraction || !d.cfg.Replan {
+		return rep
+	}
+	if sinceReplan < d.cfg.Cooldown {
+		rep.Diagnoses = append(rep.Diagnoses,
+			fmt.Sprintf("drift %.0f%% exceeds %.0f%% but replan is cooling down (%.1fs of %.1fs)",
+				100*rep.Drift, 100*d.cfg.DriftFraction, sinceReplan.Seconds(), d.cfg.Cooldown.Seconds()))
+		return rep
+	}
+	d.replan(rep, an)
+	return rep
+}
+
+// diagnose runs the heuristic findings over one analyzed interval.
+func (d *Doctor) diagnose(rep *Report, an *ops.Analysis, delta *trace.Snapshot) {
+	bn := an.Bottleneck()
+	if len(an.Nodes) > 0 && bn.Name == an.Nodes[0].Name {
+		rep.Diagnoses = append(rep.Diagnoses, fmt.Sprintf(
+			"source starvation: %s is the capacity ceiling (%.1f minibatches/s) — the pipeline is I/O-bound, CPU knobs won't help",
+			bn.Name, finiteOr(bn.ScaledCapacity, an.ObservedRate)))
+	}
+
+	// Cache thrash: a cache that had a pure serving interval (producing
+	// without consuming) and is now consuming again is refilling work it
+	// already materialized — its entry is being invalidated under it.
+	for name, ns := range delta.Nodes {
+		if ns.Kind != pipeline.KindCache {
+			continue
+		}
+		d.mu.Lock()
+		served := d.servedCaches[name]
+		switch {
+		case ns.ElementsProduced > 0 && ns.ElementsConsumed == 0:
+			d.servedCaches[name] = true
+		case ns.ElementsConsumed > 0 && served:
+			d.servedCaches[name] = false
+			rep.Diagnoses = append(rep.Diagnoses, fmt.Sprintf(
+				"cache thrash: %s is refilling after it already served — its entry is being invalidated between epochs", name))
+		}
+		d.mu.Unlock()
+	}
+
+	// Share underuse: the tenant holds well under its pool entitlement
+	// while something other than the source limits it — the share was
+	// sized for work the pipeline shape can't generate.
+	if d.cfg.Pool != nil && d.cfg.PoolTenant != "" {
+		for _, ps := range d.cfg.Pool.Stats() {
+			if ps.Tenant != d.cfg.PoolTenant {
+				continue
+			}
+			d.mu.Lock()
+			prevHeld, primed := d.prevHeld, d.heldPrimed
+			d.prevHeld, d.heldPrimed = ps.HeldSeconds, true
+			d.mu.Unlock()
+			if !primed || ps.ShareCores <= 0 || rep.Interval <= 0 {
+				break
+			}
+			entitle := rep.Interval.Seconds() * float64(ps.ShareCores)
+			frac := (ps.HeldSeconds - prevHeld) / entitle
+			if frac < 0 {
+				frac = 0
+			}
+			rep.HeldShareFraction = frac
+			if frac < 0.5 && !(len(an.Nodes) > 0 && an.Bottleneck().Name == an.Nodes[0].Name) {
+				rep.Diagnoses = append(rep.Diagnoses, fmt.Sprintf(
+					"share underuse: tenant %q held %.0f%% of its %d-core share this interval — cores are reserved but not used",
+					ps.Tenant, 100*frac, ps.ShareCores))
+			}
+			break
+		}
+	}
+}
+
+// replan solves a fresh allocation from the interval's analysis and
+// hot-applies it. The plan is clamped to the hot-patchable surface before
+// ApplyPlan: outer parallelism stays (not hot-patchable), and a cache the
+// plan wants elsewhere is moved by removing the old node first.
+func (d *Doctor) replan(rep *Report, an *ops.Analysis) {
+	pl, err := plan.Solve(an, d.cfg.Budget)
+	if err != nil {
+		rep.ReplanRejected = fmt.Sprintf("solve: %v", err)
+		return
+	}
+	ng, trail, err := d.plannedGraph(pl)
+	if err != nil {
+		rep.ReplanRejected = fmt.Sprintf("apply plan: %v", err)
+		return
+	}
+	r, err := d.eng.Reconfigure(engine.Patch{Graph: ng})
+	if err != nil {
+		// A barrier rejection (mid-serve cache) is a legal outcome: the
+		// pipeline kept running unchanged; try again after the cooldown.
+		rep.ReplanRejected = err.Error()
+		d.mu.Lock()
+		d.lastReplan = time.Now()
+		d.mu.Unlock()
+		return
+	}
+	rep.Replanned = true
+	rep.Reconfig = &r
+	for _, s := range trail {
+		rep.Trail = append(rep.Trail, s.Detail)
+	}
+	d.mu.Lock()
+	d.replans++
+	d.lastReplan = time.Now()
+	// The applied plan's prediction is the new baseline; an unbounded
+	// prediction (0) rebaselines from the next healthy interval instead.
+	d.predicted = pl.PredictedMinibatchesPerSec
+	d.mu.Unlock()
+}
+
+// plannedGraph clamps a solved plan to the hot-patchable surface and
+// materializes it against the live graph.
+func (d *Doctor) plannedGraph(pl *plan.Plan) (*pipeline.Graph, rewrite.Trail, error) {
+	cur := d.eng.Graph()
+	clamped := *pl
+	// Outer parallelism cannot change on a running pipeline.
+	clamped.OuterParallelism = 0
+	g := cur
+	if clamped.CacheAbove != "" {
+		chain, err := cur.Chain()
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, n := range chain {
+			if n.Kind != pipeline.KindCache {
+				continue
+			}
+			if i > 0 && chain[i-1].Name == clamped.CacheAbove {
+				// Already cached at the planned point.
+				clamped.CacheAbove = ""
+			} else {
+				// Cache move: drop the old node; ApplyPlan inserts the new
+				// one. If the old entry is mid-serve, Reconfigure rejects
+				// the whole patch at the barrier and nothing changes.
+				if g, err = g.Remove(n.Name); err != nil {
+					return nil, nil, err
+				}
+			}
+			break
+		}
+	}
+	return rewrite.ApplyPlan(g, &clamped)
+}
+
+// render writes one interval's status to cfg.Out.
+func (d *Doctor) render(rep *Report) {
+	w := d.cfg.Out
+	if w == nil {
+		return
+	}
+	if rep.Skipped != "" {
+		fmt.Fprintf(w, "[doctor] %s\n", rep.Skipped)
+		return
+	}
+	line := fmt.Sprintf("[doctor] %v window: %d elements, %.1f mb/s", rep.Interval.Round(time.Millisecond), rep.Elements, rep.MeasuredRate)
+	if rep.PredictedRate > 0 {
+		line += fmt.Sprintf(" (predicted %.1f, drift %.0f%%)", rep.PredictedRate, 100*rep.Drift)
+	}
+	if rep.HeldShareFraction > 0 {
+		line += fmt.Sprintf(", held share %.0f%%", 100*rep.HeldShareFraction)
+	}
+	fmt.Fprintln(w, line)
+	for _, s := range rep.Stages {
+		marker := " "
+		if s.Bottleneck {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "  %s %-16s %-11s par %-2d %10.1f/s\n", marker, s.Name, s.Kind, s.Parallelism, s.RatePerSec)
+	}
+	for _, diag := range rep.Diagnoses {
+		fmt.Fprintf(w, "  ! %s\n", diag)
+	}
+	if rep.Replanned {
+		fmt.Fprintf(w, "  > replanned and hot-applied: quiesce %v, apply %v, %d in-flight elements drained\n",
+			rep.Reconfig.QuiesceDuration.Round(time.Microsecond), rep.Reconfig.ApplyDuration.Round(time.Microsecond), rep.Reconfig.DrainedInFlight)
+		if len(rep.Trail) > 0 {
+			fmt.Fprintf(w, "    %s\n", strings.Join(rep.Trail, "; "))
+		}
+	}
+	if rep.ReplanRejected != "" {
+		fmt.Fprintf(w, "  > replan rejected: %s\n", rep.ReplanRejected)
+	}
+}
+
+func finiteOr(v, alt float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return alt
+	}
+	return v
+}

@@ -66,6 +66,7 @@ func (b *arenaBlock) release() {
 	n := b.refs.Add(-1)
 	if n == 0 {
 		poisonArena(b.buf)
+		arenaBlockRecycled()
 		arenaBlockPool.Put(b)
 		return
 	}
@@ -101,6 +102,7 @@ func (a *arena) alloc(n int) []byte {
 		a.seal()
 		a.cur = arenaBlockPool.Get().(*arenaBlock)
 		a.cur.refs.Store(1) // the fill reference
+		arenaBlockActivated()
 		a.off = 0
 	}
 	v := a.cur.buf[a.off : a.off+n : a.off+n]

@@ -2,6 +2,8 @@
 
 package engine
 
+import "sync/atomic"
+
 // arenaDebug reports whether arena poisoning is compiled in.
 const arenaDebug = true
 
@@ -17,3 +19,16 @@ func poisonArena(buf []byte) {
 		buf[i] = arenaPoison
 	}
 }
+
+// Live-block accounting (debug builds only): every block checked out of the
+// pool increments the counter, every reclaim decrements it. Tests drain a
+// pipeline, Close it, release every held view, and assert the counter is
+// back to zero — a leaked view (or a lost fill reference) shows up as a
+// nonzero residue.
+var arenaLiveBlocks atomic.Int64
+
+func arenaBlockActivated() { arenaLiveBlocks.Add(1) }
+func arenaBlockRecycled()  { arenaLiveBlocks.Add(-1) }
+
+// arenaLive reports the number of arena blocks currently checked out.
+func arenaLive() int64 { return arenaLiveBlocks.Load() }

@@ -9,3 +9,9 @@ const arenaDebug = false
 // poisonArena is a no-op in release builds: reclaimed blocks keep their
 // bytes until the next fill overwrites them.
 func poisonArena(_ []byte) {}
+
+// Live-block accounting is compiled out of release builds: the hooks are
+// no-ops and arenaLive always reports zero.
+func arenaBlockActivated() {}
+func arenaBlockRecycled()  {}
+func arenaLive() int64     { return 0 }

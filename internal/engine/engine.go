@@ -111,6 +111,28 @@ type Pipeline struct {
 	mu     sync.Mutex
 	closed bool
 
+	// graph is the live program: the (cloned) graph the current tree was
+	// built from, updated by Reconfigure. graphMu guards it because the
+	// doctor samples Graph() from its own goroutine.
+	graph   *pipeline.Graph
+	graphMu sync.Mutex
+
+	// Live reconfiguration (see reconfigure.go). quiesce asks source
+	// workers to stop at the next record boundary, so the stream drains to
+	// a barrier; pending is the reconfiguration waiting for that barrier;
+	// reconfMu serializes Reconfigure callers; closedCh unblocks a waiting
+	// Reconfigure when the pipeline is closed instead; resume seeds the
+	// next tree's stateful iterators with the captured positions; live is
+	// the registry of stateful iterators in the current tree.
+	quiesce  atomic.Bool
+	pending  atomic.Pointer[pendingReconfig]
+	reconfMu sync.Mutex
+	closedCh chan struct{}
+	resMu    sync.Mutex
+	resume   *resumeState
+	liveMu   sync.Mutex
+	live     []resumable
+
 	// pool enables pooled record buffers at sources and pooled batch
 	// assembly; recycle additionally allows operators that copy payloads
 	// (Batch) and the root consumer to return buffers to the pool. recycle
@@ -158,12 +180,35 @@ type iterator interface {
 	Close() error
 }
 
-// New instantiates the graph. The graph is validated and the iterator tree
-// built lazily: no file is opened until the first Next call.
+// New instantiates the graph. Construction runs in three phases — validate
+// and normalize the options (prepare), build the iterator tree and wire its
+// stage edges (install), and start the workers — with the third phase lazy:
+// no file is opened and no worker goroutine starts until the first Next
+// call. Reconfigure re-runs the install phase against a live pipeline.
 func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
-	if err := g.Validate(); err != nil {
+	p, err := prepare(opts)
+	if err != nil {
 		return nil, err
 	}
+	if err := p.install(g); err != nil {
+		return nil, err
+	}
+	if opts.Context != nil {
+		p.watchStop = make(chan struct{})
+		go func(ctx context.Context, stop <-chan struct{}) {
+			select {
+			case <-ctx.Done():
+				p.cancelWith(context.Cause(ctx))
+			case <-stop:
+			}
+		}(opts.Context, p.watchStop)
+	}
+	return p, nil
+}
+
+// prepare is construction phase 1: validate and normalize the options and
+// allocate the pipeline shell. No graph is consulted yet.
+func prepare(opts Options) (*Pipeline, error) {
 	if opts.FS == nil {
 		return nil, errors.New("engine: Options.FS is required")
 	}
@@ -195,13 +240,30 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 			opts.SampleEvery = 1
 		}
 	}
-	p := &Pipeline{opts: opts, caches: opts.Caches, cancelCh: make(chan struct{})}
+	p := &Pipeline{
+		opts:     opts,
+		caches:   opts.Caches,
+		cancelCh: make(chan struct{}),
+		closedCh: make(chan struct{}),
+	}
 	if p.caches == nil {
 		p.caches = NewCacheStore()
 	}
+	return p, nil
+}
+
+// install is construction phase 2: validate the graph, build its iterator
+// tree, and wire the stage edges and admission gates. Workers start lazily
+// on the first Next (phase 3). New calls install on a fresh pipeline;
+// applyReconfig calls it on a quiesced one, in which case p.resume seeds
+// the new tree's stateful iterators with the captured stream positions.
+func (p *Pipeline) install(g *pipeline.Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
 	chain, err := g.Chain()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	hasCache := false
 	for _, n := range chain {
@@ -209,9 +271,9 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 			hasCache = true
 		}
 	}
-	p.pool = !opts.DisableBufferPool
+	p.pool = !p.opts.DisableBufferPool
 	p.recycle = p.pool && !hasCache
-	p.viewArena = p.recycle && opts.Handoff == HandoffRing
+	p.viewArena = p.recycle && p.opts.Handoff == HandoffRing
 	outer := g.OuterParallelism
 	if outer < 1 {
 		outer = 1
@@ -220,12 +282,12 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 	// goroutine (round-robin), so they share the root segment's gate.
 	p.rootGate = p.gate(p.cancelCh)
 	build := func(replica int, seedShift uint64) (iterator, error) {
-		return p.buildChain(chain, len(chain)-1, replica, opts.Seed^seedShift, p.rootGate)
+		return p.buildChain(chain, len(chain)-1, replica, p.opts.Seed^seedShift, p.rootGate)
 	}
 	if outer == 1 {
 		root, err := build(0, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.root = root
 	} else {
@@ -235,36 +297,61 @@ func New(g *pipeline.Graph, opts Options) (*Pipeline, error) {
 		for i := range replicas {
 			it, err := build(i, uint64(i+1)*0x9e3779b97f4a7c15)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			replicas[i] = it
 		}
 		p.root = newRoundRobin(replicas)
 	}
-	if opts.Context != nil {
-		p.watchStop = make(chan struct{})
-		go func(ctx context.Context, stop <-chan struct{}) {
-			select {
-			case <-ctx.Done():
-				p.cancelWith(context.Cause(ctx))
-			case <-stop:
-			}
-		}(opts.Context, p.watchStop)
-	}
-	return p, nil
+	p.graphMu.Lock()
+	p.graph = g.Clone()
+	p.graphMu.Unlock()
+	return nil
+}
+
+// Graph returns a clone of the live program: the graph the current tree was
+// built from, including any hot-applied reconfigurations.
+func (p *Pipeline) Graph() *pipeline.Graph {
+	p.graphMu.Lock()
+	defer p.graphMu.Unlock()
+	return p.graph.Clone()
 }
 
 // Next yields the next root element. After cancellation, Next returns the
 // cancellation cause instead of a bare io.EOF, so consumers can tell an
 // aborted stream from an exhausted one.
+//
+// Next is also where a pending Reconfigure lands: when the quiesce barrier
+// drains the old tree to io.EOF, the swap runs here — on the consumer's
+// goroutine, where every iterator Next already serializes — and the loop
+// continues pulling from the resumed tree, so the consumer never observes
+// the barrier.
 func (p *Pipeline) Next() (data.Element, error) {
-	e, err := p.root.Next()
-	if err != nil {
+	for {
+		e, err := p.root.Next()
+		if err == nil {
+			if pr := p.pending.Load(); pr != nil {
+				pr.report.DrainedInFlight++
+			}
+			return e, nil
+		}
+		if pr := p.pending.Load(); pr != nil {
+			if err == io.EOF && p.CancelCause() == nil {
+				if aerr := p.applyReconfig(pr); aerr != nil {
+					return data.Element{}, aerr
+				}
+				continue
+			}
+			// The stream failed (or was canceled) while a reconfiguration
+			// was waiting for the barrier: fail the reconfiguration and
+			// surface the original error to the consumer.
+			p.failPending(pr, fmt.Errorf("engine: pipeline failed during quiesce: %w", err))
+		}
 		if cause := p.CancelCause(); cause != nil {
 			return data.Element{}, cause
 		}
+		return e, err
 	}
-	return e, err
 }
 
 // NextCtx is Next with context cancellation: if ctx ends while the call is
@@ -384,6 +471,7 @@ func (p *Pipeline) Close() error {
 		return nil
 	}
 	p.closed = true
+	close(p.closedCh) // unblock any Reconfigure waiting for a barrier
 	if p.watchStop != nil {
 		close(p.watchStop)
 		p.watchStop = nil
@@ -440,10 +528,16 @@ func (p *Pipeline) Recycle(e data.Element) {
 // buffers go back to the pool. Every engine-side recycle site must come
 // through here rather than calling data.PutBuf directly.
 func (p *Pipeline) releasePayload(e data.Element) {
-	if !p.recycle {
+	// Arena views release regardless of the current recycle mode: views are
+	// only ever produced by trees built with the arena on (which implies
+	// recycling), but a live reconfiguration can switch recycle off — by
+	// inserting a Cache node — while the consumer still holds views drained
+	// from the pre-barrier tree. Dropping those references would pin their
+	// arena blocks forever.
+	if e.Release() {
 		return
 	}
-	if e.Release() {
+	if !p.recycle {
 		return
 	}
 	if e.Payload != nil {
@@ -482,7 +576,7 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 		if n.Kind == pipeline.KindInterleave {
 			par = n.EffectiveParallelism()
 		}
-		return newSource(p, n.Name, cat, par, handle, seed, g), nil
+		return newSource(p, n.Name, cat, par, handle, seed, g, replica), nil
 	case pipeline.KindMap:
 		latch := p.iterLatch()
 		childGate := p.gate(latch.ch)
@@ -512,7 +606,7 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 		}
 		return newShuffleIter(child, n.BufferSize, handle, stats.NewRNG(seed^hashName(n.Name)), g), nil
 	case pipeline.KindRepeat:
-		return newRepeatIter(childFactory, n.Count, handle), nil
+		return newRepeatIter(p, n.Name, childFactory, n.Count, handle, replica), nil
 	case pipeline.KindBatch:
 		child, err := childFactory()
 		if err != nil {
@@ -532,13 +626,14 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 		if replica > 0 {
 			key = fmt.Sprintf("%s#%d", n.Name, replica)
 		}
-		return newCacheIter(p.caches.entry(key, chainSignature(chain[:idx], seed)), childFactory, handle)
+		entry := p.caches.entry(key, chainSignature(chain[:idx], seed))
+		return newCacheIter(p, key, entry, childFactory, handle, chain[0].Name, replica, seed)
 	case pipeline.KindTake:
 		child, err := childFactory()
 		if err != nil {
 			return nil, err
 		}
-		return newTakeIter(child, n.Count, handle), nil
+		return newTakeIter(p, n.Name, child, n.Count, handle, replica), nil
 	default:
 		return nil, fmt.Errorf("engine: unsupported node kind %q", n.Kind)
 	}

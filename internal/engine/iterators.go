@@ -148,40 +148,67 @@ func (cr *chunkReceiver) next(h handoff, cancel <-chan struct{}, g *seqGate) (da
 // per-record path has no channel operation, no atomic, and (untraced) no
 // clock read.
 type sourceIter struct {
-	p      *Pipeline
-	name   string
-	cat    data.Catalog
-	par    int
-	handle *trace.NodeStats
-	seed   uint64
-	gate   *seqGate // the consuming segment's admission gate
+	p       *Pipeline
+	name    string
+	replica int
+	cat     data.Catalog
+	par     int
+	handle  *trace.NodeStats
+	seed    uint64
+	gate    *seqGate // the consuming segment's admission gate
+	// init is the resume entry consumed at build time after a live
+	// reconfiguration: the files (and mid-file offsets) the predecessor
+	// tree's workers had not finished, replacing the full catalog.
+	init *sourceResume
 
 	once    sync.Once
 	started bool
+	fileCh  chan fileTask
 	out     handoff
 	latch   *doneLatch
 	wg      sync.WaitGroup
 	nextIdx int64
 	initErr error
 	recv    chunkReceiver
+
+	// parked collects the tasks quiescing workers abandoned: the in-flight
+	// file with its exact record-boundary offset, or a task pulled but
+	// never opened.
+	capMu  sync.Mutex
+	parked []fileTask
 }
 
-func newSource(p *Pipeline, name string, cat data.Catalog, par int, handle *trace.NodeStats, seed uint64, gate *seqGate) *sourceIter {
-	return &sourceIter{p: p, name: name, cat: cat, par: par, handle: handle, seed: seed, gate: gate, latch: p.iterLatch()}
+func newSource(p *Pipeline, name string, cat data.Catalog, par int, handle *trace.NodeStats, seed uint64, gate *seqGate, replica int) *sourceIter {
+	s := &sourceIter{p: p, name: name, replica: replica, cat: cat, par: par, handle: handle, seed: seed, gate: gate, latch: p.iterLatch()}
+	if sr := p.takeSourceResume(name, replica); sr != nil {
+		s.init = sr
+		s.nextIdx = sr.nextIdx
+	}
+	p.track(s)
+	return s
 }
 
 func (s *sourceIter) start() {
 	s.started = true
-	files := s.cat.FileNames()
-	fileCh := make(chan string, len(files))
-	for _, f := range files {
-		fileCh <- f
+	var tasks []fileTask
+	if s.init != nil {
+		tasks = s.init.tasks
+	} else {
+		files := s.cat.FileNames()
+		tasks = make([]fileTask, len(files))
+		for i, f := range files {
+			tasks[i] = fileTask{path: f}
+		}
 	}
-	close(fileCh)
+	s.fileCh = make(chan fileTask, len(tasks))
+	for _, t := range tasks {
+		s.fileCh <- t
+	}
+	close(s.fileCh)
 	s.out = s.p.newHandoff(s.par, s.p.opts.ChannelSlack)
 	s.wg.Add(s.par)
 	for w := 0; w < s.par; w++ {
-		go s.worker(w, fileCh)
+		go s.worker(w, s.fileCh)
 	}
 	go func() {
 		s.wg.Wait()
@@ -189,7 +216,41 @@ func (s *sourceIter) start() {
 	}()
 }
 
-func (s *sourceIter) worker(w int, fileCh <-chan string) {
+// park records a task a quiescing worker abandoned, for capture.
+func (s *sourceIter) park(t fileTask) {
+	s.capMu.Lock()
+	s.parked = append(s.parked, t)
+	s.capMu.Unlock()
+}
+
+// capture implements resumable. It runs at the quiesce barrier, after all
+// workers have exited (root EOF means every edge closed and drained, which
+// happens only after wg.Wait), so the parked list is final and the
+// undistributed remainder of fileCh can be drained without contention.
+func (s *sourceIter) capture(rs *resumeState) {
+	sr := &sourceResume{nextIdx: atomic.LoadInt64(&s.nextIdx)}
+	s.capMu.Lock()
+	sr.tasks = append(sr.tasks, s.parked...)
+	s.capMu.Unlock()
+	switch {
+	case s.started:
+		for t := range s.fileCh {
+			sr.tasks = append(sr.tasks, t)
+		}
+	case s.init != nil:
+		// Never pulled this round: the resume entry it was built with is
+		// still the full remaining stream.
+		sr.tasks = append(sr.tasks, s.init.tasks...)
+	default:
+		for _, f := range s.cat.FileNames() {
+			sr.tasks = append(sr.tasks, fileTask{path: f})
+		}
+		sr.fromStart = true
+	}
+	rs.sources[resumeKey{s.name, s.replica}] = sr
+}
+
+func (s *sourceIter) worker(w int, fileCh <-chan fileTask) {
 	defer s.wg.Done()
 	sl := s.p.slot(s.latch.ch)
 	defer sl.release()
@@ -225,11 +286,20 @@ func (s *sourceIter) worker(w int, fileCh <-chan string) {
 	// surfaced error the terminal item has already been emitted. The
 	// deferred Close guarantees the reader flushes its partial read
 	// accounting to observers no matter which path abandons the file.
-	stream := func(path string) bool {
+	stream := func(task fileTask) bool {
 		var r connector.Reader
 		err := rt.do("open", func() error {
 			var e error
-			r, e = s.p.opts.FS.Open(path)
+			r, e = s.p.opts.FS.Open(task.path)
+			if e == nil && task.offset > 0 {
+				// Resuming a file a quiesce barrier interrupted: skip to
+				// the recorded record boundary without re-observing (or
+				// re-serving) the prefix the predecessor already consumed.
+				if e = connector.SkipTo(r, task.offset); e != nil {
+					r.Close()
+					r = nil
+				}
+			}
 			return e
 		})
 		if err != nil {
@@ -245,6 +315,14 @@ func (s *sourceIter) worker(w int, fileCh <-chan string) {
 			rr.SetAlloc(ar.alloc, ar.unalloc)
 		}
 		for {
+			if s.p.quiesce.Load() {
+				// Quiesce barrier: park the file at its exact record
+				// boundary — the same offsets the retry policy rewinds to —
+				// and exit. The deferred emitter flush delivers the items
+				// already in hand, so nothing in flight is dropped.
+				s.park(fileTask{path: task.path, offset: r.Offset()})
+				return false
+			}
 			// Reading records is this worker's CPU work: it happens under a
 			// pool slot (a no-op re-check when already held — the emitter
 			// releases it whenever a flush has to block), yielded every
@@ -311,8 +389,12 @@ func (s *sourceIter) worker(w int, fileCh <-chan string) {
 			}
 		}
 	}
-	for path := range fileCh {
-		if !stream(path) {
+	for task := range fileCh {
+		if s.p.quiesce.Load() {
+			s.park(task)
+			return
+		}
+		if !stream(task) {
 			return
 		}
 	}
@@ -327,6 +409,7 @@ func (s *sourceIter) Next() (data.Element, error) {
 }
 
 func (s *sourceIter) Close() error {
+	s.p.untrack(s)
 	s.once.Do(func() { s.initErr = io.EOF }) // never started: mark terminal
 	s.latch.close()
 	if s.started {
@@ -713,16 +796,31 @@ func (s *shuffleIter) Close() error {
 // the pipeline-level cache store, so epoch 2 of a cached pipeline serves
 // from memory.
 type repeatIter struct {
+	p       *Pipeline
+	name    string
+	replica int
 	factory func() (iterator, error)
 	count   int64
 	tr      tracker
 
 	child iterator
-	epoch int64
+	epoch int64 // number of epochs started
 }
 
-func newRepeatIter(factory func() (iterator, error), count int64, handle *trace.NodeStats) *repeatIter {
-	return &repeatIter{factory: factory, count: count, tr: tracker{h: handle}}
+func newRepeatIter(p *Pipeline, name string, factory func() (iterator, error), count int64, handle *trace.NodeStats, replica int) *repeatIter {
+	r := &repeatIter{p: p, name: name, replica: replica, factory: factory, count: count, tr: tracker{h: handle}}
+	if rr, ok := p.takeRepeatResume(name, replica); ok {
+		if rr.inProgress {
+			// The barrier interrupted epoch N: start one epoch back so the
+			// first Next rebuilds the child — which consumes the source's
+			// partial resume entry and continues epoch N where it stopped.
+			r.epoch = rr.epoch - 1
+		} else {
+			r.epoch = rr.epoch
+		}
+	}
+	p.track(r)
+	return r
 }
 
 func (r *repeatIter) Next() (data.Element, error) {
@@ -740,6 +838,16 @@ func (r *repeatIter) Next() (data.Element, error) {
 		}
 		e, err := r.child.Next()
 		if err == io.EOF {
+			if r.p != nil && r.p.quiesce.Load() {
+				// A quiesce barrier is draining the pipeline: this EOF may
+				// be the barrier cut, not true epoch exhaustion. Keep the
+				// child open so its sources can be captured, and let the
+				// EOF reach the root — the successor tree resumes the
+				// epoch. (If the epoch genuinely ended here, the captured
+				// source entry is empty and the resumed epoch EOFs
+				// immediately, rolling over to the next one.)
+				return data.Element{}, io.EOF
+			}
 			r.child.Close()
 			r.child = nil
 			continue
@@ -753,7 +861,15 @@ func (r *repeatIter) Next() (data.Element, error) {
 	}
 }
 
+// capture implements resumable.
+func (r *repeatIter) capture(rs *resumeState) {
+	rs.repeats[resumeKey{r.name, r.replica}] = repeatResume{epoch: r.epoch, inProgress: r.child != nil}
+}
+
 func (r *repeatIter) Close() error {
+	if r.p != nil {
+		r.p.untrack(r)
+	}
 	r.tr.flush()
 	if r.child != nil {
 		return r.child.Close()
@@ -931,6 +1047,12 @@ func (p *prefetchIter) start() {
 		defer em.flush()
 		tr := tracker{h: p.handle}
 		defer tr.flush()
+		// The prefetch stage is often the pipeline root, so live interval
+		// samplers read its counters; publish far more often than the
+		// sequential flush interval — this goroutine is already decoupled
+		// from the consumer, so the extra flushes are off the serving path.
+		const flushEvery = 16
+		flushIn := flushEvery
 		for {
 			e, err := p.child.Next()
 			if err == io.EOF {
@@ -943,6 +1065,10 @@ func (p *prefetchIter) start() {
 			}
 			tr.consumed()
 			tr.produced(e)
+			if flushIn--; flushIn <= 0 {
+				flushIn = flushEvery
+				tr.flush()
+			}
 			if !em.add(item{elem: e}) {
 				return
 			}
@@ -1033,32 +1159,67 @@ func (cs *CacheStore) entry(name, sig string) *cacheEntry {
 // Cached elements are retained across epochs, which is why the engine
 // disables payload recycling for chains containing a Cache node.
 type cacheIter struct {
+	p       *Pipeline
+	key     string // cache store key (name, replica-suffixed)
+	replica int
+	seed    uint64
 	entry   *cacheEntry
 	factory func() (iterator, error)
 	tr      tracker
 
 	child   iterator
 	serving bool
-	pos     int
+	// passthrough marks a cache resumed (or freshly inserted) mid-epoch by
+	// a live reconfiguration: it forwards elements without recording them —
+	// filling from mid-stream would materialize only the epoch's tail — and
+	// never marks the entry complete. The next full epoch fills normally.
+	passthrough bool
+	pos         int
 }
 
-func newCacheIter(entry *cacheEntry, factory func() (iterator, error), handle *trace.NodeStats) (*cacheIter, error) {
-	c := &cacheIter{entry: entry, factory: factory, tr: tracker{h: handle}}
+func newCacheIter(p *Pipeline, key string, entry *cacheEntry, factory func() (iterator, error), handle *trace.NodeStats, srcName string, replica int, seed uint64) (*cacheIter, error) {
+	c := &cacheIter{p: p, key: key, replica: replica, seed: seed, entry: entry, factory: factory, tr: tracker{h: handle}}
 	entry.mu.Lock()
 	c.serving = entry.complete
-	if !entry.complete {
+	entry.mu.Unlock()
+	if cr, ok := p.takeCacheResume(key); ok && c.serving {
+		// Resuming a serving cache: continue at the captured position.
+		// (applyReconfig guarantees the entry survived the patch — a patch
+		// invalidating a mid-serve entry is rejected at the barrier.)
+		c.pos = cr.pos
+	} else if !c.serving && p.sourceResumePending(srcName, replica) {
+		c.passthrough = true
+	}
+	if !c.serving && !c.passthrough {
 		// A previous pipeline may have filled this entry partially (drain
-		// bounded by Take or an early Close) before the store was reused;
-		// restart the fill from scratch so elements are never duplicated.
+		// bounded by Take, an early Close, or a quiesce barrier) before it
+		// was reused; restart the fill from scratch so elements are never
+		// duplicated.
+		entry.mu.Lock()
 		entry.elems = nil
 		entry.bytes = 0
+		entry.mu.Unlock()
 	}
-	entry.mu.Unlock()
+	p.track(c)
 	return c, nil
+}
+
+// capture implements resumable. Only a serving cache carries position; an
+// interrupted fill leaves no state — the rebuilt cache passes through for
+// the rest of the epoch (driven by the source resume entry below it).
+func (c *cacheIter) capture(rs *resumeState) {
+	if c.serving {
+		rs.caches[c.key] = cacheResume{pos: c.pos, replica: c.replica, seed: c.seed}
+	}
 }
 
 func (c *cacheIter) Next() (data.Element, error) {
 	if c.serving {
+		if c.p != nil && c.p.quiesce.Load() {
+			// Barrier cut: stop serving here; capture records pos and the
+			// successor tree's cache resumes at it.
+			return data.Element{}, io.EOF
+		}
 		c.entry.mu.Lock()
 		defer c.entry.mu.Unlock()
 		if c.pos >= len(c.entry.elems) {
@@ -1078,24 +1239,34 @@ func (c *cacheIter) Next() (data.Element, error) {
 	}
 	e, err := c.child.Next()
 	if err == io.EOF {
-		c.entry.mu.Lock()
-		c.entry.complete = true
-		c.entry.mu.Unlock()
+		// A quiesce-cut EOF is not epoch exhaustion: the entry holds only
+		// a prefix, so it must not be marked complete. Same for a
+		// passthrough cache, which recorded nothing.
+		if !c.passthrough && (c.p == nil || !c.p.quiesce.Load()) {
+			c.entry.mu.Lock()
+			c.entry.complete = true
+			c.entry.mu.Unlock()
+		}
 		return data.Element{}, io.EOF
 	}
 	if err != nil {
 		return data.Element{}, err
 	}
 	c.tr.consumed()
-	c.entry.mu.Lock()
-	c.entry.elems = append(c.entry.elems, e)
-	c.entry.bytes += e.Size
-	c.entry.mu.Unlock()
+	if !c.passthrough {
+		c.entry.mu.Lock()
+		c.entry.elems = append(c.entry.elems, e)
+		c.entry.bytes += e.Size
+		c.entry.mu.Unlock()
+	}
 	c.tr.produced(e)
 	return e, nil
 }
 
 func (c *cacheIter) Close() error {
+	if c.p != nil {
+		c.p.untrack(c)
+	}
 	c.tr.flush()
 	if c.child != nil {
 		return c.child.Close()
@@ -1107,14 +1278,27 @@ func (c *cacheIter) Close() error {
 // Take
 
 type takeIter struct {
-	child  iterator
-	count  int64
-	tr     tracker
-	served int64
+	p       *Pipeline
+	name    string
+	replica int
+	child   iterator
+	count   int64
+	tr      tracker
+	served  int64
 }
 
-func newTakeIter(child iterator, count int64, handle *trace.NodeStats) *takeIter {
-	return &takeIter{child: child, count: count, tr: tracker{h: handle}}
+func newTakeIter(p *Pipeline, name string, child iterator, count int64, handle *trace.NodeStats, replica int) *takeIter {
+	t := &takeIter{p: p, name: name, replica: replica, child: child, count: count, tr: tracker{h: handle}}
+	if served, ok := p.takeTakeResume(name, replica); ok {
+		t.served = served
+	}
+	p.track(t)
+	return t
+}
+
+// capture implements resumable.
+func (t *takeIter) capture(rs *resumeState) {
+	rs.takes[resumeKey{t.name, t.replica}] = t.served
 }
 
 func (t *takeIter) Next() (data.Element, error) {
@@ -1132,6 +1316,7 @@ func (t *takeIter) Next() (data.Element, error) {
 }
 
 func (t *takeIter) Close() error {
+	t.p.untrack(t)
 	t.tr.flush()
 	return t.child.Close()
 }

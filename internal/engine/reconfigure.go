@@ -1,0 +1,540 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"plumber/internal/data"
+	"plumber/internal/pipeline"
+)
+
+// Live reconfiguration: Reconfigure applies a new plan to a running
+// pipeline without dropping or duplicating a single element.
+//
+// The mechanism is quiesce -> patch -> resume:
+//
+//   - Quiesce. Setting p.quiesce asks every source worker to stop at its
+//     next record boundary. Each worker records the exact byte offset of
+//     its in-flight file (record boundaries are exact — the same offsets
+//     the retry policy rewinds to), flushes its partial chunk downstream,
+//     and exits. EOF then propagates up the tree the ordinary way: every
+//     stage edge — ring or channel — closes only after the consumer has
+//     drained every chunk in it, map workers flush their in-hand outputs,
+//     shuffle drains its buffer, batch emits its partial batch. Every
+//     element that entered the pipeline is therefore *delivered* to the
+//     consumer under the old configuration; the barrier is the consumer
+//     observing io.EOF, at which point no worker goroutine is live.
+//
+//   - Patch. On the consumer's goroutine (Next), the captured stream
+//     positions are collected from the old tree's stateful iterators, the
+//     old tree is torn down (flushing its counters), and the knobs are
+//     swapped: the new graph (per-stage parallelism, prefetch, cache
+//     insertion/removal from rewrite.ApplyPlan), ChannelSlack (ring/channel
+//     edge depth), ChunkSize.
+//
+//   - Resume. install rebuilds the tree; sources reopen their partial
+//     files and SkipTo the recorded offsets, repeat/take/cache iterators
+//     pick up their epoch/position counters. Workers re-acquire shared-pool
+//     slots at the new widths on their first chunk, so pool shares follow
+//     the patch automatically.
+//
+// Not hot-patchable (rejected by Reconfigure): changing outer parallelism,
+// replacing the source node or its catalog, adding/removing/altering
+// Repeat or Take nodes, and changing the handoff kind (Options, not graph,
+// and edges are rebuilt anyway — but the kind is pinned at New). A patch
+// that would invalidate a cache entry the stream is mid-way through
+// serving is rejected at the barrier and the pipeline resumes unchanged.
+
+// Patch is a live-reconfiguration request. Zero fields keep the current
+// configuration.
+type Patch struct {
+	// Graph, when non-nil, is the rewritten program to hot-apply (for
+	// example rewrite.ApplyPlan output against Pipeline.Graph()). It must
+	// keep the same source node, outer parallelism, and Repeat/Take
+	// structure; parallelism, prefetch, cache, and shuffle changes are the
+	// hot-patchable surface. Nil keeps the current graph (knob-only patch).
+	Graph *pipeline.Graph
+	// ChannelSlack, when non-zero, replaces Options.ChannelSlack for the
+	// rebuilt stage edges (values below MinChannelSlack normalize to
+	// DefaultChannelSlack, as in New).
+	ChannelSlack int
+	// ChunkSize, when positive, replaces Options.ChunkSize.
+	ChunkSize int
+}
+
+// ReconfigReport describes what one Reconfigure did.
+type ReconfigReport struct {
+	// QuiesceDuration is the time from the Reconfigure call to the barrier:
+	// how long draining the in-flight elements to the consumer took.
+	QuiesceDuration time.Duration `json:"quiesce_duration"`
+	// ApplyDuration is the time spent at the barrier: capturing positions,
+	// tearing down the old tree, and building the new one.
+	ApplyDuration time.Duration `json:"apply_duration"`
+	// DrainedInFlight counts root elements the consumer received between
+	// the Reconfigure call and the barrier — the in-flight work that was
+	// delivered rather than dropped.
+	DrainedInFlight int64 `json:"drained_in_flight"`
+	// ResumedPartialFiles counts source files reopened mid-file (SkipTo a
+	// recorded record boundary); ResumedPendingFiles counts files that were
+	// still queued, carried over unopened.
+	ResumedPartialFiles int `json:"resumed_partial_files"`
+	ResumedPendingFiles int `json:"resumed_pending_files"`
+}
+
+// pendingReconfig is the published state of an in-flight Reconfigure. The
+// waiting caller reads report/err after done closes; until then only the
+// consumer goroutine touches them.
+type pendingReconfig struct {
+	patch  Patch
+	start  time.Time
+	done   chan struct{}
+	report ReconfigReport
+	err    error
+}
+
+// Reconfigure hot-applies a patch to the running pipeline and blocks until
+// it has been applied (or rejected), returning a report of the transition.
+// It must be called from a goroutine other than the consumer's: the swap
+// itself runs inside the consumer's Next at the quiesce barrier, so the
+// consumer has to keep draining for the barrier to be reached. Elements
+// already in flight are delivered to the consumer, never dropped; the
+// resumed stream continues exactly where the old one stopped.
+//
+// A patch that fails validation at the barrier (for example, it would
+// invalidate a cache entry the stream is mid-way through serving) returns
+// an error while the pipeline resumes with its previous configuration —
+// a rejected Reconfigure never breaks the stream.
+func (p *Pipeline) Reconfigure(patch Patch) (ReconfigReport, error) {
+	p.reconfMu.Lock()
+	defer p.reconfMu.Unlock()
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ReconfigReport{}, errors.New("engine: Reconfigure on closed pipeline")
+	}
+	if cause := p.CancelCause(); cause != nil {
+		return ReconfigReport{}, fmt.Errorf("engine: Reconfigure on canceled pipeline: %w", cause)
+	}
+	if patch.Graph != nil {
+		if err := p.validatePatchGraph(patch.Graph); err != nil {
+			return ReconfigReport{}, err
+		}
+		patch.Graph = patch.Graph.Clone()
+	}
+	pr := &pendingReconfig{patch: patch, start: time.Now(), done: make(chan struct{})}
+	if !p.pending.CompareAndSwap(nil, pr) {
+		return ReconfigReport{}, errors.New("engine: reconfiguration already in flight")
+	}
+	p.quiesce.Store(true)
+	select {
+	case <-pr.done:
+		return pr.report, pr.err
+	case <-p.cancelCh:
+		return ReconfigReport{}, fmt.Errorf("engine: pipeline canceled during reconfiguration: %w", p.CancelCause())
+	case <-p.closedCh:
+		return ReconfigReport{}, errors.New("engine: pipeline closed during reconfiguration")
+	}
+}
+
+// validatePatchGraph enforces the hot-patch boundary before the quiesce
+// starts, so an inapplicable patch is rejected without disturbing the
+// stream at all.
+func (p *Pipeline) validatePatchGraph(g *pipeline.Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	newChain, err := g.Chain()
+	if err != nil {
+		return err
+	}
+	p.graphMu.Lock()
+	cur := p.graph
+	p.graphMu.Unlock()
+	curChain, err := cur.Chain()
+	if err != nil {
+		return err
+	}
+	curOuter, newOuter := cur.OuterParallelism, g.OuterParallelism
+	if curOuter < 1 {
+		curOuter = 1
+	}
+	if newOuter < 1 {
+		newOuter = 1
+	}
+	if curOuter != newOuter {
+		return fmt.Errorf("engine: Reconfigure cannot change outer parallelism (%d -> %d); rebuild the pipeline instead", curOuter, newOuter)
+	}
+	if newChain[0].Name != curChain[0].Name || newChain[0].Catalog != curChain[0].Catalog {
+		return fmt.Errorf("engine: Reconfigure cannot replace the source node (%s/%s -> %s/%s); rebuild the pipeline instead",
+			curChain[0].Name, curChain[0].Catalog, newChain[0].Name, newChain[0].Catalog)
+	}
+	if _, err := data.CatalogByName(newChain[0].Catalog); err != nil {
+		return err
+	}
+	for _, n := range newChain {
+		if n.Kind == pipeline.KindMap || n.Kind == pipeline.KindFilter {
+			if _, err := p.lookupUDF(n.UDF); err != nil {
+				return err
+			}
+		}
+	}
+	// Resume state for Repeat and Take is keyed by node name and carries
+	// epoch/position counters that cannot survive structural changes.
+	if cs, ns := loopSignature(curChain), loopSignature(newChain); cs != ns {
+		return fmt.Errorf("engine: Reconfigure cannot add, remove, or alter Repeat/Take nodes mid-stream (%q -> %q); rebuild the pipeline instead", cs, ns)
+	}
+	return nil
+}
+
+// loopSignature fingerprints the epoch/limit structure of a chain: the
+// Repeat and Take nodes whose counters the resume machinery carries across
+// a reconfiguration.
+func loopSignature(chain []pipeline.Node) string {
+	var b strings.Builder
+	for _, n := range chain {
+		if n.Kind == pipeline.KindRepeat || n.Kind == pipeline.KindTake {
+			fmt.Fprintf(&b, "%s/%s/%d|", n.Name, n.Kind, n.Count)
+		}
+	}
+	return b.String()
+}
+
+// applyReconfig runs on the consumer goroutine at the quiesce barrier: the
+// old tree has drained to io.EOF, so every worker and stage goroutine has
+// exited and the stateful iterators are quiescent.
+func (p *Pipeline) applyReconfig(pr *pendingReconfig) error {
+	pr.report.QuiesceDuration = time.Since(pr.start)
+	applyStart := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.finishReconfig(pr, errors.New("engine: pipeline closed during reconfiguration"))
+		return io.EOF
+	}
+
+	// 1. Capture resume state from the live stateful iterators.
+	rs := newResumeState()
+	p.liveMu.Lock()
+	live := append([]resumable(nil), p.live...)
+	p.liveMu.Unlock()
+	for _, r := range live {
+		r.capture(rs)
+	}
+	for _, sr := range rs.sources {
+		for _, t := range sr.tasks {
+			if t.offset > 0 {
+				pr.report.ResumedPartialFiles++
+			} else {
+				pr.report.ResumedPendingFiles++
+			}
+		}
+	}
+
+	// Late validation against the captured state: a patch that would
+	// invalidate a cache entry the stream is mid-way through serving
+	// cannot be applied without re-delivering the served prefix. Reject
+	// the patch but resume the stream under the old configuration.
+	patch := pr.patch
+	var rejected error
+	if patch.Graph != nil {
+		if err := p.checkServingCaches(rs, patch.Graph); err != nil {
+			rejected = err
+			patch = Patch{}
+		}
+	}
+
+	// 2. Tear down the old tree (flushes every buffered counter shard) and
+	// drop its interrupt latches — all closed now — so the registry does
+	// not grow across reconfigurations.
+	closeErr := p.root.Close()
+	p.rootGate.close()
+	p.liveMu.Lock()
+	p.live = nil
+	p.liveMu.Unlock()
+	p.intMu.Lock()
+	p.interrupts = p.interrupts[:0]
+	p.intMu.Unlock()
+	if closeErr != nil {
+		err := fmt.Errorf("engine: reconfigure teardown: %w", closeErr)
+		p.finishReconfig(pr, err)
+		return err
+	}
+
+	// 3. Patch the knobs.
+	if patch.ChannelSlack != 0 {
+		p.opts.ChannelSlack = patch.ChannelSlack
+		if p.opts.ChannelSlack < MinChannelSlack {
+			p.opts.ChannelSlack = DefaultChannelSlack
+		}
+	}
+	if patch.ChunkSize > 0 {
+		p.opts.ChunkSize = patch.ChunkSize
+	}
+	g := patch.Graph
+	if g == nil {
+		p.graphMu.Lock()
+		g = p.graph
+		p.graphMu.Unlock()
+	}
+
+	// 4. Resume. The collector learns the new graph before the tree
+	// resolves node handles (inserted nodes get fresh counters); the
+	// quiesce flag clears before install so the new sources run.
+	if p.opts.Collector != nil && patch.Graph != nil {
+		if err := p.opts.Collector.SetGraph(g); err != nil {
+			p.finishReconfig(pr, err)
+			return err
+		}
+	}
+	p.resMu.Lock()
+	p.resume = rs
+	p.resMu.Unlock()
+	p.quiesce.Store(false)
+	if err := p.install(g); err != nil {
+		err = fmt.Errorf("engine: reconfigure rebuild: %w", err)
+		p.finishReconfig(pr, err)
+		return err
+	}
+	pr.report.ApplyDuration = time.Since(applyStart)
+	p.finishReconfig(pr, rejected)
+	return nil
+}
+
+// checkServingCaches rejects a patch that removes or invalidates a cache
+// entry the stream is mid-way through serving: the elements already served
+// this epoch came from the entry, so any tree without that exact entry
+// would re-deliver them (no source position exists to resume from).
+func (p *Pipeline) checkServingCaches(rs *resumeState, g *pipeline.Graph) error {
+	serving := false
+	for _, cr := range rs.caches {
+		if cr.pos > 0 {
+			serving = true
+		}
+	}
+	if !serving {
+		return nil
+	}
+	chain, err := g.Chain()
+	if err != nil {
+		return err
+	}
+	for key, cr := range rs.caches {
+		if cr.pos == 0 {
+			continue
+		}
+		found := false
+		for idx, n := range chain {
+			if n.Kind != pipeline.KindCache {
+				continue
+			}
+			k := n.Name
+			if cr.replica > 0 {
+				k = fmt.Sprintf("%s#%d", n.Name, cr.replica)
+			}
+			if k != key {
+				continue
+			}
+			sig, complete, ok := p.caches.peek(key)
+			if ok && complete && sig == chainSignature(chain[:idx], cr.seed) {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("engine: Reconfigure would invalidate cache %q mid-serve (position %d); patch rejected, pipeline resumed unchanged", key, cr.pos)
+		}
+	}
+	return nil
+}
+
+// finishReconfig publishes the outcome to the waiting Reconfigure caller
+// and clears the pending slot. Returns err for convenience.
+func (p *Pipeline) finishReconfig(pr *pendingReconfig, err error) {
+	pr.err = err
+	p.pending.Store(nil)
+	close(pr.done)
+}
+
+// failPending aborts a pending reconfiguration from the Next error path:
+// the stream failed before the barrier was reached.
+func (p *Pipeline) failPending(pr *pendingReconfig, err error) {
+	p.quiesce.Store(false)
+	p.finishReconfig(pr, err)
+}
+
+// ---------------------------------------------------------------------------
+// Resume state
+
+// resumable is a stateful iterator that can hand its stream position to a
+// successor tree. Iterators register at construction (track) and
+// deregister on Close (untrack), so subtrees torn down at epoch boundaries
+// do not pollute the capture.
+type resumable interface {
+	capture(rs *resumeState)
+}
+
+// resumeKey identifies one stateful iterator: node name plus the
+// outer-parallelism replica it belongs to.
+type resumeKey struct {
+	name    string
+	replica int
+}
+
+// fileTask is one unit of source work: a shard path and the byte offset to
+// resume reading at (0 = from the start).
+type fileTask struct {
+	path   string
+	offset int64
+}
+
+// sourceResume is a source/interleave node's captured position: the files
+// still to read (partially-read ones first, with exact record-boundary
+// offsets) and the element sequence counter. fromStart marks a source that
+// never produced anything — its stream still begins at the beginning, so a
+// cache built above it may fill.
+type sourceResume struct {
+	tasks     []fileTask
+	nextIdx   int64
+	fromStart bool
+}
+
+type repeatResume struct {
+	epoch      int64
+	inProgress bool
+}
+
+// cacheResume is a serving cache's position; keyed by the cache store key
+// (name, replica-suffixed). replica and the replica's effective seed
+// reproduce the entry signature check at apply time.
+type cacheResume struct {
+	pos     int
+	replica int
+	seed    uint64
+}
+
+type resumeState struct {
+	sources map[resumeKey]*sourceResume
+	repeats map[resumeKey]repeatResume
+	takes   map[resumeKey]int64
+	caches  map[string]cacheResume
+}
+
+func newResumeState() *resumeState {
+	return &resumeState{
+		sources: make(map[resumeKey]*sourceResume),
+		repeats: make(map[resumeKey]repeatResume),
+		takes:   make(map[resumeKey]int64),
+		caches:  make(map[string]cacheResume),
+	}
+}
+
+// track registers a stateful iterator in the live registry.
+func (p *Pipeline) track(r resumable) {
+	p.liveMu.Lock()
+	p.live = append(p.live, r)
+	p.liveMu.Unlock()
+}
+
+// untrack removes a closed iterator (identity match).
+func (p *Pipeline) untrack(r resumable) {
+	p.liveMu.Lock()
+	for i, x := range p.live {
+		if x == r {
+			p.live = append(p.live[:i], p.live[i+1:]...)
+			break
+		}
+	}
+	p.liveMu.Unlock()
+}
+
+// takeSourceResume consumes the resume entry for a source node, if one
+// exists. Entries are consumed on first build so that a later epoch rebuild
+// (Repeat's factory) starts from the full catalog again.
+func (p *Pipeline) takeSourceResume(name string, replica int) *sourceResume {
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
+	if p.resume == nil {
+		return nil
+	}
+	k := resumeKey{name, replica}
+	sr, ok := p.resume.sources[k]
+	if !ok {
+		return nil
+	}
+	delete(p.resume.sources, k)
+	return sr
+}
+
+// sourceResumePending reports whether the stream below a cache node would
+// resume mid-epoch: an unconsumed resume entry exists for the source and it
+// does not represent a full from-the-start catalog. A cache built above a
+// mid-epoch stream must pass through rather than fill — it would otherwise
+// materialize only the epoch's tail.
+func (p *Pipeline) sourceResumePending(name string, replica int) bool {
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
+	if p.resume == nil {
+		return false
+	}
+	sr, ok := p.resume.sources[resumeKey{name, replica}]
+	return ok && !sr.fromStart
+}
+
+func (p *Pipeline) takeRepeatResume(name string, replica int) (repeatResume, bool) {
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
+	if p.resume == nil {
+		return repeatResume{}, false
+	}
+	k := resumeKey{name, replica}
+	rr, ok := p.resume.repeats[k]
+	if ok {
+		delete(p.resume.repeats, k)
+	}
+	return rr, ok
+}
+
+func (p *Pipeline) takeTakeResume(name string, replica int) (int64, bool) {
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
+	if p.resume == nil {
+		return 0, false
+	}
+	k := resumeKey{name, replica}
+	v, ok := p.resume.takes[k]
+	if ok {
+		delete(p.resume.takes, k)
+	}
+	return v, ok
+}
+
+func (p *Pipeline) takeCacheResume(key string) (cacheResume, bool) {
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
+	if p.resume == nil {
+		return cacheResume{}, false
+	}
+	cr, ok := p.resume.caches[key]
+	if ok {
+		delete(p.resume.caches, key)
+	}
+	return cr, ok
+}
+
+// peek reports an entry's signature and completeness without creating or
+// invalidating anything; used by the apply-time serving-cache check.
+func (cs *CacheStore) peek(name string) (sig string, complete bool, ok bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	e, ok := cs.entries[name]
+	if !ok {
+		return "", false, false
+	}
+	e.mu.Lock()
+	sig, complete = e.sig, e.complete
+	e.mu.Unlock()
+	return sig, complete, true
+}

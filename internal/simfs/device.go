@@ -104,11 +104,14 @@ func NewTokenBucket(rate, burst float64) *TokenBucket {
 // must incur before the read may complete. Requests larger than the burst
 // are admitted but accrue proportional delay.
 func (tb *TokenBucket) Take(now time.Duration, n int64) time.Duration {
-	if tb == nil || tb.rate <= 0 || math.IsInf(tb.rate, 1) {
+	if tb == nil {
 		return 0
 	}
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
+	if tb.rate <= 0 || math.IsInf(tb.rate, 1) {
+		return 0
+	}
 	if now > tb.last {
 		tb.tokens += tb.rate * (now - tb.last).Seconds()
 		if tb.tokens > tb.burst {
@@ -126,7 +129,32 @@ func (tb *TokenBucket) Take(now time.Duration, n int64) time.Duration {
 }
 
 // Rate returns the configured byte rate.
-func (tb *TokenBucket) Rate() float64 { return tb.rate }
+func (tb *TokenBucket) Rate() float64 {
+	if tb == nil {
+		return 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.rate
+}
+
+// SetRate changes the bucket's byte rate in place; in-flight deficits are
+// repaid at the new rate from the next Take on. Used to ramp a device's
+// bandwidth mid-run (drift injection for the live-reconfiguration doctor).
+func (tb *TokenBucket) SetRate(rate float64) {
+	if tb == nil {
+		return
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.rate = rate
+	if burst := rate / 4; burst > 0 && !math.IsInf(burst, 1) {
+		tb.burst = burst
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+}
 
 // String implements fmt.Stringer for diagnostics.
 func (d Device) String() string {

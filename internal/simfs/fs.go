@@ -32,6 +32,11 @@ type FS struct {
 	device   Device
 	bucket   *TokenBucket
 	throttle bool // if true, Open'd readers sleep to honor the bucket
+	// epoch anchors the bucket's virtual clock for throttled readers. All
+	// readers share one bucket, so they must share one clock: feeding each
+	// reader's own elapsed-since-open time would rewind the bucket whenever
+	// a shard is reopened (every interleave epoch), starving refills.
+	epoch time.Time
 
 	mu        sync.Mutex
 	files     map[string]*fileEntry
@@ -57,12 +62,27 @@ func New(device Device, throttle bool) *FS {
 		device:   device,
 		bucket:   NewTokenBucket(device.TotalBandwidth, device.TotalBandwidth/4),
 		throttle: throttle,
+		epoch:    time.Now(),
 		files:    make(map[string]*fileEntry),
 	}
 }
 
-// Device returns the filesystem's device model.
+// Device returns the filesystem's device model (the nominal spec the
+// filesystem was created with; SetBandwidth does not rewrite it).
 func (fs *FS) Device() Device { return fs.device }
+
+// SetBandwidth changes the device's aggregate read bandwidth in place.
+// Readers already open observe the new rate on their next read. The nominal
+// Device spec is left untouched — this models the *delivered* bandwidth
+// drifting away from the provisioned one (a contended disk, a throttled
+// object store), which is exactly the drift the live-reconfiguration
+// doctor watches for.
+func (fs *FS) SetBandwidth(bytesPerSec float64) {
+	fs.bucket.SetRate(bytesPerSec)
+}
+
+// Bandwidth returns the currently delivered aggregate bandwidth.
+func (fs *FS) Bandwidth() float64 { return fs.bucket.Rate() }
 
 // AddObserver registers a read observer; used by the tracer.
 func (fs *FS) AddObserver(o ReadObserver) {
@@ -250,7 +270,6 @@ type Reader struct {
 	path   string
 	buf    []byte
 	off    int
-	start  time.Time
 	closed bool
 
 	pendingBytes int64
@@ -267,7 +286,7 @@ func (fs *FS) Open(path string) (*Reader, error) {
 		return nil, fmt.Errorf("simfs: open %s: no such file", path)
 	}
 	content := f.materialize()
-	return &Reader{fs: fs, path: path, buf: content, start: time.Now()}, nil
+	return &Reader{fs: fs, path: path, buf: content}, nil
 }
 
 // Read implements io.Reader with read accounting and optional throttling.
@@ -297,7 +316,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 		r.flushObservation()
 	}
 	if r.fs.throttle {
-		now := time.Since(r.start)
+		now := time.Since(r.fs.epoch)
 		if wait := r.fs.bucket.Take(now, int64(n)); wait > 0 {
 			time.Sleep(wait)
 		}
@@ -329,6 +348,23 @@ func (r *Reader) Path() string { return r.path }
 
 // Offset returns the reader's current byte offset into the file.
 func (r *Reader) Offset() int64 { return int64(r.off) }
+
+// SkipTo fast-forwards the reader to a later offset without serving — or
+// re-observing, or paying modeled bandwidth for — the skipped bytes: the
+// forward-only counterpart of Rewind. The engine's live-reconfiguration
+// resume uses it to reopen a partially-read shard at the quiesce barrier;
+// the skipped prefix was already read (and its observation flushed) by the
+// reader the barrier interrupted, so replaying it would double-count.
+func (r *Reader) SkipTo(off int64) error {
+	if r.closed {
+		return fmt.Errorf("simfs: skip %s: closed", r.path)
+	}
+	if off < int64(r.off) || off > int64(len(r.buf)) {
+		return fmt.Errorf("simfs: skip %s: offset %d out of range [%d, %d]", r.path, off, r.off, len(r.buf))
+	}
+	r.off = int(off)
+	return nil
+}
 
 // Rewind repositions the reader to an earlier offset so a framed-record
 // read that failed mid-record can be replayed exactly. Bytes served again

@@ -114,6 +114,49 @@ type Snapshot struct {
 	DiskProfile *simfs.BandwidthProfile `json:"disk_profile,omitempty"`
 }
 
+// Delta returns the activity between prev and s as a new snapshot: every
+// node counter is subtracted pairwise (nodes absent from prev — e.g. a cache
+// inserted by a live reconfiguration — contribute their full counts), and
+// Duration is the interval between the two capture times. Gauges
+// (Parallelism) keep s's current value; Files and TotalFiles are carried
+// over as cumulative high-water state rather than differenced, since the
+// analyzer uses them for dataset-size estimation, not rates. Counters are
+// monotonic, so a delta between two snapshots of the same collector never
+// goes negative.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	out := &Snapshot{
+		Tenant:      s.Tenant,
+		Graph:       s.Graph.Clone(),
+		Machine:     s.Machine,
+		Duration:    s.Duration - prev.Duration,
+		Nodes:       make(map[string]*NodeStats, len(s.Nodes)),
+		Files:       make(map[string]int64, len(s.Files)),
+		TotalFiles:  s.TotalFiles,
+		DiskProfile: s.DiskProfile,
+	}
+	for name, ns := range s.Nodes {
+		cp := *ns
+		if old, ok := prev.Nodes[name]; ok {
+			cp.ElementsProduced -= old.ElementsProduced
+			cp.ElementsConsumed -= old.ElementsConsumed
+			cp.BytesProduced -= old.BytesProduced
+			cp.BytesRead -= old.BytesRead
+			cp.CPUNanos -= old.CPUNanos
+			cp.WallNanos -= old.WallNanos
+			cp.Retries -= old.Retries
+			cp.Errors -= old.Errors
+			cp.GaveUp -= old.GaveUp
+			cp.HandoffParks -= old.HandoffParks
+			cp.HandoffSteals -= old.HandoffSteals
+		}
+		out.Nodes[name] = &cp
+	}
+	for p, b := range s.Files {
+		out.Files[p] = b
+	}
+	return out
+}
+
 // RootStats returns the counters of the root node.
 func (s *Snapshot) RootStats() (*NodeStats, error) {
 	ns, ok := s.Nodes[s.Graph.Output]
@@ -193,6 +236,35 @@ func (c *Collector) SetTenant(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tenant = name
+}
+
+// SetGraph replaces the collector's program with the live-reconfigured
+// graph: counters of surviving nodes keep accumulating, nodes the rewrite
+// inserted (cache, prefetch) get fresh counter blocks, and every node's
+// Parallelism gauge is updated to the new knob value. Counters of removed
+// nodes are retained in the map (their totals remain part of the run's
+// history) but drop out of ChainStats and analysis, which follow the graph.
+// The engine calls this from Reconfigure before the rebuilt tree resolves
+// its handles.
+func (c *Collector) SetGraph(g *pipeline.Graph) error {
+	chain, err := g.Chain()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.graph = g.Clone()
+	for _, n := range chain {
+		if ns, ok := c.nodes[n.Name]; ok {
+			ns.Parallelism = n.EffectiveParallelism()
+			continue
+		}
+		c.nodes[n.Name] = &NodeStats{Name: n.Name, Kind: n.Kind, Parallelism: n.EffectiveParallelism()}
+		if n.IsSource() {
+			c.sourceName = n.Name
+		}
+	}
+	return nil
 }
 
 // Node returns the stats handle for the named node.
