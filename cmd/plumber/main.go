@@ -168,13 +168,24 @@ func (w *workload) setup() (*pipeline.Graph, plumber.Options, func(), error) {
 		}
 	}
 
-	chain, err := g.Chain()
+	// A DAG-shaped graph has one catalog per branch head; serve them all
+	// from the chosen backend.
+	srcNodes, err := g.Sources()
 	if err != nil {
 		return nil, plumber.Options{}, noop, err
 	}
-	srcCat, err := data.CatalogByName(chain[0].Catalog)
-	if err != nil {
-		return nil, plumber.Options{}, noop, err
+	srcCats := make([]data.Catalog, 0, len(srcNodes))
+	seen := make(map[string]bool)
+	for _, n := range srcNodes {
+		if seen[n.Catalog] {
+			continue
+		}
+		seen[n.Catalog] = true
+		c, err := data.CatalogByName(n.Catalog)
+		if err != nil {
+			return nil, plumber.Options{}, noop, err
+		}
+		srcCats = append(srcCats, c)
 	}
 
 	var src plumber.Connector
@@ -182,7 +193,9 @@ func (w *workload) setup() (*pipeline.Graph, plumber.Options, func(), error) {
 	switch w.backend {
 	case "", "simfs":
 		fs := simfs.New(simfs.Device{Name: "cli-mem"}, false)
-		fs.AddCatalog(srcCat, w.seed)
+		for _, c := range srcCats {
+			fs.AddCatalog(c, w.seed)
+		}
 		src = connector.FromSimFS(fs)
 	case "localfs":
 		dir, err := os.MkdirTemp("", "plumber-cli-localfs-")
@@ -190,14 +203,19 @@ func (w *workload) setup() (*pipeline.Graph, plumber.Options, func(), error) {
 			return nil, plumber.Options{}, noop, err
 		}
 		lfs := connector.NewLocalFS(dir)
-		if err := lfs.MaterializeCatalog(srcCat, w.seed); err != nil {
-			os.RemoveAll(dir)
-			return nil, plumber.Options{}, noop, err
+		for _, c := range srcCats {
+			if err := lfs.MaterializeCatalog(c, w.seed); err != nil {
+				os.RemoveAll(dir)
+				return nil, plumber.Options{}, noop, err
+			}
 		}
 		src = lfs
 		cleanup = func() { os.RemoveAll(dir) }
 	case "objectstore":
-		src = connector.NewMemObjectStore(srcCat, w.seed, connector.ObjectStoreConfig{
+		if len(srcCats) > 1 {
+			return nil, plumber.Options{}, noop, fmt.Errorf("-backend objectstore serves a single catalog; the graph reads %d (use simfs or localfs)", len(srcCats))
+		}
+		src = connector.NewMemObjectStore(srcCats[0], w.seed, connector.ObjectStoreConfig{
 			Name: "cli-objectstore",
 			Seed: w.seed,
 		})

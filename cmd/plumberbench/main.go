@@ -9,6 +9,7 @@
 //	plumberbench -chaos [-quick] [-json BENCH_chaos.json]         # fault injection + isolation
 //	plumberbench -connectors [-quick] [-json BENCH_connectors.json] # storage backends head-to-head
 //	plumberbench -retune [-quick] [-backend simfs|localfs|objectstore] [-json BENCH_retune.json] # hot-apply vs restart
+//	plumberbench -fuzz [-quick] [-json BENCH_fuzzer.json]         # planner property fuzzer
 //
 // -json sets the output path; each suite has a default filename (-out is a
 // deprecated alias). The default (or -engine) suite runs the engine hot-path
@@ -87,6 +88,19 @@
 //   - hot_steady_fraction_of_restart_steady: >= 0.9 is the target
 //   - hot_elements_in_flight_preserved: > 0 is the target (the barrier
 //     drained the in-flight chunks to the consumer instead of dropping them)
+//
+// With -fuzz it runs the planner property fuzzer: a seeded matrix of
+// random workloads (1000, or 100 with -quick) spanning DAG shapes,
+// heavy-tailed sizes, declared petabyte catalogs, throttled devices, and
+// random budgets, each run through the real trace -> analyze -> solve ->
+// rewrite path and checked against the planner's invariants, plus the
+// joint-vs-greedy head-to-head on the canonical scenario suite. Writes
+// BENCH_fuzzer.json:
+//
+//   - budget_overcommit_pass_rate == 1.0 and apply_plan_pass_rate == 1.0
+//     are the targets
+//   - planner_vs_greedy_pass_rate == 1.0 at the documented epsilon
+//   - <scenario>_joint_fraction_of_greedy >= 1.0 per canonical scenario
 package main
 
 import (
@@ -108,6 +122,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the fault-injection / graceful-degradation suite instead of the engine suite")
 	connectors := flag.Bool("connectors", false, "run the storage-connector comparison instead of the engine suite")
 	retune := flag.Bool("retune", false, "run the hot-apply vs restart-and-replan comparison instead of the engine suite")
+	fuzzer := flag.Bool("fuzz", false, "run the planner property fuzzer instead of the engine suite")
 	backend := flag.String("backend", "", "retune suite only: storage connector to run on ('simfs', 'localfs', or 'objectstore'; default simfs)")
 	jsonOut := flag.String("json", "", "output path (default BENCH_<suite>.json)")
 	out := flag.String("out", "", "deprecated alias for -json")
@@ -118,7 +133,7 @@ func main() {
 		path = *out
 	}
 	picked := 0
-	for _, b := range []bool{*engineSuite, *tuner, *planner, *scenarios, *chaos, *connectors, *retune} {
+	for _, b := range []bool{*engineSuite, *tuner, *planner, *scenarios, *chaos, *connectors, *retune, *fuzzer} {
 		if b {
 			picked++
 		}
@@ -126,7 +141,7 @@ func main() {
 	if *handoff != "" && *handoff != "ring" && *handoff != "channel" {
 		fatal(fmt.Errorf("-handoff must be 'ring' or 'channel', got %q", *handoff))
 	}
-	if *handoff != "" && (*tuner || *planner || *scenarios || *chaos || *connectors || *retune) {
+	if *handoff != "" && (*tuner || *planner || *scenarios || *chaos || *connectors || *retune || *fuzzer) {
 		fatal(fmt.Errorf("-handoff only applies to the engine suite"))
 	}
 	if *backend != "" && *backend != "simfs" && *backend != "localfs" && *backend != "objectstore" {
@@ -137,7 +152,9 @@ func main() {
 	}
 	switch {
 	case picked > 1:
-		fatal(fmt.Errorf("-engine, -tuner, -planner, -scenarios, -chaos, -connectors, and -retune are mutually exclusive"))
+		fatal(fmt.Errorf("-engine, -tuner, -planner, -scenarios, -chaos, -connectors, -retune, and -fuzz are mutually exclusive"))
+	case *fuzzer:
+		runFuzzer(*quick, path)
 	case *tuner:
 		runTuner(*quick, path)
 	case *planner:
@@ -153,6 +170,31 @@ func main() {
 	default:
 		runEngine(*quick, *handoff, path)
 	}
+}
+
+func runFuzzer(quick bool, out string) {
+	if out == "" {
+		out = "BENCH_fuzzer.json"
+	}
+	rep, err := bench.RunFuzzer(quick)
+	if err != nil {
+		fatal(err)
+	}
+	writeJSON(out, rep)
+	fmt.Printf("fuzzed %d workloads (master seed %#x, epsilon %.2f): shapes %v, %d declared catalogs, %d throttled devices\n",
+		rep.Workloads, rep.MasterSeed, rep.Epsilon, rep.Shapes, rep.DeclaredCatalogs, rep.ThrottledDevices)
+	fmt.Printf("plans: %d caches, %d replicated; planner/greedy worst %.3f mean %.3f\n",
+		rep.CachesPlanned, rep.ReplicasPlanned, rep.WorstPlannerFractionOfGreedy, rep.MeanPlannerFractionOfGreedy)
+	for inv, rate := range rep.InvariantPassRates {
+		fmt.Printf("invariant %-24s pass rate %.4f\n", inv, rate)
+	}
+	for _, c := range rep.Counterexamples {
+		fmt.Printf("counterexample: seed %d violates %v\n", c.Seed, c.Violations)
+	}
+	for k, v := range rep.Comparisons {
+		fmt.Printf("%s = %.3f\n", k, v)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 func runRetune(quick bool, backend, out string) {

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"plumber/internal/fuzz"
+	"plumber/internal/plan"
+	"plumber/internal/scenario"
+	"plumber/internal/stats"
+)
+
+// fuzzMasterSeed roots every derived per-workload seed; the same master
+// seed reproduces the same matrix bit-identically on any host.
+const fuzzMasterSeed = 0x706c756d626572 // "plumber"
+
+// maxCounterexamples bounds how many minimized failing cases the report
+// carries; the pass rates still count every failure.
+const maxCounterexamples = 5
+
+// FuzzReport is the checked-in BENCH_fuzzer.json document: the planner
+// property fuzzer's invariant pass rates over a seeded random workload
+// matrix, plus the joint-vs-greedy head-to-head on the canonical scenario
+// suite.
+type FuzzReport struct {
+	// Schema identifies the document format for future tooling.
+	Schema    string `json:"schema"`
+	HostCores int    `json:"host_cores"`
+	GoVersion string `json:"go_version"`
+
+	// MasterSeed roots the whole matrix; Workloads is how many random
+	// specs were generated and checked; Epsilon is the planner-vs-greedy
+	// tolerance every case was held to.
+	MasterSeed uint64  `json:"master_seed"`
+	Workloads  int     `json:"workloads"`
+	Epsilon    float64 `json:"epsilon"`
+
+	// Shapes counts generated workloads by pipeline topology; the other
+	// counters profile how much of the extended spec space the matrix
+	// actually visited.
+	Shapes           map[string]int `json:"shapes"`
+	DeclaredCatalogs int            `json:"declared_catalogs"`
+	ThrottledDevices int            `json:"throttled_devices"`
+	CachesPlanned    int            `json:"caches_planned"`
+	ReplicasPlanned  int            `json:"replicas_planned"`
+
+	// InvariantPassRates maps each invariant to the fraction of workloads
+	// that satisfied it (1.0 = no violations).
+	InvariantPassRates map[string]float64 `json:"invariant_pass_rates"`
+	// WorstPlannerFractionOfGreedy is the minimum planner/greedy modeled
+	// rate ratio across the matrix; Mean averages it.
+	WorstPlannerFractionOfGreedy float64 `json:"worst_planner_fraction_of_greedy"`
+	MeanPlannerFractionOfGreedy  float64 `json:"mean_planner_fraction_of_greedy"`
+
+	// Counterexamples holds up to maxCounterexamples minimized failing
+	// cases (empty on a clean run) — each replayable from its seed.
+	Counterexamples []*fuzz.Case `json:"counterexamples,omitempty"`
+
+	// Scenarios holds the canonical suite's joint-vs-greedy model-level
+	// ratios, one per scenario.
+	Scenarios map[string]float64 `json:"scenarios"`
+
+	// Comparisons holds the acceptance ratios:
+	//   budget_overcommit_pass_rate == 1.0 and apply_plan_pass_rate == 1.0
+	//   are the targets; planner_vs_greedy_pass_rate == 1.0 at the
+	//   documented epsilon; every canonical scenario's
+	//   <name>_joint_fraction_of_greedy >= 1.0.
+	Comparisons map[string]float64 `json:"comparisons"`
+}
+
+// invariantCategory buckets a violation string by its stable prefix.
+func invariantCategory(v string) string {
+	switch {
+	case len(v) >= 4 && v[:4] == "core":
+		return "budget_overcommit"
+	case len(v) >= 6 && v[:6] == "memory":
+		return "budget_overcommit"
+	case len(v) >= 5 && v[:5] == "cache":
+		return "budget_overcommit"
+	case len(v) >= 9 && v[:9] == "bandwidth":
+		return "budget_overcommit"
+	case len(v) >= 9 && v[:9] == "ApplyPlan":
+		return "apply_plan"
+	case len(v) >= 7 && v[:7] == "planner":
+		return "planner_vs_greedy"
+	default:
+		return "finite_predictions"
+	}
+}
+
+// RunFuzzer drives the property fuzzer over the seeded matrix (1000
+// workloads, 100 with quick) plus the canonical scenario suite, and
+// aggregates the invariant outcomes.
+func RunFuzzer(quick bool) (*FuzzReport, error) {
+	n := 1000
+	if quick {
+		n = 100
+	}
+	rep := &FuzzReport{
+		Schema:      "plumber/bench-fuzzer/v1",
+		HostCores:   runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		MasterSeed:  fuzzMasterSeed,
+		Workloads:   n,
+		Epsilon:     fuzz.Epsilon,
+		Shapes:      map[string]int{},
+		Scenarios:   map[string]float64{},
+		Comparisons: map[string]float64{},
+	}
+
+	failed := map[string]int{} // invariant category -> workloads violating it
+	worst, sum := 1.0, 0.0
+	rng := stats.NewRNG(fuzzMasterSeed)
+	for i := 0; i < n; i++ {
+		seed := rng.Uint64()
+		c, err := fuzz.Check(seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench fuzzer: workload %d (seed %d): %w", i, seed, err)
+		}
+		shape := c.Spec.Shape
+		if shape == "" {
+			shape = "linear"
+		}
+		rep.Shapes[shape]++
+		if c.Spec.TotalFiles > 0 {
+			rep.DeclaredCatalogs++
+		}
+		if c.Spec.Device.TotalBandwidth > 0 {
+			rep.ThrottledDevices++
+		}
+		if c.CacheAbove != "" {
+			rep.CachesPlanned++
+		}
+		if c.OuterReplicas > 1 {
+			rep.ReplicasPlanned++
+		}
+		if r := c.Ratio(); !c.RateInfinite {
+			sum += r
+			if r < worst {
+				worst = r
+			}
+		} else {
+			sum++
+		}
+		if len(c.Violations) > 0 {
+			cats := map[string]bool{}
+			for _, v := range c.Violations {
+				cats[invariantCategory(v)] = true
+			}
+			for cat := range cats {
+				failed[cat]++
+			}
+			if len(rep.Counterexamples) < maxCounterexamples {
+				rep.Counterexamples = append(rep.Counterexamples, fuzz.Minimize(c))
+			}
+		}
+	}
+	rep.WorstPlannerFractionOfGreedy = worst
+	rep.MeanPlannerFractionOfGreedy = sum / float64(n)
+	rep.InvariantPassRates = map[string]float64{}
+	for _, cat := range []string{"budget_overcommit", "apply_plan", "finite_predictions", "planner_vs_greedy"} {
+		rep.InvariantPassRates[cat] = 1 - float64(failed[cat])/float64(n)
+	}
+
+	// The canonical suite head-to-head: the joint solve must match or beat
+	// the retired cores-then-cache greedy on every scenario the paper's
+	// planner is evaluated on.
+	for _, spec := range scenario.Suite(quick) {
+		// The same envelope RunScenarios tunes under, with the device's
+		// bandwidth hint riding along.
+		budget := plan.Budget{Cores: 4, MemoryBytes: 64 << 20, DiskBandwidth: spec.Device.TotalBandwidth}
+		c, err := fuzz.CheckSpec(spec, budget)
+		if err != nil {
+			return nil, fmt.Errorf("bench fuzzer: scenario %s: %w", spec.Name, err)
+		}
+		ratio := c.Ratio()
+		rep.Scenarios[spec.Name] = ratio
+		rep.Comparisons[spec.Name+"_joint_fraction_of_greedy"] = ratio
+	}
+
+	rep.Comparisons["budget_overcommit_pass_rate"] = rep.InvariantPassRates["budget_overcommit"]
+	rep.Comparisons["apply_plan_pass_rate"] = rep.InvariantPassRates["apply_plan"]
+	rep.Comparisons["finite_predictions_pass_rate"] = rep.InvariantPassRates["finite_predictions"]
+	rep.Comparisons["planner_vs_greedy_pass_rate"] = rep.InvariantPassRates["planner_vs_greedy"]
+	rep.Comparisons["worst_planner_fraction_of_greedy"] = worst
+	return rep, nil
+}

@@ -32,6 +32,22 @@ type Catalog struct {
 	// corpora while preserving the catalog-wide expected size. Zero keeps
 	// every file at the same mean.
 	FileSizeSkew float64
+	// SampleFiles, when positive and below NumFiles, materializes only the
+	// first SampleFiles shards: FileNames and GenerateFileSpecs cover the
+	// subsample, while NumFiles keeps the declared dataset size. That is the
+	// §A estimation setup — a petabyte-scale catalog can be declared, a few
+	// shards traced, and the analyzer rescales observed bytes by
+	// NumFiles/ObservedFiles to estimate the full dataset.
+	SampleFiles int
+}
+
+// MaterializedFiles returns how many shards actually exist in storage: the
+// subsample when SampleFiles is set, the full catalog otherwise.
+func (c Catalog) MaterializedFiles() int {
+	if c.SampleFiles > 0 && c.SampleFiles < c.NumFiles {
+		return c.SampleFiles
+	}
+	return c.NumFiles
 }
 
 // TotalBytes returns the expected stored size of the dataset including
@@ -51,9 +67,10 @@ func (c Catalog) FileName(i int) string {
 	return fmt.Sprintf("/data/%s/%s-%05d-of-%05d.tfrecord", c.Name, c.Name, i, c.NumFiles)
 }
 
-// FileNames returns all shard paths.
+// FileNames returns the materialized shard paths (all of them, or the
+// declared subsample when SampleFiles is set).
 func (c Catalog) FileNames() []string {
-	out := make([]string, c.NumFiles)
+	out := make([]string, c.MaterializedFiles())
 	for i := range out {
 		out[i] = c.FileName(i)
 	}
@@ -74,7 +91,7 @@ type FileSpec struct {
 // experiments (§5.3) be reproducible.
 func (c Catalog) GenerateFileSpecs(seed uint64) []FileSpec {
 	rng := stats.NewRNG(seed ^ hashString(c.Name))
-	specs := make([]FileSpec, c.NumFiles)
+	specs := make([]FileSpec, c.MaterializedFiles())
 	for i := range specs {
 		frng := rng.Split()
 		mean := float64(c.MeanRecordBytes)

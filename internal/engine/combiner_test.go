@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"plumber/internal/connector"
+	"plumber/internal/data"
+	"plumber/internal/pipeline"
+	"plumber/internal/udf"
+)
+
+var auxCatalog = data.Catalog{
+	Name:                  "engine-test-aux",
+	NumFiles:              4,
+	RecordsPerFile:        30,
+	MeanRecordBytes:       64,
+	RecordBytesStddevFrac: 0.2,
+	DecodeAmplification:   1,
+}
+
+var registerAuxOnce sync.Once
+
+func combinerSetup(t *testing.T) (*connector.SimFS, *udf.Registry) {
+	t.Helper()
+	fs, reg := testSetup(t)
+	registerAuxOnce.Do(func() {
+		if err := data.RegisterCatalog(auxCatalog); err != nil {
+			panic(err)
+		}
+	})
+	fs.AddCatalog(auxCatalog, 7)
+	return fs, reg
+}
+
+func combinerGraph(t *testing.T, kind pipeline.Kind, batch int) *pipeline.Graph {
+	t.Helper()
+	main, err := pipeline.NewBuilder().
+		Interleave(testCatalog.Name, 2).
+		Map("noop", 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux, err := pipeline.NewBuilder().
+		Named("aux_source").Interleave(auxCatalog.Name, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b *pipeline.Builder
+	if kind == pipeline.KindZip {
+		b = pipeline.ZipOf(main, aux)
+	} else {
+		b = pipeline.ConcatOf(main, aux)
+	}
+	g, err := b.Batch(batch).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestZipDrainCounts checks min-semantics pairing: the zip ends at the
+// shorter branch's EOF, each tuple carries the first branch's example count,
+// and both handoff implementations agree. The aux catalog holds 120 records
+// against the main branch's 200, so exactly 120 tuples -> 15 batches of 8.
+func TestZipDrainCounts(t *testing.T) {
+	auxTotal := int64(auxCatalog.NumFiles * auxCatalog.RecordsPerFile) // 120
+	for _, handoff := range []HandoffKind{HandoffRing, HandoffChannel} {
+		fs, reg := combinerSetup(t)
+		p, err := New(combinerGraph(t, pipeline.KindZip, 8), Options{
+			FS: fs, UDFs: reg, Handoff: handoff,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", handoff, err)
+		}
+		elements, examples, err := p.Drain(0)
+		if err != nil {
+			t.Fatalf("%s: drain: %v", handoff, err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("%s: close: %v", handoff, err)
+		}
+		if want := auxTotal / 8; elements != want {
+			t.Errorf("%s: zip batches = %d, want %d", handoff, elements, want)
+		}
+		if examples != auxTotal {
+			t.Errorf("%s: zip examples = %d, want %d", handoff, examples, auxTotal)
+		}
+	}
+}
+
+// TestConcatDrainCounts checks in-order draining: concat yields every element
+// of both branches (200 + 120 = 320 records -> 40 batches of 8) on both
+// handoff implementations.
+func TestConcatDrainCounts(t *testing.T) {
+	total := int64(testCatalog.NumFiles*testCatalog.RecordsPerFile +
+		auxCatalog.NumFiles*auxCatalog.RecordsPerFile) // 320
+	for _, handoff := range []HandoffKind{HandoffRing, HandoffChannel} {
+		fs, reg := combinerSetup(t)
+		p, err := New(combinerGraph(t, pipeline.KindConcat, 8), Options{
+			FS: fs, UDFs: reg, Handoff: handoff,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", handoff, err)
+		}
+		elements, examples, err := p.Drain(0)
+		if err != nil {
+			t.Fatalf("%s: drain: %v", handoff, err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("%s: close: %v", handoff, err)
+		}
+		if want := total / 8; elements != want {
+			t.Errorf("%s: concat batches = %d, want %d", handoff, elements, want)
+		}
+		if examples != total {
+			t.Errorf("%s: concat examples = %d, want %d", handoff, examples, total)
+		}
+	}
+}
+
+// TestZipPayloadSizes checks that each zip tuple concatenates both branch
+// payloads: draining without the trailing batch, every element's Size must
+// exceed the aux branch's contribution alone and the payload length must
+// equal the recorded Size.
+func TestZipPayloadSizes(t *testing.T) {
+	fs, reg := combinerSetup(t)
+	main, err := pipeline.NewBuilder().Interleave(testCatalog.Name, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux, err := pipeline.NewBuilder().Named("aux_source").Interleave(auxCatalog.Name, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pipeline.ZipOf(main, aux).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(g, Options{FS: fs, UDFs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	n := 0
+	for {
+		e, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(e.Payload)) != e.Size {
+			t.Fatalf("tuple %d: payload %d bytes but Size %d", n, len(e.Payload), e.Size)
+		}
+		if e.Count != 1 {
+			t.Fatalf("tuple %d: Count = %d, want 1 (from the first branch)", n, e.Count)
+		}
+		p.Recycle(e)
+		n++
+	}
+	if want := auxCatalog.NumFiles * auxCatalog.RecordsPerFile; n != want {
+		t.Fatalf("zip tuples = %d, want %d", n, want)
+	}
+}

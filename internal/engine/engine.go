@@ -261,12 +261,14 @@ func (p *Pipeline) install(g *pipeline.Graph) error {
 	if err := g.Validate(); err != nil {
 		return err
 	}
-	chain, err := g.Chain()
+	order, err := g.Topo()
 	if err != nil {
 		return err
 	}
 	hasCache := false
-	for _, n := range chain {
+	byName := make(map[string]pipeline.Node, len(order))
+	for _, n := range order {
+		byName[n.Name] = n
 		if n.Kind == pipeline.KindCache {
 			hasCache = true
 		}
@@ -282,7 +284,7 @@ func (p *Pipeline) install(g *pipeline.Graph) error {
 	// goroutine (round-robin), so they share the root segment's gate.
 	p.rootGate = p.gate(p.cancelCh)
 	build := func(replica int, seedShift uint64) (iterator, error) {
-		return p.buildChain(chain, len(chain)-1, replica, p.opts.Seed^seedShift, p.rootGate)
+		return p.buildNode(g, byName, g.Output, replica, p.opts.Seed^seedShift, p.rootGate)
 	}
 	if outer == 1 {
 		root, err := build(0, 0)
@@ -545,26 +547,31 @@ func (p *Pipeline) releasePayload(e data.Element) {
 	}
 }
 
-// buildChain builds the iterator for chain[idx], recursively building its
-// child. Repeat nodes capture a factory so each epoch re-instantiates the
-// subtree below them (cache contents persist in the store). replica is the
-// outer-parallelism replica index; each replica materializes its own cache
-// entries, since replicas are independent pipeline instances whose fills
-// must not interleave.
+// buildNode builds the iterator for the named node, recursively building the
+// sub-tree feeding it by following input edges (so it handles DAG-shaped
+// graphs whose combiners pull from several branches). Repeat nodes capture a
+// factory so each epoch re-instantiates the subtree below them (cache
+// contents persist in the store). replica is the outer-parallelism replica
+// index; each replica materializes its own cache entries, since replicas are
+// independent pipeline instances whose fills must not interleave.
 //
 // g is the admission gate of the sequential segment this node's Next runs
 // in. Parallel stages (map, prefetch) end the segment: the stages below
 // them run on their worker/prefetch goroutines, under a fresh gate bound to
 // the parallel stage's latch. Sequential stages and pass-throughs inherit g
-// (Repeat's factory captures it, so epoch rebuilds stay in the segment).
-func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint64, g *seqGate) (iterator, error) {
-	n := chain[idx]
+// (Repeat's factory captures it, so epoch rebuilds stay in the segment);
+// combiners inherit it too — the consumer goroutine drives every branch.
+func (p *Pipeline) buildNode(gr *pipeline.Graph, byName map[string]pipeline.Node, name string, replica int, seed uint64, g *seqGate) (iterator, error) {
+	n, ok := byName[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: missing node %q", name)
+	}
 	handle := p.handle(n.Name)
 	childFactory := func() (iterator, error) {
-		if idx == 0 {
+		if n.Input == "" {
 			return nil, fmt.Errorf("engine: node %q has no child", n.Name)
 		}
-		return p.buildChain(chain, idx-1, replica, seed, g)
+		return p.buildNode(gr, byName, n.Input, replica, seed, g)
 	}
 	switch n.Kind {
 	case pipeline.KindSource, pipeline.KindInterleave:
@@ -580,7 +587,7 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 	case pipeline.KindMap:
 		latch := p.iterLatch()
 		childGate := p.gate(latch.ch)
-		child, err := p.buildChain(chain, idx-1, replica, seed, childGate)
+		child, err := p.buildNode(gr, byName, n.Input, replica, seed, childGate)
 		if err != nil {
 			return nil, err
 		}
@@ -616,7 +623,7 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 	case pipeline.KindPrefetch:
 		latch := p.iterLatch()
 		childGate := p.gate(latch.ch)
-		child, err := p.buildChain(chain, idx-1, replica, seed, childGate)
+		child, err := p.buildNode(gr, byName, n.Input, replica, seed, childGate)
 		if err != nil {
 			return nil, err
 		}
@@ -626,14 +633,41 @@ func (p *Pipeline) buildChain(chain []pipeline.Node, idx, replica int, seed uint
 		if replica > 0 {
 			key = fmt.Sprintf("%s#%d", n.Name, replica)
 		}
-		entry := p.caches.entry(key, chainSignature(chain[:idx], seed))
-		return newCacheIter(p, key, entry, childFactory, handle, chain[0].Name, replica, seed)
+		below, err := gr.Below(n.Name)
+		if err != nil {
+			return nil, err
+		}
+		srcName := ""
+		for _, bn := range below {
+			if bn.IsSource() {
+				srcName = bn.Name
+				break
+			}
+		}
+		entry := p.caches.entry(key, chainSignature(below, seed))
+		return newCacheIter(p, key, entry, childFactory, handle, srcName, replica, seed)
 	case pipeline.KindTake:
 		child, err := childFactory()
 		if err != nil {
 			return nil, err
 		}
 		return newTakeIter(p, n.Name, child, n.Count, handle, replica), nil
+	case pipeline.KindZip, pipeline.KindConcat:
+		children := make([]iterator, len(n.Inputs))
+		for i, in := range n.Inputs {
+			c, err := p.buildNode(gr, byName, in, replica, seed, g)
+			if err != nil {
+				for _, built := range children[:i] {
+					built.Close()
+				}
+				return nil, err
+			}
+			children[i] = c
+		}
+		if n.Kind == pipeline.KindZip {
+			return newZipIter(p, children, handle, g), nil
+		}
+		return newConcatIter(p, children, handle, g), nil
 	default:
 		return nil, fmt.Errorf("engine: unsupported node kind %q", n.Kind)
 	}
@@ -721,7 +755,9 @@ func spin(d time.Duration) {
 // that affects what the cache would materialize (operator identity and
 // parameters, plus the pipeline seed that drives shuffles and randomized
 // UDFs). A rewrite that touches anything below the cache point produces a
-// different signature and therefore a cold entry.
+// different signature and therefore a cold entry. below is the sub-graph in
+// Graph.Below's deterministic topological order, so linear chains keep the
+// signatures the pre-DAG engine produced.
 func chainSignature(below []pipeline.Node, seed uint64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "seed=%d", seed)
@@ -729,6 +765,9 @@ func chainSignature(below []pipeline.Node, seed uint64) string {
 		fmt.Fprintf(&b, "|%s/%s/%s/%s/%d/%d/%d/%d/%s/%t",
 			n.Name, n.Kind, n.Input, n.UDF, n.Parallelism, n.BufferSize,
 			n.BatchSize, n.Count, n.Catalog, n.ParallelizableBatch)
+		if len(n.Inputs) > 0 {
+			fmt.Fprintf(&b, "/%s", strings.Join(n.Inputs, "+"))
+		}
 	}
 	return b.String()
 }

@@ -1322,6 +1322,166 @@ func (t *takeIter) Close() error {
 }
 
 // ---------------------------------------------------------------------------
+// Zip / Concat (combining operators)
+
+// zipIter pairs one element from each input branch into one output element.
+// The branches are pulled in declared order on the consumer goroutine — zip
+// is sequential, like batch: its output order is the contract. The output
+// payload concatenates the branch payloads in a pooled buffer, and the
+// branch payloads it copied out of are retired (arena views back to their
+// blocks, pooled buffers back to the pool). Count and Index come from the
+// first branch, which identifies the tuple; Size sums over branches. The
+// stream ends at the first branch EOF (min semantics), releasing whatever
+// the other branches already delivered for the unfinished tuple.
+type zipIter struct {
+	p        *Pipeline
+	children []iterator
+	g        *seqGate
+	tr       tracker
+	eof      bool
+	pulled   []data.Element
+}
+
+func newZipIter(p *Pipeline, children []iterator, handle *trace.NodeStats, g *seqGate) *zipIter {
+	return &zipIter{p: p, children: children, g: g, tr: tracker{h: handle}, pulled: make([]data.Element, 0, len(children))}
+}
+
+func (z *zipIter) Next() (data.Element, error) {
+	if z.eof {
+		return data.Element{}, io.EOF
+	}
+	// Tuple assembly (payload concatenation) is consumer-side CPU work; it
+	// runs under the segment's sequential-admission slot like batch.
+	if !z.g.enter() {
+		return data.Element{}, io.EOF
+	}
+	defer z.g.exit()
+	var start time.Time
+	traced := z.tr.traced()
+	if traced {
+		start = time.Now()
+	}
+	// Drop references from the previous tuple before reuse, then abandon the
+	// partial tuple on any non-nil exit path.
+	for i := range z.pulled {
+		z.pulled[i] = data.Element{}
+	}
+	z.pulled = z.pulled[:0]
+	abandon := func() {
+		for _, e := range z.pulled {
+			z.p.releasePayload(e)
+		}
+	}
+	for _, c := range z.children {
+		e, err := c.Next()
+		if err == io.EOF {
+			z.eof = true
+			abandon()
+			return data.Element{}, io.EOF
+		}
+		if err != nil {
+			abandon()
+			return data.Element{}, err
+		}
+		z.tr.consumed()
+		if !z.g.tick() {
+			abandon()
+			return data.Element{}, io.EOF
+		}
+		z.pulled = append(z.pulled, e)
+	}
+	out := data.Element{Count: z.pulled[0].Count, Index: z.pulled[0].Index}
+	total := 0
+	for _, e := range z.pulled {
+		out.Size += e.Size
+		total += len(e.Payload)
+	}
+	if total > 0 {
+		// The exact total is known up front, so the buffer never regrows
+		// (a regrown buffer would strand the pooled one).
+		var payload []byte
+		if z.p.pool {
+			payload = data.GetBuf(total)[:0]
+		} else {
+			payload = make([]byte, 0, total)
+		}
+		for _, e := range z.pulled {
+			payload = append(payload, e.Payload...)
+			z.p.releasePayload(e)
+		}
+		out.Payload = payload
+	} else {
+		abandon()
+	}
+	if traced {
+		z.tr.wall(time.Since(start))
+	}
+	z.tr.produced(out)
+	return out, nil
+}
+
+func (z *zipIter) Close() error {
+	z.tr.flush()
+	var first error
+	for _, c := range z.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// concatIter drains its input branches in declared order, passing elements
+// through unchanged: branch 2 starts only after branch 1 reports EOF.
+// Sequential, on the consumer goroutine, like every combining operator.
+type concatIter struct {
+	p        *Pipeline
+	children []iterator
+	g        *seqGate
+	tr       tracker
+	cur      int
+}
+
+func newConcatIter(p *Pipeline, children []iterator, handle *trace.NodeStats, g *seqGate) *concatIter {
+	return &concatIter{p: p, children: children, g: g, tr: tracker{h: handle}}
+}
+
+func (c *concatIter) Next() (data.Element, error) {
+	if !c.g.enter() {
+		return data.Element{}, io.EOF
+	}
+	defer c.g.exit()
+	for c.cur < len(c.children) {
+		e, err := c.children[c.cur].Next()
+		if err == io.EOF {
+			c.cur++
+			continue
+		}
+		if err != nil {
+			return data.Element{}, err
+		}
+		c.tr.consumed()
+		if !c.g.tick() {
+			return data.Element{}, io.EOF
+		}
+		c.tr.produced(e)
+		return e, nil
+	}
+	return data.Element{}, io.EOF
+}
+
+func (c *concatIter) Close() error {
+	c.tr.flush()
+	var first error
+	for _, it := range c.children {
+		if err := it.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ---------------------------------------------------------------------------
 // Round-robin (outer parallelism)
 
 type roundRobin struct {

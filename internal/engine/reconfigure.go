@@ -327,7 +327,7 @@ func (p *Pipeline) checkServingCaches(rs *resumeState, g *pipeline.Graph) error 
 			continue
 		}
 		found := false
-		for idx, n := range chain {
+		for _, n := range chain {
 			if n.Kind != pipeline.KindCache {
 				continue
 			}
@@ -338,8 +338,12 @@ func (p *Pipeline) checkServingCaches(rs *resumeState, g *pipeline.Graph) error 
 			if k != key {
 				continue
 			}
+			below, berr := g.Below(n.Name)
+			if berr != nil {
+				return berr
+			}
 			sig, complete, ok := p.caches.peek(key)
-			if ok && complete && sig == chainSignature(chain[:idx], cr.seed) {
+			if ok && complete && sig == chainSignature(below, cr.seed) {
 				found = true
 			}
 		}

@@ -407,15 +407,19 @@ func (a *Arbiter) splitMemoryLocked(weightSum float64, disk []float64, coreOf fu
 }
 
 // predictedRate is X_t(c): the calibrated fill-epoch prediction for tenant
-// t planned under c cores (and its fixed memory/disk slice). The fill
-// epoch — the whole chain running, any planned cache still cold — is what
-// prices the share: a warm-cache steady state is unbounded whenever a cache
-// is planned (the tenant stops consuming the pipeline's resources at all),
-// which would make every core allocation look equally worthless. +Inf
-// still means the planned pipeline never binds; additional cores then have
-// zero marginal value.
+// t planned under c cores (and its fixed disk slice), solved without cache
+// memory. Pricing must be cache-free on both axes: a warm-cache steady
+// state is unbounded whenever a cache is planned (the tenant stops
+// consuming the pipeline's resources at all), and the joint solver
+// concentrates a cached plan's cores on the post-cache stages, so even its
+// fill-epoch rate stops responding to extra cores. The cache-less solve
+// prices what a core is worth to the running chain; memory is split
+// separately by cache demand. +Inf still means the planned pipeline never
+// binds; additional cores then have zero marginal value.
 func (a *Arbiter) predictedRate(t *tenantState, share plan.Budget) (float64, error) {
-	p, err := plan.Solve(t.analysis, share)
+	probe := share
+	probe.MemoryBytes = 0
+	p, err := plan.Solve(t.analysis, probe)
 	if err != nil {
 		return 0, err
 	}
@@ -598,14 +602,18 @@ func (a *Arbiter) traceTenant(t Tenant, src connector.Connector) (*ops.Analysis,
 	if err := p.Close(); err != nil {
 		return nil, err
 	}
-	chain, err := t.Graph.Chain()
+	srcs, err := t.Graph.Sources()
 	if err != nil {
 		return nil, err
 	}
-	cat, err := data.CatalogByName(chain[0].Catalog)
-	if err != nil {
-		return nil, err
+	totalFiles := 0
+	for _, sn := range srcs {
+		cat, err := data.CatalogByName(sn.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		totalFiles += cat.NumFiles
 	}
 	a.traces++
-	return ops.Analyze(col.Snapshot(0, cat.NumFiles), t.UDFs)
+	return ops.Analyze(col.Snapshot(0, totalFiles), t.UDFs)
 }

@@ -542,9 +542,11 @@ func (a *Arbiter) RunConcurrent(dec *Decision, opts RunOptions) (*RunReport, err
 		}
 		if opts.Traced && r.col != nil {
 			totalFiles := 0
-			if chain, err := r.share.Program.Chain(); err == nil {
-				if cat, err := data.CatalogByName(chain[0].Catalog); err == nil {
-					totalFiles = cat.NumFiles
+			if srcs, err := r.share.Program.Sources(); err == nil {
+				for _, sn := range srcs {
+					if cat, err := data.CatalogByName(sn.Catalog); err == nil {
+						totalFiles += cat.NumFiles
+					}
 				}
 			}
 			rep.Snapshots[r.share.Tenant] = r.col.Snapshot(

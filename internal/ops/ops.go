@@ -88,7 +88,7 @@ type Analysis struct {
 // cache legality; it may be nil, in which case all UDFs are treated as
 // deterministic.
 func Analyze(snap *trace.Snapshot, reg *udf.Registry) (*Analysis, error) {
-	chain, err := snap.Graph.Chain()
+	chain, err := snap.Graph.Topo()
 	if err != nil {
 		return nil, err
 	}
@@ -156,70 +156,94 @@ func Analyze(snap *trace.Snapshot, reg *udf.Registry) (*Analysis, error) {
 		nodes[i] = na
 	}
 
-	// Pass 2 (source -> root): cardinality and materialization (§A 2).
-	// The source's cardinality is dataset bytes × records-per-byte; each
-	// subsequent node multiplies by its local input/output completion
-	// ratio. Infinite Repeat makes everything above it uncacheable.
-	infinite := false
-	var prevCard float64
+	// Pass 2 (source -> root, in topo order so every input precedes its
+	// consumer): cardinality and materialization (§A 2). A source's
+	// cardinality is its share of the estimated dataset bytes times its
+	// records-per-byte; every other node derives its cardinality from its
+	// inputs' — most multiply by the local input/output completion ratio,
+	// Zip pairs (min over inputs), Concat appends (sum over inputs).
+	// Infinite Repeat makes everything above it uncacheable.
+	var totalRead float64
+	for i, n := range chain {
+		if n.IsSource() {
+			totalRead += float64(statsChain[i].BytesRead)
+		}
+	}
+	card := make(map[string]float64, len(chain))
 	for i := range nodes {
 		n := chain[i]
 		ns := statsChain[i]
+		var c float64
 		switch {
-		case i == 0:
-			recordsPerByte := 0.0
-			if ns.BytesRead > 0 {
-				recordsPerByte = float64(ns.ElementsProduced) / float64(ns.BytesRead)
+		case n.IsSource():
+			// share of DatasetBytes × records-per-byte; the BytesRead
+			// terms cancel into produced_i / totalRead.
+			if totalRead > 0 {
+				c = a.DatasetBytes * float64(ns.ElementsProduced) / totalRead
 			}
-			prevCard = a.DatasetBytes * recordsPerByte
 		case n.Kind == pipeline.KindRepeat && n.Count < 0:
-			infinite = true
+			c = math.Inf(1)
 		case n.Kind == pipeline.KindRepeat:
-			prevCard *= float64(n.Count)
+			c = card[n.Input] * float64(n.Count)
 		case n.Kind == pipeline.KindTake:
-			if prevCard > float64(n.Count) {
-				prevCard = float64(n.Count)
+			c = math.Min(card[n.Input], float64(n.Count))
+		case n.Kind == pipeline.KindZip:
+			c = math.Inf(1)
+			for _, in := range n.Inputs {
+				c = math.Min(c, card[in])
+			}
+		case n.Kind == pipeline.KindConcat:
+			for _, in := range n.Inputs {
+				c += card[in]
 			}
 		default:
-			// Local input/output completion ratio from the trace.
+			c = card[n.Input]
 			if ns.ElementsConsumed > 0 {
-				prevCard *= float64(ns.ElementsProduced) / float64(ns.ElementsConsumed)
+				c *= float64(ns.ElementsProduced) / float64(ns.ElementsConsumed)
 			}
 		}
-		if infinite {
+		card[n.Name] = c
+		if math.IsInf(c, 1) {
 			nodes[i].Cardinality = math.Inf(1)
 			nodes[i].MaterializedBytes = math.Inf(1)
 		} else {
-			nodes[i].Cardinality = prevCard
-			nodes[i].MaterializedBytes = prevCard * nodes[i].BytesPerElement
+			nodes[i].Cardinality = c
+			nodes[i].MaterializedBytes = c * nodes[i].BytesPerElement
 		}
 	}
 
-	// Pass 3 (source -> root): cacheability via the randomness closure.
-	randomBelow := false
-	vetoBelow := ""
+	// Pass 3 (source -> root): cacheability via the randomness closure,
+	// OR-ed over a node's inputs so a random branch taints everything it
+	// feeds (§B.1).
+	veto := make(map[string]string, len(chain))
 	for i := range nodes {
 		n := chain[i]
-		switch {
-		case randomBelow:
-			// inherited veto
-		case n.Kind == pipeline.KindShuffle:
-			randomBelow = true
-			vetoBelow = fmt.Sprintf("shuffle %q accesses a random seed", n.Name)
-		case (n.Kind == pipeline.KindMap || n.Kind == pipeline.KindFilter) && reg != nil:
-			isRand, err := reg.IsRandom(n.UDF)
-			if err != nil {
-				return nil, err
-			}
-			if isRand {
-				randomBelow = true
-				vetoBelow = fmt.Sprintf("UDF %q transitively touches a random seed", n.UDF)
+		vetoHere := ""
+		for _, in := range n.InputNames() {
+			if v := veto[in]; v != "" {
+				vetoHere = v
+				break
 			}
 		}
+		if vetoHere == "" {
+			switch {
+			case n.Kind == pipeline.KindShuffle:
+				vetoHere = fmt.Sprintf("shuffle %q accesses a random seed", n.Name)
+			case (n.Kind == pipeline.KindMap || n.Kind == pipeline.KindFilter) && reg != nil:
+				isRand, err := reg.IsRandom(n.UDF)
+				if err != nil {
+					return nil, err
+				}
+				if isRand {
+					vetoHere = fmt.Sprintf("UDF %q transitively touches a random seed", n.UDF)
+				}
+			}
+		}
+		veto[n.Name] = vetoHere
 		switch {
-		case randomBelow:
+		case vetoHere != "":
 			nodes[i].Cacheable = false
-			nodes[i].CacheVeto = vetoBelow
+			nodes[i].CacheVeto = vetoHere
 		case math.IsInf(nodes[i].Cardinality, 1):
 			nodes[i].Cacheable = false
 			nodes[i].CacheVeto = "infinite cardinality (inside an unbounded repeat)"
@@ -233,6 +257,22 @@ func Analyze(snap *trace.Snapshot, reg *udf.Registry) (*Analysis, error) {
 
 	a.Nodes = nodes
 	return a, nil
+}
+
+// AtOrBelow returns the set of node names at or below the named node — the
+// node itself plus the sub-graph feeding it. This is the region a warm
+// cache above name makes idle in steady state.
+func (a *Analysis) AtOrBelow(name string) (map[string]bool, error) {
+	below, err := a.Snapshot.Graph.Below(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(below)+1)
+	out[name] = true
+	for _, n := range below {
+		out[n.Name] = true
+	}
+	return out, nil
 }
 
 // Node returns the analysis entry for the named node.
@@ -311,24 +351,29 @@ func (a *Analysis) DiskBoundMinibatchesPerSec(bandwidth float64) float64 {
 }
 
 // DiskBoundWithSources is DiskBoundMinibatchesPerSec with per-source
-// bandwidth hints (by Dataset name): each I/O node is bounded by the
-// tighter of the global bandwidth and its own hint, and the ceiling is the
-// minimum across I/O nodes. A nil map reproduces
-// DiskBoundMinibatchesPerSec exactly.
+// bandwidth hints (by Dataset name): each I/O node is individually bounded
+// by its own hint, and the global bandwidth bounds the nodes' aggregate
+// demand — on a DAG every source draws from the same device, so the global
+// ceiling divides by total I/O bytes per minibatch, not per node. A nil
+// map reproduces DiskBoundMinibatchesPerSec exactly.
 func (a *Analysis) DiskBoundWithSources(bandwidth float64, src map[string]float64) float64 {
 	bound := math.Inf(1)
+	var totalIO float64
 	for _, n := range a.Nodes {
 		if n.IOBytesPerMinibatch <= 0 {
 			continue
 		}
-		bw := bandwidth
-		if v, ok := src[n.Name]; ok && v > 0 && (bw <= 0 || v < bw) {
-			bw = v
-		}
-		if bw <= 0 {
+		totalIO += n.IOBytesPerMinibatch
+		if v, ok := src[n.Name]; ok && v > 0 {
+			if db := v / n.IOBytesPerMinibatch; db < bound {
+				bound = db
+			}
+		} else if bandwidth <= 0 {
 			return 0
 		}
-		if db := bw / n.IOBytesPerMinibatch; db < bound {
+	}
+	if bandwidth > 0 && totalIO > 0 {
+		if db := bandwidth / totalIO; db < bound {
 			bound = db
 		}
 	}

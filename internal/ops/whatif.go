@@ -54,18 +54,16 @@ func (a *Analysis) PredictRate(h Hypothetical) float64 {
 	if outer < 1 {
 		outer = 1
 	}
-	cacheIdx := -1
-	if h.CacheAbove != "" {
-		for i, n := range a.Nodes {
-			if n.Name == h.CacheAbove {
-				cacheIdx = i
-			}
-		}
+	var cached map[string]bool
+	if h.WarmCache && h.CacheAbove != "" {
+		// Membership, not chain position: on a DAG only the branch feeding
+		// the cache goes idle, not every node that happens to sort earlier.
+		cached, _ = a.AtOrBelow(h.CacheAbove)
 	}
 	bound := math.Inf(1)
-	var cpuPerMB float64
-	for i, n := range a.Nodes {
-		if h.WarmCache && cacheIdx >= 0 && i <= cacheIdx {
+	var cpuPerMB, ioPerMB float64
+	for _, n := range a.Nodes {
+		if cached[n.Name] {
 			continue // served from the cache in steady state
 		}
 		p := n.Parallelism
@@ -79,15 +77,20 @@ func (a *Analysis) PredictRate(h Hypothetical) float64 {
 			}
 		}
 		if n.IOBytesPerMinibatch > 0 {
-			bw := h.DiskBandwidth
-			if v, ok := h.SourceBandwidth[n.Name]; ok && v > 0 && (bw <= 0 || v < bw) {
-				bw = v
-			}
-			if bw > 0 {
-				if db := bw / n.IOBytesPerMinibatch; db < bound {
+			ioPerMB += n.IOBytesPerMinibatch
+			if v, ok := h.SourceBandwidth[n.Name]; ok && v > 0 {
+				if db := v / n.IOBytesPerMinibatch; db < bound {
 					bound = db
 				}
 			}
+		}
+	}
+	if h.DiskBandwidth > 0 && ioPerMB > 0 {
+		// One shared device: the global bandwidth bounds the active nodes'
+		// aggregate demand, so a DAG's two sources cannot each claim the
+		// full budget.
+		if db := h.DiskBandwidth / ioPerMB; db < bound {
+			bound = db
 		}
 	}
 	if h.Cores > 0 && cpuPerMB > 0 {

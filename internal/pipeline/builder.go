@@ -99,6 +99,65 @@ func (b *Builder) Take(count int64) *Builder {
 	return b.add(Node{Kind: KindTake, Count: count})
 }
 
+// ZipOf merges two or more finished branch graphs under a Zip node that
+// pairs one element from each branch per output, and returns a Builder
+// positioned on the Zip so the combined pipeline can continue fluently
+// (.Batch(...).Build()). Branch node names must be unique across branches
+// — use Named or distinct catalogs to disambiguate — and branches cannot
+// carry their own outer parallelism (that knob belongs to the combined
+// graph).
+func ZipOf(branches ...*Graph) *Builder {
+	return combine(KindZip, branches)
+}
+
+// ConcatOf merges two or more finished branch graphs under a Concat node
+// that drains each branch in order, returning a Builder positioned on the
+// Concat node.
+func ConcatOf(branches ...*Graph) *Builder {
+	return combine(KindConcat, branches)
+}
+
+func combine(kind Kind, branches []*Graph) *Builder {
+	b := NewBuilder()
+	if len(branches) < 2 {
+		b.err = fmt.Errorf("pipeline: %s needs at least two branches, got %d", kind, len(branches))
+		return b
+	}
+	seen := make(map[string]bool)
+	inputs := make([]string, 0, len(branches))
+	for i, br := range branches {
+		if br == nil {
+			b.err = fmt.Errorf("pipeline: %s branch %d is nil", kind, i)
+			return b
+		}
+		if err := br.Validate(); err != nil {
+			b.err = fmt.Errorf("pipeline: %s branch %d: %w", kind, i, err)
+			return b
+		}
+		if br.OuterParallelism > 1 {
+			b.err = fmt.Errorf("pipeline: %s branch %d has outer parallelism %d; set it on the combined graph instead", kind, i, br.OuterParallelism)
+			return b
+		}
+		for _, n := range br.Nodes {
+			if seen[n.Name] {
+				b.err = fmt.Errorf("pipeline: %s branches share node name %q", kind, n.Name)
+				return b
+			}
+			seen[n.Name] = true
+			b.nodes = append(b.nodes, n)
+		}
+		inputs = append(inputs, br.Output)
+	}
+	b.counter[kind]++
+	name := fmt.Sprintf("%s_%d", kind, b.counter[kind])
+	if seen[name] {
+		b.err = fmt.Errorf("pipeline: %s branches already use node name %q", kind, name)
+		return b
+	}
+	b.nodes = append(b.nodes, Node{Name: name, Kind: kind, Inputs: inputs})
+	return b
+}
+
 // Build finalizes and validates the graph.
 func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {

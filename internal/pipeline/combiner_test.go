@@ -1,0 +1,223 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+)
+
+func branch(t *testing.T, source, udfName string) *Graph {
+	t.Helper()
+	b := NewBuilder().Named(source).Interleave("cat-"+source, 1)
+	if udfName != "" {
+		b = b.Named(source+"_map").Map(udfName, 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func zipGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := ZipOf(branch(t, "left", "decode"), branch(t, "right", "")).Batch(4).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestZipOfBuildsInTree(t *testing.T) {
+	g := zipGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	zip, err := g.Node("zip_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := zip.InputNames(); len(got) != 2 || got[0] != "left_map" || got[1] != "right" {
+		t.Fatalf("zip inputs = %v, want [left_map right]", got)
+	}
+	order, err := g.Topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, n := range order {
+		pos[n.Name] = i
+	}
+	for _, in := range zip.InputNames() {
+		if pos[in] > pos["zip_1"] {
+			t.Fatalf("topo places %q after its consumer zip_1", in)
+		}
+	}
+	if order[len(order)-1].Name != g.Output {
+		t.Fatalf("topo root = %q, want %q", order[len(order)-1].Name, g.Output)
+	}
+	// A combiner graph is not a linear chain.
+	if _, err := g.Chain(); err == nil || !strings.Contains(err.Error(), "not a linear chain") {
+		t.Fatalf("Chain on a zip graph = %v, want a not-a-linear-chain error", err)
+	}
+	// Below the zip: both branches, nothing above.
+	below, err := g.Below("zip_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(below) != 3 {
+		t.Fatalf("Below(zip_1) = %d nodes, want 3", len(below))
+	}
+	srcs, err := g.Sources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 2 {
+		t.Fatalf("Sources = %d, want 2", len(srcs))
+	}
+}
+
+func TestCombineRejections(t *testing.T) {
+	// Fewer than two branches.
+	if _, err := ZipOf(branch(t, "solo", "")).Build(); err == nil ||
+		!strings.Contains(err.Error(), "at least two branches") {
+		t.Fatalf("ZipOf(one branch) = %v, want at-least-two error", err)
+	}
+	// Nil branch.
+	if _, err := ConcatOf(branch(t, "a", ""), nil).Build(); err == nil ||
+		!strings.Contains(err.Error(), "is nil") {
+		t.Fatalf("ConcatOf(nil branch) = %v, want nil-branch error", err)
+	}
+	// Duplicate node names across branches (builder auto-names collide).
+	dup1, err := NewBuilder().Interleave("cat-a", 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup2, err := NewBuilder().Interleave("cat-b", 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ZipOf(dup1, dup2).Build(); err == nil ||
+		!strings.Contains(err.Error(), "share node name") {
+		t.Fatalf("ZipOf(dup names) = %v, want shared-name error", err)
+	}
+	// Branch-level outer parallelism belongs to the combined graph.
+	outer := branch(t, "outer", "")
+	outer.OuterParallelism = 2
+	if _, err := ZipOf(outer, branch(t, "other", "")).Build(); err == nil ||
+		!strings.Contains(err.Error(), "set it on the combined graph") {
+		t.Fatalf("ZipOf(outer branch) = %v, want outer-parallelism error", err)
+	}
+}
+
+func TestCombinerMutationRules(t *testing.T) {
+	g := zipGraph(t)
+	// Combiners are sequential: raising their parallelism fails validation.
+	if _, err := g.WithParallelism("zip_1", 4); err == nil ||
+		!strings.Contains(err.Error(), "cannot have parallelism") {
+		t.Fatalf("WithParallelism(zip) = %v, want sequential-node error", err)
+	}
+	// Removing a combiner would leave its branches dangling.
+	if _, err := g.Remove("zip_1"); err == nil ||
+		!strings.Contains(err.Error(), "dangling") {
+		t.Fatalf("Remove(zip) = %v, want dangling-branches error", err)
+	}
+	// Removing a mid-branch node rewires the combiner's Inputs entry.
+	out, err := g.Remove("left_map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zip, err := out.Node("zip_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := zip.InputNames(); got[0] != "left" {
+		t.Fatalf("after Remove(left_map), zip inputs = %v, want left first", got)
+	}
+	// Inserting above a branch node rewires the same entry.
+	out2, err := g.InsertAbove("right", Node{Name: "right_cache", Kind: KindCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zip2, err := out2.Node("zip_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := zip2.InputNames(); got[1] != "right_cache" {
+		t.Fatalf("after InsertAbove(right), zip inputs = %v, want right_cache second", got)
+	}
+	// The original graph is untouched by either mutation.
+	orig, err := g.Node("zip_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := orig.InputNames(); got[0] != "left_map" || got[1] != "right" {
+		t.Fatalf("mutations aliased the original graph: inputs = %v", got)
+	}
+}
+
+func TestCombinerValidateRules(t *testing.T) {
+	// A combiner with one input fails.
+	g := &Graph{
+		Nodes: []Node{
+			{Name: "src", Kind: KindInterleave, Catalog: "c"},
+			{Name: "zip", Kind: KindZip, Inputs: []string{"src"}},
+		},
+		Output: "zip",
+	}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "at least two inputs") {
+		t.Fatalf("Validate(1-input zip) = %v, want at-least-two-inputs error", err)
+	}
+	// A non-combiner with Inputs fails.
+	g2 := &Graph{
+		Nodes: []Node{
+			{Name: "s1", Kind: KindInterleave, Catalog: "c"},
+			{Name: "s2", Kind: KindInterleave, Catalog: "c"},
+			{Name: "b", Kind: KindBatch, BatchSize: 4, Inputs: []string{"s1", "s2"}},
+		},
+		Output: "b",
+	}
+	if err := g2.Validate(); err == nil || !strings.Contains(err.Error(), "cannot have multiple inputs") {
+		t.Fatalf("Validate(multi-input batch) = %v, want cannot-have-multiple-inputs error", err)
+	}
+	// Two consumers of one node break the in-tree shape.
+	g3 := &Graph{
+		Nodes: []Node{
+			{Name: "src", Kind: KindInterleave, Catalog: "c"},
+			{Name: "m1", Kind: KindMap, UDF: "u", Input: "src"},
+			{Name: "m2", Kind: KindMap, UDF: "u", Input: "src"},
+			{Name: "zip", Kind: KindZip, Inputs: []string{"m1", "m2"}},
+		},
+		Output: "zip",
+	}
+	if err := g3.Validate(); err == nil || !strings.Contains(err.Error(), "consumers") {
+		t.Fatalf("Validate(shared input) = %v, want multiple-consumers error", err)
+	}
+}
+
+func TestCombinerRoundTrip(t *testing.T) {
+	g := zipGraph(t)
+	b, err := g.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g2.Topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := g.Topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip changed node count: %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Name != want[i].Name {
+			t.Fatalf("round trip changed topo order at %d: %q != %q", i, got[i].Name, want[i].Name)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 // Package pipeline defines the serializable program representation of an
-// input pipeline: a chain of Dataset nodes from a storage source up to the
-// root that feeds the model (§2.1). The representation plays the role of
+// input pipeline: a tree of Dataset nodes from one or more storage sources
+// up to the root that feeds the model (§2.1). Most pipelines are a single
+// linear chain; combining operators (Zip, Concat) merge multiple branches,
+// each headed by its own source. The representation plays the role of
 // tf.data's serialized GraphDef: Plumber's tracer dumps it next to the
 // runtime counters, the analyzer joins the two, and the rewriter (package
 // internal/rewrite, driven by the top-level plumber façade) performs graph
@@ -36,6 +38,8 @@ const (
 	KindPrefetch   Kind = "prefetch"   // decouple producer/consumer with a buffer
 	KindCache      Kind = "cache"      // materialize child output in memory
 	KindTake       Kind = "take"       // truncate stream to Count elements
+	KindZip        Kind = "zip"        // pair one element from each input per output
+	KindConcat     Kind = "concat"     // drain each input in order
 )
 
 // Node is one Dataset in the pipeline program.
@@ -48,6 +52,10 @@ type Node struct {
 	Kind Kind `json:"kind"`
 	// Input names the child node this node pulls from; empty for sources.
 	Input string `json:"input,omitempty"`
+	// Inputs names the child nodes of a combining operator (Zip, Concat),
+	// which pulls from two or more branches. Exactly one of Input / Inputs
+	// is set; every other kind uses the single Input.
+	Inputs []string `json:"inputs,omitempty"`
 	// UDF names the registered user-defined function (Map and Filter).
 	UDF string `json:"udf,omitempty"`
 	// Parallelism is the degree of intra-operator parallelism. Zero means
@@ -75,7 +83,9 @@ func (n Node) EffectiveParallelism() int {
 }
 
 // Parallelizable reports whether Plumber may raise the node's parallelism
-// knob. Sequential Datasets are constrained to at most one core in the LP.
+// knob. Sequential Datasets are constrained to at most one core in the LP;
+// combining operators (Zip, Concat) are always sequential — their output
+// order is the contract.
 func (n Node) Parallelizable() bool {
 	switch n.Kind {
 	case KindMap, KindInterleave, KindSource:
@@ -87,16 +97,34 @@ func (n Node) Parallelizable() bool {
 	}
 }
 
+// IsCombiner reports whether the node merges multiple input branches.
+func (n Node) IsCombiner() bool {
+	return n.Kind == KindZip || n.Kind == KindConcat
+}
+
+// InputNames returns the node's input edges in pull order: Inputs for a
+// combining operator, the single Input otherwise, nil for sources.
+func (n Node) InputNames() []string {
+	if len(n.Inputs) > 0 {
+		return n.Inputs
+	}
+	if n.Input != "" {
+		return []string{n.Input}
+	}
+	return nil
+}
+
 // IsSource reports whether the node reads from storage.
 func (n Node) IsSource() bool {
 	return n.Kind == KindSource || n.Kind == KindInterleave
 }
 
-// Graph is a complete pipeline program: a linear chain of nodes ending at
-// Output, the root Dataset instantiated by the training loop.
+// Graph is a complete pipeline program: an in-tree of nodes rooted at
+// Output, the Dataset instantiated by the training loop. Without combining
+// operators the tree degenerates to the usual linear chain.
 type Graph struct {
 	// Nodes holds the program's Datasets in any order; Validate enforces
-	// that they form a single chain.
+	// that they form a single in-tree.
 	Nodes []Node `json:"nodes"`
 	// Output names the root node.
 	Output string `json:"output"`
@@ -110,6 +138,11 @@ type Graph struct {
 func (g *Graph) Clone() *Graph {
 	out := &Graph{Output: g.Output, OuterParallelism: g.OuterParallelism}
 	out.Nodes = append([]Node(nil), g.Nodes...)
+	for i := range out.Nodes {
+		if out.Nodes[i].Inputs != nil {
+			out.Nodes[i].Inputs = append([]string(nil), out.Nodes[i].Inputs...)
+		}
+	}
 	return out
 }
 
@@ -167,6 +200,11 @@ func (g *Graph) InsertAbove(name string, n Node) (*Graph, error) {
 		if out.Nodes[i].Input == name {
 			out.Nodes[i].Input = n.Name
 		}
+		for j, in := range out.Nodes[i].Inputs {
+			if in == name {
+				out.Nodes[i].Inputs[j] = n.Name
+			}
+		}
 	}
 	out.Nodes = append(out.Nodes, n)
 	if out.Output == name {
@@ -180,12 +218,16 @@ func (g *Graph) InsertAbove(name string, n Node) (*Graph, error) {
 
 // Remove returns a validated clone with the named node spliced out: its
 // consumer (or the graph output) now pulls from its input. Removing the
-// source fails validation, as does removing the only node. The receiver is
-// never modified.
+// source fails validation, as does removing the only node. Combining
+// operators (Zip, Concat) cannot be removed — splicing would leave their
+// branches with no consumer. The receiver is never modified.
 func (g *Graph) Remove(name string) (*Graph, error) {
 	i := g.NodeIndex(name)
 	if i < 0 {
 		return nil, fmt.Errorf("pipeline: Remove: no node %q", name)
+	}
+	if g.Nodes[i].IsCombiner() {
+		return nil, fmt.Errorf("pipeline: Remove: cannot remove %s node %q; its input branches would be left dangling", g.Nodes[i].Kind, name)
 	}
 	out := g.Clone()
 	removed := out.Nodes[i]
@@ -193,6 +235,11 @@ func (g *Graph) Remove(name string) (*Graph, error) {
 	for j := range out.Nodes {
 		if out.Nodes[j].Input == name {
 			out.Nodes[j].Input = removed.Input
+		}
+		for k, in := range out.Nodes[j].Inputs {
+			if in == name {
+				out.Nodes[j].Inputs[k] = removed.Input
+			}
 		}
 	}
 	if out.Output == name {
@@ -235,25 +282,37 @@ func (g *Graph) WithOuterParallelism(k int) (*Graph, error) {
 	return out, nil
 }
 
-// Chain returns the nodes ordered from source to root. It fails if the
-// graph is not a single linear chain ending at Output.
-func (g *Graph) Chain() ([]Node, error) {
-	if len(g.Nodes) == 0 {
-		return nil, fmt.Errorf("pipeline: empty graph")
-	}
+// byNameAndConsumers indexes the nodes and counts each node's consumers
+// (edges referencing it via Input or Inputs), checking name sanity.
+func (g *Graph) byNameAndConsumers() (map[string]Node, map[string]int, error) {
 	byName := make(map[string]Node, len(g.Nodes))
 	consumers := make(map[string]int)
 	for _, n := range g.Nodes {
 		if n.Name == "" {
-			return nil, fmt.Errorf("pipeline: node with empty name")
+			return nil, nil, fmt.Errorf("pipeline: node with empty name")
 		}
 		if _, dup := byName[n.Name]; dup {
-			return nil, fmt.Errorf("pipeline: duplicate node name %q", n.Name)
+			return nil, nil, fmt.Errorf("pipeline: duplicate node name %q", n.Name)
 		}
 		byName[n.Name] = n
-		if n.Input != "" {
-			consumers[n.Input]++
+		for _, in := range n.InputNames() {
+			consumers[in]++
 		}
+	}
+	return byName, consumers, nil
+}
+
+// Chain returns the nodes ordered from source to root. It fails if the
+// graph is not a single linear chain ending at Output — in particular any
+// combining operator (Zip, Concat) makes the graph non-linear. Callers
+// that handle DAG-shaped graphs use Topo instead.
+func (g *Graph) Chain() ([]Node, error) {
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("pipeline: empty graph")
+	}
+	byName, consumers, err := g.byNameAndConsumers()
+	if err != nil {
+		return nil, err
 	}
 	root, ok := byName[g.Output]
 	if !ok {
@@ -266,6 +325,9 @@ func (g *Graph) Chain() ([]Node, error) {
 	reversed := make([]Node, 0, len(g.Nodes))
 	cur := root
 	for {
+		if len(cur.Inputs) > 0 {
+			return nil, fmt.Errorf("pipeline: node %q (kind %s) has %d inputs; graph is not a linear chain", cur.Name, cur.Kind, len(cur.Inputs))
+		}
 		reversed = append(reversed, cur)
 		if len(reversed) > len(g.Nodes) {
 			return nil, fmt.Errorf("pipeline: cycle detected at %q", cur.Name)
@@ -289,22 +351,146 @@ func (g *Graph) Chain() ([]Node, error) {
 	return chain, nil
 }
 
-// Validate checks structural invariants: a single linear chain, exactly one
-// source at the head, and per-kind parameter sanity.
+// Topo returns the nodes in a deterministic topological order: a depth-first
+// post-order from Output that visits a node's inputs in pull order, so every
+// node appears after all of its inputs and the root is last. For a linear
+// chain the result equals Chain(). It fails on cycles, missing inputs,
+// unreachable nodes, nodes with more than one consumer, or a consumed
+// Output — the graph must be an in-tree rooted at Output.
+func (g *Graph) Topo() ([]Node, error) {
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("pipeline: empty graph")
+	}
+	byName, consumers, err := g.byNameAndConsumers()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := byName[g.Output]; !ok {
+		return nil, fmt.Errorf("pipeline: output node %q not found", g.Output)
+	}
+	if consumers[g.Output] != 0 {
+		return nil, fmt.Errorf("pipeline: output node %q has a consumer", g.Output)
+	}
+	for name, c := range consumers {
+		if c > 1 {
+			return nil, fmt.Errorf("pipeline: node %q has %d consumers; each node feeds exactly one", name, c)
+		}
+	}
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int, len(g.Nodes))
+	order := make([]Node, 0, len(g.Nodes))
+	var visit func(name string) error
+	visit = func(name string) error {
+		n, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("pipeline: missing input %q", name)
+		}
+		switch state[name] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("pipeline: cycle detected at %q", name)
+		}
+		state[name] = visiting
+		for _, in := range n.InputNames() {
+			if err := visit(in); err != nil {
+				return err
+			}
+		}
+		state[name] = done
+		order = append(order, n)
+		return nil
+	}
+	if err := visit(g.Output); err != nil {
+		return nil, err
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("pipeline: %d of %d nodes unreachable from output", len(g.Nodes)-len(order), len(g.Nodes))
+	}
+	return order, nil
+}
+
+// Below returns the nodes strictly below the named node — the sub-graph
+// feeding it — in the same deterministic topological order as Topo. For a
+// linear chain this is the chain prefix ending just under name.
+func (g *Graph) Below(name string) ([]Node, error) {
+	order, err := g.Topo()
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[string]Node, len(order))
+	for _, n := range order {
+		idx[n.Name] = n
+	}
+	anchor, ok := idx[name]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: no node %q", name)
+	}
+	below := make(map[string]bool)
+	var mark func(n Node)
+	mark = func(n Node) {
+		for _, in := range n.InputNames() {
+			if !below[in] {
+				below[in] = true
+				mark(idx[in])
+			}
+		}
+	}
+	mark(anchor)
+	out := make([]Node, 0, len(below))
+	for _, n := range order {
+		if below[n.Name] {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// Sources returns every source node in topological order.
+func (g *Graph) Sources() ([]Node, error) {
+	order, err := g.Topo()
+	if err != nil {
+		return nil, err
+	}
+	var out []Node
+	for _, n := range order {
+		if n.IsSource() {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// Validate checks structural invariants: an in-tree of nodes rooted at
+// Output (a linear chain unless combining operators are present), a source
+// at the head of every branch, and per-kind parameter sanity.
 func (g *Graph) Validate() error {
 	if g.OuterParallelism < 0 {
 		return fmt.Errorf("pipeline: negative outer parallelism %d", g.OuterParallelism)
 	}
-	chain, err := g.Chain()
+	order, err := g.Topo()
 	if err != nil {
 		return err
 	}
-	for i, n := range chain {
-		if n.IsSource() != (i == 0) {
-			if i == 0 {
-				return fmt.Errorf("pipeline: chain head %q (kind %s) is not a source", n.Name, n.Kind)
+	for _, n := range order {
+		if n.IsCombiner() {
+			if len(n.Inputs) < 2 {
+				return fmt.Errorf("pipeline: %s node %q needs at least two inputs, got %d", n.Kind, n.Name, len(n.Inputs))
 			}
-			return fmt.Errorf("pipeline: source node %q must be the chain head", n.Name)
+			if n.Input != "" {
+				return fmt.Errorf("pipeline: %s node %q must use inputs, not input", n.Kind, n.Name)
+			}
+		} else if len(n.Inputs) > 0 {
+			return fmt.Errorf("pipeline: %s node %q cannot have multiple inputs", n.Kind, n.Name)
+		}
+		if n.IsSource() != (len(n.InputNames()) == 0) {
+			if n.IsSource() {
+				return fmt.Errorf("pipeline: source node %q must head its branch", n.Name)
+			}
+			return fmt.Errorf("pipeline: branch head %q (kind %s) is not a source", n.Name, n.Kind)
 		}
 		switch n.Kind {
 		case KindSource, KindInterleave:
@@ -331,7 +517,7 @@ func (g *Graph) Validate() error {
 			if n.Count < 1 {
 				return fmt.Errorf("pipeline: take node %q needs count >= 1", n.Name)
 			}
-		case KindCache:
+		case KindCache, KindZip, KindConcat:
 			// no parameters
 		default:
 			return fmt.Errorf("pipeline: node %q has unknown kind %q", n.Name, n.Kind)
@@ -364,18 +550,28 @@ func Unmarshal(b []byte) (*Graph, error) {
 	return &g, nil
 }
 
-// BatchSizeAtRoot returns the product of batch sizes along the chain (the
-// number of examples per root element), defaulting to 1 with no Batch node.
+// BatchSizeAtRoot returns the product of batch sizes along the root path
+// (the number of examples per root element), defaulting to 1 with no Batch
+// node. The walk stops below a combining operator: batching inside a branch
+// does not multiply the root's element size.
 func (g *Graph) BatchSizeAtRoot() (int, error) {
-	chain, err := g.Chain()
+	order, err := g.Topo()
 	if err != nil {
 		return 0, err
 	}
+	byName := make(map[string]Node, len(order))
+	for _, n := range order {
+		byName[n.Name] = n
+	}
 	size := 1
-	for _, n := range chain {
-		if n.Kind == KindBatch {
-			size *= n.BatchSize
+	for cur := byName[g.Output]; ; {
+		if cur.Kind == KindBatch {
+			size *= cur.BatchSize
 		}
+		if cur.Input == "" {
+			break
+		}
+		cur = byName[cur.Input]
 	}
 	return size, nil
 }

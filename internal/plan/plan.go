@@ -5,13 +5,17 @@
 // memory, prefetching, and outer parallelism across every Dataset at once
 // — with a predicted end-to-end rate, so no re-trace is needed per step.
 //
-// The solver is a water-filling relaxation of the paper's LP: the
-// fractional optimum equalizes scaled capacity across parallelizable
-// Datasets at the resource ceiling (cores are split in proportion to
-// 1/R_i), and the integral plan is recovered by granting whole cores one
-// at a time to the node with the lowest resulting capacity. Cache
-// placement maximizes predicted benefit per materialized byte under the
-// memory budget; outer parallelism is raised only when a fundamentally
+// The solver is a water-filling relaxation of the paper's LP, solved
+// jointly with cache placement: for every legal cache candidate (including
+// none) it re-derives the post-cache rate curves — a warm cache idles the
+// whole sub-graph it covers — water-fills the core budget over the Datasets
+// that remain active, and keeps the (cache, core-assignment) pair with the
+// best predicted steady-state rate under the combined memory+core budget.
+// Within one candidate the fractional optimum equalizes scaled capacity
+// across parallelizable Datasets at the resource ceiling (cores are split
+// in proportion to 1/R_i), and the integral plan is recovered by granting
+// whole cores one at a time to the node with the lowest resulting
+// capacity. Outer parallelism is raised only when a fundamentally
 // sequential Dataset caps the pipeline below the resource ceiling.
 package plan
 
@@ -123,14 +127,314 @@ const (
 	unboundedCores = 64
 	maxOuter       = 16
 	prefetchDepth  = 8
-	// cacheWorkSavedFraction gates the work-saved cache fallback: with no
-	// predicted ceiling lift, a cache is still planned when the chain it
-	// skips costs at least this fraction of the pipeline's per-minibatch
-	// CPU — saved core-seconds are throughput on any host that is actually
-	// core-constrained. Below it, the materialization isn't worth the
-	// memory pressure.
-	cacheWorkSavedFraction = 0.25
 )
+
+// alloc is one candidate joint solution: a cache choice (possibly none)
+// with the core assignment water-filled over the Datasets that stay active
+// under it, and the uncalibrated steady-state rate the pair predicts.
+type alloc struct {
+	cacheAbove  string
+	cacheBytes  float64
+	parallelism map[string]int
+	outer       int
+	coresUsed   int // per-replica steady-state core claim
+	stages      int // parallel stages that claimed the per-stage core floor
+	rate        float64
+	notes       []string
+}
+
+// solveForCache water-fills the core budget assuming a warm cache above
+// cacheAbove (empty = no cache): every Dataset the cache covers drops out
+// of the rate curves, so the freed cores re-concentrate on the stages that
+// still run in steady state. Returns nil when the candidate cache does not
+// fit the memory budget at the replica count the allocation needs.
+func solveForCache(a *ops.Analysis, b Budget, cores int, cacheAbove string) *alloc {
+	var cached map[string]bool
+	var cacheBytes float64
+	if cacheAbove != "" {
+		cached, _ = a.AtOrBelow(cacheAbove)
+		if n, err := a.Node(cacheAbove); err == nil {
+			cacheBytes = n.MaterializedBytes
+		}
+	}
+	active := func(n ops.NodeAnalysis) bool { return !cached[n.Name] }
+
+	// Hard bounds no core assignment can beat, on the post-cache curves:
+	// the disk ceiling (a warm cache over the source does no I/O), the
+	// aggregate CPU work-conservation ceiling, and (before replication) the
+	// slowest fundamentally sequential Dataset still active.
+	diskBound := math.Inf(1)
+	if b.DiskBandwidth > 0 || len(b.SourceBandwidth) > 0 {
+		for _, n := range a.Nodes {
+			if !active(n) || n.IOBytesPerMinibatch <= 0 {
+				continue
+			}
+			bw := b.DiskBandwidth
+			if v, ok := b.SourceBandwidth[n.Name]; ok && v > 0 && (bw <= 0 || v < bw) {
+				bw = v
+			}
+			if bw <= 0 {
+				diskBound = 0
+				break
+			}
+			diskBound = math.Min(diskBound, bw/n.IOBytesPerMinibatch)
+		}
+	}
+	var cpuPerMB float64
+	seqBound := math.Inf(1)
+	seqName := ""
+	for _, n := range a.Nodes {
+		if !active(n) {
+			continue
+		}
+		if !math.IsInf(n.Rate, 1) && n.Rate > 0 {
+			cpuPerMB += 1 / n.Rate
+		}
+		if !n.Parallelizable && !math.IsInf(n.ScaledCapacity, 1) && n.ScaledCapacity < seqBound {
+			seqBound = n.ScaledCapacity
+			seqName = n.Name
+		}
+	}
+	cpuBound := math.Inf(1)
+	if cpuPerMB > 0 {
+		cpuBound = float64(cores) / cpuPerMB
+	}
+	resourceCeiling := math.Min(diskBound, cpuBound)
+
+	// Outer parallelism: replication is the only remedy for a sequential
+	// bound (§5.1's NLP pipelines). maxNeed is the replica count that would
+	// lift the sequential capacity to the resource ceiling, within the core
+	// budget — the top of the search range, not a commitment: each replica
+	// also multiplies the per-stage core claim and the cache's memory
+	// footprint, so e.g. a 9-core budget may feed an expensive decode stage
+	// better at one replica than at two. The joint pass below scores every
+	// count and keeps the best.
+	baseOuter := a.Snapshot.Graph.OuterParallelism
+	if baseOuter < 1 {
+		baseOuter = 1
+	}
+	maxNeed := baseOuter
+	if seqBound < resourceCeiling && !math.IsInf(resourceCeiling, 1) {
+		need := int(math.Ceil(resourceCeiling / seqBound))
+		perReplica := 0
+		for _, n := range a.Nodes {
+			if active(n) && n.Parallelizable {
+				perReplica++ // each replica runs every active parallel stage at >= 1 core
+			}
+		}
+		if perReplica < 1 {
+			perReplica = 1
+		}
+		if max := cores / perReplica; need > max {
+			need = max
+		}
+		if need > maxOuter {
+			need = maxOuter
+		}
+		if need > maxNeed {
+			maxNeed = need
+		}
+	}
+
+	allocAt := func(outer int) *alloc {
+		s := &alloc{cacheAbove: cacheAbove, cacheBytes: cacheBytes, parallelism: make(map[string]int)}
+		if outer > baseOuter {
+			s.notes = append(s.notes, fmt.Sprintf(
+				"outer parallelism %d: sequential %q (%.1f minibatches/s) caps the pipeline below the resource ceiling (%.1f)",
+				outer, seqName, seqBound, resourceCeiling))
+		}
+
+		// Every replica fills its own cache copy; a candidate that cannot fit
+		// the memory budget at this replica count is no candidate at all.
+		if cacheAbove != "" {
+			if !(s.cacheBytes > 0) || math.IsInf(s.cacheBytes, 1) ||
+				s.cacheBytes*float64(outer) > float64(b.MemoryBytes) {
+				return nil
+			}
+		}
+
+		// Water-filling core assignment across the active parallelizable
+		// Datasets with a measurable rate. Fractionally the optimum equalizes
+		// p_i·R_i at the ceiling (p_i ∝ 1/R_i); integrally, grant one core at a
+		// time to the lowest-capacity node until the budget binds or every node
+		// clears the target (raising past the ceiling cannot improve rate).
+		type cand struct {
+			name string
+			rate float64
+			p    int
+		}
+		var cands []cand
+		var kept []cand // unmeasurable knobs kept at their current value
+		coresUsed := 0
+		for _, n := range a.Nodes {
+			if !active(n) || !n.Parallelizable {
+				continue
+			}
+			if math.IsInf(n.Rate, 1) || n.Rate <= 0 {
+				// No measurable cost: the model cannot rank this knob, so keep
+				// the current value rather than churn it (degraded below only
+				// when the budget cannot cover the seeded claim).
+				cur := n.Parallelism
+				if cur < 1 {
+					cur = 1
+				}
+				kept = append(kept, cand{name: n.Name, p: cur})
+				coresUsed += cur
+				continue
+			}
+			coresUsed++ // every measurable parallel stage starts at one core per replica
+			cands = append(cands, cand{name: n.Name, rate: n.Rate, p: 1})
+		}
+
+		// The seeded claim must already fit the budget, or the grant loop below
+		// never runs and the plan overcommits: degrade kept knobs toward 1, and
+		// drop any multi-replica candidate that still cannot fit (the
+		// single-replica allocation always exists and carries the core-floor
+		// case, where CoresPlanned is capped by the caller).
+		for i := range kept {
+			prev := kept[i].p
+			for kept[i].p > 1 && coresUsed*outer > cores {
+				kept[i].p--
+				coresUsed--
+			}
+			if kept[i].p != prev {
+				s.notes = append(s.notes, fmt.Sprintf(
+					"parallelism %q degraded %d -> %d (unmeasured knob, %d-core budget binds)",
+					kept[i].name, prev, kept[i].p, cores))
+			}
+		}
+		if outer > 1 && coresUsed*outer > cores {
+			return nil
+		}
+		for _, k := range kept {
+			s.parallelism[k.name] = k.p
+		}
+
+		target := math.Min(resourceCeiling, seqBound*float64(outer))
+		for (coresUsed+1)*outer <= cores { // each grant costs one core in every replica
+			best := -1
+			for i, c := range cands {
+				if float64(c.p)*c.rate*float64(outer) >= target {
+					continue // already clears the ceiling
+				}
+				if best < 0 || float64(c.p)*c.rate < float64(cands[best].p)*cands[best].rate {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			cands[best].p++
+			coresUsed++
+		}
+		for _, c := range cands {
+			s.parallelism[c.name] = c.p
+			if cur, err := a.Snapshot.Graph.Node(c.name); err == nil && cur.EffectiveParallelism() != c.p {
+				s.notes = append(s.notes, fmt.Sprintf(
+					"parallelism %q: %d -> %d (rate %.1f minibatches/s/core, water-filled toward ceiling %.1f)",
+					c.name, cur.EffectiveParallelism(), c.p, c.rate, target))
+			}
+		}
+		s.outer = outer
+		s.coresUsed = coresUsed
+		s.stages = len(cands) + len(kept)
+
+		// Fill-epoch knobs for the covered sub-graph: the Datasets below the
+		// cache run exactly once, while it fills, and the steady state claims
+		// none of their cores — so whatever the active stages left unclaimed
+		// water-fills the fill epoch's own bottlenecks (and oversized traced
+		// knobs are degraded so the fill claim also fits the budget). These
+		// knobs shape PredictedFillMinibatchesPerSec; CoresPlanned stays the
+		// steady-state claim.
+		if cacheAbove != "" {
+			var fillCands []cand
+			fillUsed := coresUsed
+			for _, n := range a.Nodes {
+				if !cached[n.Name] || !n.Parallelizable {
+					continue
+				}
+				cur := n.Parallelism
+				if cur < 1 {
+					cur = 1
+				}
+				fillCands = append(fillCands, cand{name: n.Name, rate: n.Rate, p: cur})
+				fillUsed += cur
+			}
+			for i := range fillCands {
+				for fillCands[i].p > 1 && fillUsed*outer > cores {
+					fillCands[i].p--
+					fillUsed--
+				}
+			}
+			fillDisk := math.Inf(1)
+			if b.DiskBandwidth > 0 || len(b.SourceBandwidth) > 0 {
+				fillDisk = a.DiskBoundWithSources(b.DiskBandwidth, b.SourceBandwidth)
+			}
+			fillCPU := a.CPUBoundMinibatchesPerSec(cores)
+			fillSeq := math.Inf(1)
+			for _, n := range a.Nodes {
+				if !n.Parallelizable && !math.IsInf(n.ScaledCapacity, 1) && n.ScaledCapacity < fillSeq {
+					fillSeq = n.ScaledCapacity
+				}
+			}
+			fillTarget := math.Min(math.Min(fillDisk, fillCPU), fillSeq*float64(outer))
+			for (fillUsed+1)*outer <= cores {
+				best := -1
+				for i, c := range fillCands {
+					if math.IsInf(c.rate, 1) || c.rate <= 0 {
+						continue // unmeasurable: keep the traced knob
+					}
+					if float64(c.p)*c.rate*float64(outer) >= fillTarget {
+						continue
+					}
+					if best < 0 || float64(c.p)*c.rate < float64(fillCands[best].p)*fillCands[best].rate {
+						best = i
+					}
+				}
+				if best < 0 {
+					break
+				}
+				fillCands[best].p++
+				fillUsed++
+			}
+			for _, c := range fillCands {
+				s.parallelism[c.name] = c.p
+				if cur, err := a.Snapshot.Graph.Node(c.name); err == nil && cur.EffectiveParallelism() != c.p {
+					s.notes = append(s.notes, fmt.Sprintf(
+						"parallelism %q: %d -> %d (below the cache; fill-epoch cores from the steady state's leftover budget)",
+						c.name, cur.EffectiveParallelism(), c.p))
+				}
+			}
+		}
+		s.rate = a.PredictRate(ops.Hypothetical{
+			Parallelism:      s.parallelism,
+			CacheAbove:       cacheAbove,
+			WarmCache:        cacheAbove != "",
+			OuterParallelism: outer,
+			Cores:            cores,
+			DiskBandwidth:    b.DiskBandwidth,
+			SourceBandwidth:  b.SourceBandwidth,
+		})
+		return s
+	}
+
+	// Score every replica count from one to maxNeed and keep the best
+	// rate. Ties prefer the graph's current count (a rate-neutral plan
+	// should not churn a live deployment's replicas), then fewer replicas
+	// (ascending order: the incumbent wins ties).
+	var best *alloc
+	for o := 1; o <= maxNeed; o++ {
+		s := allocAt(o)
+		if s == nil {
+			continue
+		}
+		if best == nil || s.rate > best.rate ||
+			(s.rate == best.rate && o == baseOuter && best.outer != baseOuter) {
+			best = s
+		}
+	}
+	return best
+}
 
 // Solve computes the joint allocation for the analyzed pipeline under the
 // budget in one shot. The returned plan is advisory: materialize it with
@@ -147,245 +451,56 @@ func Solve(a *ops.Analysis, b Budget) (*Plan, error) {
 		cores = unboundedCores
 	}
 	g := a.Snapshot.Graph
-	p := &Plan{Parallelism: make(map[string]int), SourceBandwidth: b.SourceBandwidth}
+	p := &Plan{SourceBandwidth: b.SourceBandwidth}
 
-	// Hard bounds no core assignment can beat: the disk ceiling, the
-	// aggregate CPU work-conservation ceiling, and (before replication) the
-	// slowest fundamentally sequential Dataset.
-	diskBound := math.Inf(1)
-	if b.DiskBandwidth > 0 || len(b.SourceBandwidth) > 0 {
-		diskBound = a.DiskBoundWithSources(b.DiskBandwidth, b.SourceBandwidth)
-	}
-	cpuBound := a.CPUBoundMinibatchesPerSec(cores)
-	seqBound := math.Inf(1)
-	seqName := ""
-	for _, n := range a.Nodes {
-		if !n.Parallelizable && !math.IsInf(n.ScaledCapacity, 1) && n.ScaledCapacity < seqBound {
-			seqBound = n.ScaledCapacity
-			seqName = n.Name
-		}
-	}
-	resourceCeiling := math.Min(diskBound, cpuBound)
-
-	// Outer parallelism: replication is the only remedy for a sequential
-	// bound (§5.1's NLP pipelines). Plan just enough replicas to lift the
-	// sequential capacity to the resource ceiling, within the core budget.
-	outer := g.OuterParallelism
-	if outer < 1 {
-		outer = 1
-	}
-	if seqBound < resourceCeiling && !math.IsInf(resourceCeiling, 1) {
-		need := int(math.Ceil(resourceCeiling / seqBound))
-		perReplica := 0
-		for _, n := range a.Nodes {
-			if n.Parallelizable {
-				perReplica++ // each replica runs every parallel stage at >= 1 core
-			}
-		}
-		if perReplica < 1 {
-			perReplica = 1
-		}
-		if max := cores / perReplica; need > max {
-			need = max
-		}
-		if need > maxOuter {
-			need = maxOuter
-		}
-		if need > outer {
-			outer = need
-			p.Notes = append(p.Notes, fmt.Sprintf(
-				"outer parallelism %d: sequential %q (%.1f minibatches/s) caps the pipeline below the resource ceiling (%.1f)",
-				outer, seqName, seqBound, resourceCeiling))
-		}
-	}
-
-	// Water-filling core assignment across parallelizable Datasets with a
-	// measurable rate. Fractionally the optimum equalizes p_i·R_i at the
-	// ceiling (p_i ∝ 1/R_i); integrally, grant one core at a time to the
-	// lowest-capacity node until the budget binds or every node clears the
-	// target (raising past the ceiling cannot improve end-to-end rate).
-	type cand struct {
-		name string
-		rate float64
-		p    int
-	}
-	var cands []cand
-	var kept []cand // unmeasurable knobs kept at their current value
-	coresUsed := 0
-	for _, n := range a.Nodes {
-		if !n.Parallelizable {
-			continue
-		}
-		if math.IsInf(n.Rate, 1) || n.Rate <= 0 {
-			// No measurable cost: the model cannot rank this knob, so keep
-			// the current value rather than churn it (degraded below only
-			// when the budget cannot cover the seeded claim).
-			cur := n.Parallelism
-			if cur < 1 {
-				cur = 1
-			}
-			kept = append(kept, cand{name: n.Name, p: cur})
-			coresUsed += cur
-			continue
-		}
-		coresUsed++ // every measurable parallel stage starts at one core per replica
-		cands = append(cands, cand{name: n.Name, rate: n.Rate, p: 1})
-	}
-
-	// The seeded claim must already fit the budget, or the grant loop below
-	// never runs and the plan overcommits. Shed replicas first (replication
-	// was sized against a per-stage minimum that the kept knobs may exceed),
-	// then degrade kept knobs toward 1. Below one core per parallel stage
-	// there is nothing left to shed; CoresPlanned is capped at the end.
-	if prev := outer; coresUsed*outer > cores {
-		for outer > 1 && coresUsed*outer > cores {
-			outer--
-		}
-		if outer != prev {
-			p.Notes = append(p.Notes, fmt.Sprintf(
-				"outer parallelism degraded %d -> %d: %d seeded cores per replica exceed the %d-core budget",
-				prev, outer, coresUsed, cores))
-		}
-	}
-	for i := range kept {
-		prev := kept[i].p
-		for kept[i].p > 1 && coresUsed*outer > cores {
-			kept[i].p--
-			coresUsed--
-		}
-		if kept[i].p != prev {
-			p.Notes = append(p.Notes, fmt.Sprintf(
-				"parallelism %q degraded %d -> %d (unmeasured knob, %d-core budget binds)",
-				kept[i].name, prev, kept[i].p, cores))
-		}
-	}
-	for _, k := range kept {
-		p.Parallelism[k.name] = k.p
-	}
-
-	target := math.Min(resourceCeiling, seqBound*float64(outer))
-	for (coresUsed+1)*outer <= cores { // each grant costs one core in every replica
-		best := -1
-		for i, c := range cands {
-			if float64(c.p)*c.rate*float64(outer) >= target {
-				continue // already clears the ceiling
-			}
-			if best < 0 || float64(c.p)*c.rate < float64(cands[best].p)*cands[best].rate {
-				best = i
-			}
-		}
-		if best < 0 {
-			break
-		}
-		cands[best].p++
-		coresUsed++
-	}
-	for _, c := range cands {
-		p.Parallelism[c.name] = c.p
-		if cur, err := g.Node(c.name); err == nil && cur.EffectiveParallelism() != c.p {
-			p.Notes = append(p.Notes, fmt.Sprintf(
-				"parallelism %q: %d -> %d (rate %.1f minibatches/s/core, water-filled toward ceiling %.1f)",
-				c.name, cur.EffectiveParallelism(), c.p, c.rate, target))
-		}
-	}
-	p.OuterParallelism = outer
-	p.CoresPlanned = coresUsed * outer
-	if p.CoresPlanned > cores {
-		// One core per parallel stage is the knob floor; when the budget is
-		// below even that, the stages time-share cores and the plan claims
-		// exactly the budget, never more.
-		p.Notes = append(p.Notes, fmt.Sprintf(
-			"core floor: %d parallel stages need %d cores at parallelism 1 against a %d-core budget; stages time-share",
-			len(cands)+len(kept), p.CoresPlanned, cores))
-		p.CoresPlanned = cores
-	}
-
-	// Cache placement: among legal materialization points that fit the
-	// memory budget (every replica fills its own copy), choose the one with
-	// the best predicted steady-state benefit per materialized byte.
+	// Joint search over (cache placement, core assignment): solve the core
+	// water-filling once per legal cache candidate — on the rate curves that
+	// remain after that cache warms — and keep the best predicted rate. A
+	// cache must strictly beat the no-cache allocation to justify its
+	// memory; among equal cache candidates the most-downstream one wins
+	// (skipping the longest sub-graph, in topological order).
 	hasCache := false
 	for _, n := range g.Nodes {
 		if n.Kind == pipeline.KindCache {
 			hasCache = true
 		}
 	}
+	base := solveForCache(a, b, cores, "")
+	best := base
 	if b.MemoryBytes > 0 && !hasCache {
-		noCache := a.PredictRate(ops.Hypothetical{
-			Parallelism:      p.Parallelism,
-			OuterParallelism: outer,
-			Cores:            cores,
-			DiskBandwidth:    b.DiskBandwidth,
-			SourceBandwidth:  b.SourceBandwidth,
-		})
-		// Total CPU cost per minibatch, for the work-saved fallback below.
-		var cpuPerMB float64
 		for _, n := range a.Nodes {
-			if !math.IsInf(n.Rate, 1) && n.Rate > 0 {
-				cpuPerMB += 1 / n.Rate
-			}
-		}
-		bestScore := math.Inf(-1)
-		savedScore := math.Inf(-1)
-		savedAbove, savedBytes := "", 0.0
-		var cpuBelow float64
-		for _, n := range a.Nodes { // source -> root: later wins ties, caching as far downstream as legal
-			if !math.IsInf(n.Rate, 1) && n.Rate > 0 {
-				cpuBelow += 1 / n.Rate // includes n itself: a cache above n skips it
-			}
 			if !n.Cacheable || !(n.MaterializedBytes > 0) || math.IsInf(n.MaterializedBytes, 1) {
 				continue
 			}
-			if n.MaterializedBytes*float64(outer) > float64(b.MemoryBytes) {
+			s := solveForCache(a, b, cores, n.Name)
+			if s == nil {
 				continue
 			}
-			steady := a.PredictRate(ops.Hypothetical{
-				Parallelism:      p.Parallelism,
-				CacheAbove:       n.Name,
-				WarmCache:        true,
-				OuterParallelism: outer,
-				Cores:            cores,
-				DiskBandwidth:    b.DiskBandwidth,
-				SourceBandwidth:  b.SourceBandwidth,
-			})
-			benefit := steady - noCache
-			if math.IsInf(steady, 1) {
-				benefit = math.Inf(1)
-			}
-			if benefit <= 0 {
-				// No predicted ceiling lift — but on a work-conserving host
-				// (fewer physical cores than budgeted) the CPU-seconds the
-				// warm cache skips are throughput all the same. Remember the
-				// candidate saving the most work per byte, as a fallback,
-				// when the skipped chain is a substantial fraction of the
-				// pipeline's CPU cost.
-				if cpuPerMB > 0 && cpuBelow/cpuPerMB >= cacheWorkSavedFraction {
-					if s := cpuBelow / n.MaterializedBytes; s >= savedScore {
-						savedScore, savedAbove, savedBytes = s, n.Name, n.MaterializedBytes
-					}
-				}
-				continue
-			}
-			score := benefit / n.MaterializedBytes
-			if math.IsInf(benefit, 1) {
-				score = math.Inf(1)
-			}
-			if score >= bestScore {
-				bestScore = score
-				p.CacheAbove = n.Name
-				p.CacheBytes = n.MaterializedBytes
+			if s.rate > base.rate && s.rate >= best.rate {
+				best = s
 			}
 		}
-		switch {
-		case p.CacheAbove != "":
-			p.Notes = append(p.Notes, fmt.Sprintf(
-				"cache above %q: %.0f bytes/replica materialized within the %d-byte budget (best predicted benefit per byte)",
-				p.CacheAbove, p.CacheBytes, b.MemoryBytes))
-		case savedAbove != "":
-			p.CacheAbove, p.CacheBytes = savedAbove, savedBytes
-			p.Notes = append(p.Notes, fmt.Sprintf(
-				"cache above %q: no predicted ceiling lift, but the warm cache skips %.0f%% of the pipeline's CPU cost (%.0f bytes/replica)",
-				p.CacheAbove, 100*savedScore*savedBytes/cpuPerMB, p.CacheBytes))
-		}
+	}
+
+	p.Parallelism = best.parallelism
+	p.CacheAbove = best.cacheAbove
+	p.OuterParallelism = best.outer
+	p.Notes = append(p.Notes, best.notes...)
+	if best.cacheAbove != "" {
+		p.CacheBytes = best.cacheBytes
+		p.Notes = append(p.Notes, fmt.Sprintf(
+			"cache above %q: %.0f bytes/replica within the %d-byte budget; joint solve predicts %.1f minibatches/s warm vs %.1f without a cache",
+			p.CacheAbove, p.CacheBytes, b.MemoryBytes, best.rate, base.rate))
+	}
+	p.CoresPlanned = best.coresUsed * best.outer
+	if p.CoresPlanned > cores {
+		// One core per parallel stage is the knob floor; when the budget is
+		// below even that, the stages time-share cores and the plan claims
+		// exactly the budget, never more.
+		p.Notes = append(p.Notes, fmt.Sprintf(
+			"core floor: %d parallel stages need %d cores at parallelism 1 against a %d-core budget; stages time-share",
+			best.stages, p.CoresPlanned, cores))
+		p.CoresPlanned = cores
 	}
 
 	// Prefetch: always decouple the consumer at the root, once.

@@ -82,15 +82,20 @@ func TestSolveCachePlacement(t *testing.T) {
 	if p.CacheAbove != "batch_1" {
 		t.Fatalf("cache above %q, want batch_1", p.CacheAbove)
 	}
-	// A budget only the small source materialization fits: with unbounded
-	// disk the map still binds either way, so caching the cheap source has
-	// no predicted benefit and the planner refuses it.
+	// A budget only the small source materialization fits: the two-phase
+	// planner refused this cache (with the cores already fixed, the map
+	// binds either way), but the joint solve re-concentrates the core the
+	// warm cache frees — interleave's seed moves to the map, lifting the
+	// prediction from 300 to 400 minibatches/s.
 	p, err = Solve(a, Budget{Cores: 4, MemoryBytes: 3 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.CacheAbove != "" {
-		t.Fatalf("cache above %q planned with no predicted benefit", p.CacheAbove)
+	if p.CacheAbove != "interleave_1" {
+		t.Fatalf("cache above %q, want interleave_1 (joint solve re-concentrates the freed core)", p.CacheAbove)
+	}
+	if got := p.Parallelism["map_1"]; got != 4 {
+		t.Fatalf("map cores = %d, want 4 (core freed by the warm source cache)", got)
 	}
 	// But when a disk bound binds below the map's capacity, the source
 	// cache eliminates the I/O bound and becomes worth its bytes.
@@ -113,12 +118,13 @@ func TestSolveCachePlacement(t *testing.T) {
 	}
 }
 
-// TestSolveCacheWorkSavedFallback pins the work-conserving cache path: when
-// a downstream stage bounds the steady-state ceiling either way (zero
-// predicted benefit), a cache that skips a substantial fraction of the
-// pipeline's CPU cost is still planned — saved core-seconds are throughput
-// on a core-constrained host.
-func TestSolveCacheWorkSavedFallback(t *testing.T) {
+// TestSolveCacheLiftsCoreBoundCeiling pins the case that retired the old
+// work-saved fallback heuristic: a downstream random augment bounds the
+// ceiling at the current knobs, so the two-phase planner saw zero benefit
+// in caching the decode — but the joint solve re-runs the water-filling on
+// the post-cache curves, where the decode's freed cores quadruple the
+// augment's capacity, and picks the cache on predicted rate alone.
+func TestSolveCacheLiftsCoreBoundCeiling(t *testing.T) {
 	g := pipeline.NewBuilder().
 		Interleave("cat", 1).
 		Map("decode", 1).
@@ -147,7 +153,10 @@ func TestSolveCacheWorkSavedFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	if p.CacheAbove != "map_1" {
-		t.Fatalf("cache above %q, want map_1 (skips >25%% of per-minibatch CPU)", p.CacheAbove)
+		t.Fatalf("cache above %q, want map_1 (frees decode cores for the augment)", p.CacheAbove)
+	}
+	if got := p.Parallelism["map_2"]; got != 4 {
+		t.Fatalf("augment cores = %d, want 4 (water-filled on the post-cache curves)", got)
 	}
 }
 

@@ -18,15 +18,16 @@ func ApplyPlan(g *pipeline.Graph, p *plan.Plan) (*pipeline.Graph, Trail, error) 
 	if p == nil {
 		return nil, nil, fmt.Errorf("rewrite: ApplyPlan: nil plan")
 	}
-	chain, err := g.Chain()
+	order, err := g.Topo()
 	if err != nil {
 		return nil, nil, err
 	}
 	cur := g
 	var trail Trail
 
-	// Parallelism knobs, in source -> root order for a deterministic trail.
-	for _, n := range chain {
+	// Parallelism knobs, in sources -> root topological order for a
+	// deterministic trail on linear and DAG-shaped graphs alike.
+	for _, n := range order {
 		want, ok := p.Parallelism[n.Name]
 		if !ok || want < 1 || want == n.EffectiveParallelism() {
 			continue

@@ -65,8 +65,28 @@ type Spec struct {
 	FileSizeSkew        float64 `json:"file_size_skew,omitempty"`
 	DecodeAmplification float64 `json:"decode_amplification,omitempty"`
 
+	// TotalFiles declares the dataset's full shard count when it exceeds
+	// Files: only Files shards are materialized (and traced), and the
+	// analyzer rescales observed bytes by TotalFiles/ObservedFiles (§A) —
+	// how petabyte-scale catalogs are modeled without materializing them.
+	TotalFiles int `json:"total_files,omitempty"`
+
 	// Pipeline shape. BatchSize defaults to 32.
 	BatchSize int `json:"batch_size"`
+
+	// Shape selects the pipeline topology: "" (a single linear chain), "zip"
+	// (an auxiliary source branch paired element-wise with the main branch —
+	// image+label style), or "concat" (the auxiliary branch drained after
+	// the main one — multi-corpus style). DAG shapes require the simfs
+	// backend, which can serve several catalogs from one device.
+	Shape string `json:"shape,omitempty"`
+	// AuxFiles, AuxRecordsPerFile, and AuxMeanRecordBytes describe the
+	// auxiliary branch's catalog when Shape is set; zero values derive from
+	// the primary (same shard count and cardinality, 64-byte records — the
+	// label-file shape).
+	AuxFiles           int   `json:"aux_files,omitempty"`
+	AuxRecordsPerFile  int   `json:"aux_records_per_file,omitempty"`
+	AuxMeanRecordBytes int64 `json:"aux_mean_record_bytes,omitempty"`
 
 	// DecodeCPUPerByte and DecodeCPUPerElement cost the parallelizable
 	// decode Map; both zero omits the stage.
@@ -108,6 +128,9 @@ type Spec struct {
 type Workload struct {
 	Spec    Spec
 	Catalog data.Catalog
+	// AuxCatalog is the auxiliary branch's catalog when Spec.Shape is set
+	// (zero otherwise).
+	AuxCatalog data.Catalog
 	// FS is the simulated filesystem backing the workload; nil for the
 	// localfs and objectstore backends. Prefer Source, which is always set.
 	FS *simfs.FS
@@ -145,6 +168,20 @@ func (s Spec) normalized() Spec {
 	if s.RandomAugment && s.AugmentCPUPerElement == 0 {
 		s.AugmentCPUPerElement = 10e-6
 	}
+	if s.TotalFiles <= s.Files {
+		s.TotalFiles = 0
+	}
+	if s.Shape != "" {
+		if s.AuxFiles < 1 {
+			s.AuxFiles = s.Files
+		}
+		if s.AuxRecordsPerFile < 1 {
+			s.AuxRecordsPerFile = s.RecordsPerFile
+		}
+		if s.AuxMeanRecordBytes < 1 {
+			s.AuxMeanRecordBytes = 64
+		}
+	}
 	if s.Seed == 0 {
 		s.Seed = 42
 	}
@@ -159,9 +196,11 @@ func (s Spec) normalized() Spec {
 // replaced catalog would rescale its dataset-size estimate from the wrong
 // file count.
 func (s Spec) CatalogName() string {
-	shape := fmt.Sprintf("%d/%d/%d/%g/%g/%g/%d",
+	s = s.normalized() // idempotent; keeps the hash stable however it's called
+	shape := fmt.Sprintf("%d/%d/%d/%g/%g/%g/%d/%d/%s/%d/%d/%d",
 		s.Files, s.RecordsPerFile, s.MeanRecordBytes, s.SizeStddevFrac,
-		s.FileSizeSkew, s.DecodeAmplification, s.Seed)
+		s.FileSizeSkew, s.DecodeAmplification, s.Seed,
+		s.TotalFiles, s.Shape, s.AuxFiles, s.AuxRecordsPerFile, s.AuxMeanRecordBytes)
 	var h uint64 = 0xcbf29ce484222325 // FNV-1a
 	for i := 0; i < len(shape); i++ {
 		h ^= uint64(shape[i])
@@ -188,8 +227,28 @@ func Build(spec Spec) (*Workload, error) {
 		DecodeAmplification:   s.DecodeAmplification,
 		FileSizeSkew:          s.FileSizeSkew,
 	}
+	if s.TotalFiles > s.Files {
+		// Declared-size catalog: NumFiles is the claimed dataset, Files the
+		// materialized (traceable) subsample the §A rescale extrapolates from.
+		cat.NumFiles = s.TotalFiles
+		cat.SampleFiles = s.Files
+	}
 	if err := data.RegisterCatalog(cat); err != nil {
 		return nil, err
+	}
+	var auxCat data.Catalog
+	if s.Shape != "" {
+		auxCat = data.Catalog{
+			Name:                  cat.Name + "-aux",
+			NumFiles:              s.AuxFiles,
+			RecordsPerFile:        s.AuxRecordsPerFile,
+			MeanRecordBytes:       s.AuxMeanRecordBytes,
+			RecordBytesStddevFrac: s.SizeStddevFrac,
+			DecodeAmplification:   1,
+		}
+		if err := data.RegisterCatalog(auxCat); err != nil {
+			return nil, err
+		}
 	}
 
 	dev := s.Device
@@ -241,12 +300,39 @@ func Build(spec Spec) (*Workload, error) {
 		}
 		b = b.Map(AugmentUDF, 1)
 	}
-	g, err := b.Batch(s.BatchSize).Build()
+	var g *pipeline.Graph
+	var err error
+	switch s.Shape {
+	case "":
+		g, err = b.Batch(s.BatchSize).Build()
+	case "zip", "concat":
+		if s.Backend != "" && s.Backend != "simfs" {
+			return nil, fmt.Errorf("scenario %s: shape %q requires the simfs backend, got %q", s.Name, s.Shape, s.Backend)
+		}
+		var main, aux *pipeline.Graph
+		main, err = b.Build()
+		if err != nil {
+			return nil, err
+		}
+		// The auxiliary branch is a bare source (labels, captions); its node
+		// name must not collide with the main branch's auto-named source.
+		aux, err = pipeline.NewBuilder().Named("aux_source").Interleave(auxCat.Name, 1).Build()
+		if err != nil {
+			return nil, err
+		}
+		if s.Shape == "zip" {
+			g, err = pipeline.ZipOf(main, aux).Batch(s.BatchSize).Build()
+		} else {
+			g, err = pipeline.ConcatOf(main, aux).Batch(s.BatchSize).Build()
+		}
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown shape %q (want \"\", zip, or concat)", s.Name, s.Shape)
+	}
 	if err != nil {
 		return nil, err
 	}
 
-	w := &Workload{Spec: s, Catalog: cat, Graph: g, Registry: reg}
+	w := &Workload{Spec: s, Catalog: cat, AuxCatalog: auxCat, Graph: g, Registry: reg}
 	if dev.TotalBandwidth > 0 {
 		w.DiskBandwidth = dev.TotalBandwidth
 	}
@@ -254,6 +340,9 @@ func Build(spec Spec) (*Workload, error) {
 	case "", "simfs":
 		fs := simfs.New(dev, false)
 		fs.AddCatalog(cat, s.Seed)
+		if s.Shape != "" {
+			fs.AddCatalog(auxCat, s.Seed)
+		}
 		w.FS = fs
 		w.Source = connector.FromSimFS(fs)
 	case "localfs":

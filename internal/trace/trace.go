@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -202,28 +203,32 @@ type Collector struct {
 	start   time.Time
 	profile *simfs.BandwidthProfile
 
-	// nodeOfFile attributes filesystem reads to the source node currently
-	// reading; with a single source chain this is just the source's name.
-	sourceName string
+	// sourceName attributes filesystem reads on a single-source graph;
+	// sourceOfCatalog disambiguates multi-branch graphs by matching the
+	// catalog directory component in the file path.
+	sourceName      string
+	sourceOfCatalog map[string]string
 }
 
 // NewCollector returns a collector for one run of graph on machine.
 func NewCollector(graph *pipeline.Graph, machine Machine) (*Collector, error) {
-	chain, err := graph.Chain()
+	order, err := graph.Topo()
 	if err != nil {
 		return nil, err
 	}
 	c := &Collector{
-		graph:   graph.Clone(),
-		machine: machine,
-		nodes:   make(map[string]*NodeStats, len(chain)),
-		files:   make(map[string]int64),
-		start:   time.Now(),
+		graph:           graph.Clone(),
+		machine:         machine,
+		nodes:           make(map[string]*NodeStats, len(order)),
+		files:           make(map[string]int64),
+		start:           time.Now(),
+		sourceOfCatalog: make(map[string]string),
 	}
-	for _, n := range chain {
+	for _, n := range order {
 		c.nodes[n.Name] = &NodeStats{Name: n.Name, Kind: n.Kind, Parallelism: n.EffectiveParallelism()}
 		if n.IsSource() {
 			c.sourceName = n.Name
+			c.sourceOfCatalog[n.Catalog] = n.Name
 		}
 	}
 	return c, nil
@@ -247,22 +252,23 @@ func (c *Collector) SetTenant(name string) {
 // The engine calls this from Reconfigure before the rebuilt tree resolves
 // its handles.
 func (c *Collector) SetGraph(g *pipeline.Graph) error {
-	chain, err := g.Chain()
+	order, err := g.Topo()
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.graph = g.Clone()
-	for _, n := range chain {
+	for _, n := range order {
+		if n.IsSource() {
+			c.sourceName = n.Name
+			c.sourceOfCatalog[n.Catalog] = n.Name
+		}
 		if ns, ok := c.nodes[n.Name]; ok {
 			ns.Parallelism = n.EffectiveParallelism()
 			continue
 		}
 		c.nodes[n.Name] = &NodeStats{Name: n.Name, Kind: n.Kind, Parallelism: n.EffectiveParallelism()}
-		if n.IsSource() {
-			c.sourceName = n.Name
-		}
 	}
 	return nil
 }
@@ -279,16 +285,26 @@ func (c *Collector) Node(name string) (*NodeStats, error) {
 }
 
 // ObserveRead implements simfs.ReadObserver: reads are recorded in the
-// filename map and attributed to the source node.
+// filename map and attributed to a source node. With multiple sources the
+// read is matched to the source whose catalog names a directory component
+// of the path (catalog files live under ".../<catalog>/..."); unmatched
+// paths fall back to the last source, preserving single-source behavior.
 func (c *Collector) ObserveRead(path string, n int64) {
 	c.mu.Lock()
 	c.files[path] += n
 	src := c.sourceName
-	c.mu.Unlock()
-	if src != "" {
-		if ns, err := c.Node(src); err == nil {
-			atomic.AddInt64(&ns.BytesRead, n)
+	if len(c.sourceOfCatalog) > 1 {
+		for cat, name := range c.sourceOfCatalog {
+			if strings.Contains(path, "/"+cat+"/") {
+				src = name
+				break
+			}
 		}
+	}
+	ns := c.nodes[src]
+	c.mu.Unlock()
+	if ns != nil {
+		atomic.AddInt64(&ns.BytesRead, n)
 	}
 }
 
@@ -378,9 +394,10 @@ func (c *Collector) Snapshot(duration time.Duration, totalFiles int) *Snapshot {
 	return snap
 }
 
-// ChainStats returns snapshot counters ordered source -> root.
+// ChainStats returns snapshot counters in topological order, sources first
+// and the root last (for a linear chain: source -> root).
 func (s *Snapshot) ChainStats() ([]*NodeStats, error) {
-	chain, err := s.Graph.Chain()
+	chain, err := s.Graph.Topo()
 	if err != nil {
 		return nil, err
 	}

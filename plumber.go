@@ -178,11 +178,11 @@ func Trace(g *pipeline.Graph, opts Options) (*trace.Snapshot, error) {
 	// §A dataset-size rescale — propagate instead. (engine.New resolved the
 	// same catalog already, so this fails only if it was unregistered
 	// mid-trace.)
-	cat, err := sourceCatalog(g)
+	totalFiles, err := totalSourceFiles(g)
 	if err != nil {
 		return nil, fmt.Errorf("plumber: trace source catalog: %w", err)
 	}
-	return col.Snapshot(0, cat.NumFiles), nil
+	return col.Snapshot(0, totalFiles), nil
 }
 
 // Analyze operationalizes a snapshot: visit ratios, per-core rates, scaled
@@ -192,11 +192,21 @@ func Analyze(snap *trace.Snapshot, reg *udf.Registry) (*ops.Analysis, error) {
 	return ops.Analyze(snap, reg)
 }
 
-// sourceCatalog resolves the catalog read by the graph's source node.
-func sourceCatalog(g *pipeline.Graph) (data.Catalog, error) {
-	chain, err := g.Chain()
+// totalSourceFiles sums NumFiles over every source catalog in the graph —
+// the denominator of the §A dataset-size rescale. Branch catalogs of a
+// DAG-shaped pipeline all count: the tracer attributes reads per source.
+func totalSourceFiles(g *pipeline.Graph) (int, error) {
+	srcs, err := g.Sources()
 	if err != nil {
-		return data.Catalog{}, err
+		return 0, err
 	}
-	return data.CatalogByName(chain[0].Catalog)
+	total := 0
+	for _, n := range srcs {
+		cat, err := data.CatalogByName(n.Catalog)
+		if err != nil {
+			return 0, err
+		}
+		total += cat.NumFiles
+	}
+	return total, nil
 }
